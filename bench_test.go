@@ -1,0 +1,202 @@
+package unisem
+
+// One benchmark per experiment table/figure (DESIGN.md §4). Each bench
+// regenerates its table through internal/experiments — the same code
+// cmd/benchrunner uses — and additionally reports the headline scalar
+// so `go test -bench` output carries the key numbers. Run
+//
+//	go test -bench=. -benchmem
+//
+// to regenerate everything; EXPERIMENTS.md records the resulting
+// tables.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/retrieval"
+	"repro/internal/slm"
+	"repro/internal/vector"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1IndexConstruction regenerates Table 1 (index build
+// cost sweep) once per -benchtime iteration and reports graph-vs-dense
+// build time on a mid-size corpus in the loop.
+func BenchmarkTable1IndexConstruction(b *testing.B) {
+	b.Log(experiments.Table1IndexConstruction([]int{100, 400, 1600}).String())
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := index.NewBuilder(ner, index.DefaultOptions()).Build(c.Sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1DenseBaseline is the comparison build for Table 1.
+func BenchmarkTable1DenseBaseline(b *testing.B) {
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	embedder := slm.NewEmbedder(slm.DefaultEmbeddingDim)
+	records := c.Sources.Records()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := retrieval.NewDenseFromRecords(records, chunk.New(chunk.DefaultOptions()),
+			embedder, vector.NewFlat(embedder.Dim())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2RetrievalQuality regenerates Table 2 and times a
+// topology retrieval in the loop.
+func BenchmarkTable2RetrievalQuality(b *testing.B) {
+	b.Log(experiments.Table2RetrievalQuality().String())
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	g, _, err := index.NewBuilder(ner, index.DefaultOptions()).Build(c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := retrieval.NewTopology(g, ner, retrieval.DefaultTopologyOptions())
+	query := c.Queries[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := topo.Retrieve(query, 8); len(ev) == 0 {
+			b.Fatal("no evidence")
+		}
+	}
+}
+
+// BenchmarkTable3MultiEntityQA regenerates Table 3 and reports hybrid
+// cross-modal EM as the headline metric.
+func BenchmarkTable3MultiEntityQA(b *testing.B) {
+	b.Log(experiments.Table3MultiEntityQA().String())
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var em float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := core.EvaluateQA(h, c.Queries)
+		em = stats[workload.Class("overall")].EM
+	}
+	b.ReportMetric(em, "EM")
+}
+
+// BenchmarkFigure2LatencyScaling regenerates the Figure 2 latency
+// series and times a single hybrid answer in the loop.
+func BenchmarkFigure2LatencyScaling(b *testing.B) {
+	b.Log(experiments.Figure2LatencyScaling([]int{100, 400, 1600}).String())
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := c.Queries[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ans := h.Answer(q); !ans.Answered() {
+			b.Fatal(ans.Err)
+		}
+	}
+}
+
+// BenchmarkTable4Extraction regenerates the extraction-quality noise
+// sweep and reports F1 at the default noise level.
+func BenchmarkTable4Extraction(b *testing.B) {
+	b.Log(experiments.Table4Extraction([]float64{0, 0.3, 0.6, 0.9}).String())
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	var f1 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = core.EvaluateExtraction(h.Catalog(), c.GoldFacts).F1
+	}
+	b.ReportMetric(f1, "F1")
+}
+
+// BenchmarkFigure3EntropyCalibration regenerates the calibration
+// series and reports semantic-entropy AUROC at M=5.
+func BenchmarkFigure3EntropyCalibration(b *testing.B) {
+	tbl := experiments.Figure3EntropyCalibration([]int{3, 5, 10})
+	b.Log(tbl.String())
+	if !strings.Contains(tbl.String(), "semantic") {
+		b.Fatal("calibration table malformed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3EntropyCalibration([]int{5})
+	}
+}
+
+// BenchmarkTable5Ablations regenerates the ablation table.
+func BenchmarkTable5Ablations(b *testing.B) {
+	b.Log(experiments.Table5Ablations().String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5Ablations()
+	}
+}
+
+// BenchmarkTable6CostProfile regenerates the SLM-vs-LLM cost table.
+func BenchmarkTable6CostProfile(b *testing.B) {
+	b.Log(experiments.Table6CostProfile().String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table6CostProfile()
+	}
+}
+
+// BenchmarkTableS1ChunkSize regenerates the chunk-size ablation.
+func BenchmarkTableS1ChunkSize(b *testing.B) {
+	b.Log(experiments.TableS1ChunkSize([]int{32, 64, 128, 256}).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.TableS1ChunkSize([]int{64})
+	}
+}
+
+// BenchmarkTableS2VectorIndex regenerates the flat-vs-IVF tradeoff.
+func BenchmarkTableS2VectorIndex(b *testing.B) {
+	b.Log(experiments.TableS2VectorIndex([]int{1, 2, 4, 8}).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.TableS2VectorIndex([]int{2})
+	}
+}
+
+// BenchmarkAskEndToEnd times the public API answer path.
+func BenchmarkAskEndToEnd(b *testing.B) {
+	sys := New()
+	sys.Vocabulary(VocabProduct, "Product Alpha", "Product Beta")
+	sys.AddDocument("reviews", "r1", "Customer C-1 rated Product Alpha 5 stars.")
+	sys.AddCSV("sales", strings.NewReader("product,quarter,revenue\nProduct Alpha,Q2,1200\n"))
+	if err := sys.Build(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask("What was the revenue of Product Alpha in Q2?"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command benchrunner regenerates every experiment table and figure
+// series from DESIGN.md §4 and prints them as Markdown — the exact
+// content EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	benchrunner            # run all experiments
+//	benchrunner -only t3   # run one: t1 t2 t3 f2 t4 f3 t5 t6 s1 s2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: t1 t2 t3 f2 t4 f3 t5 t6")
+	flag.Parse()
+
+	runners := []struct {
+		key string
+		run func() *metrics.ResultTable
+	}{
+		{"t1", func() *metrics.ResultTable { return experiments.Table1IndexConstruction([]int{100, 400, 1600}) }},
+		{"t2", experiments.Table2RetrievalQuality},
+		{"t3", experiments.Table3MultiEntityQA},
+		{"f2", func() *metrics.ResultTable { return experiments.Figure2LatencyScaling([]int{100, 400, 1600}) }},
+		{"t4", func() *metrics.ResultTable { return experiments.Table4Extraction([]float64{0, 0.3, 0.6, 0.9}) }},
+		{"f3", func() *metrics.ResultTable { return experiments.Figure3EntropyCalibration([]int{3, 5, 10}) }},
+		{"t5", experiments.Table5Ablations},
+		{"t6", experiments.Table6CostProfile},
+		{"s1", func() *metrics.ResultTable { return experiments.TableS1ChunkSize([]int{32, 64, 128, 256}) }},
+		{"s2", func() *metrics.ResultTable { return experiments.TableS2VectorIndex([]int{1, 2, 4, 8}) }},
+	}
+
+	matched := false
+	start := time.Now()
+	for _, r := range runners {
+		if *only != "" && r.key != *only {
+			continue
+		}
+		matched = true
+		t0 := time.Now()
+		tbl := r.run()
+		if err := tbl.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: write %s: %v\n", r.key, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n_(%s regenerated in %v)_\n", r.key, time.Since(t0).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("\nAll requested experiments completed in %v.\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,256 @@
+// Command uniquery is an interactive CLI over the unified semantic
+// query system. It ingests a directory of mixed sources — *.txt
+// documents, *.csv tables, *.jsonl logs, *.xml configs — or a built-in
+// demo corpus, then answers questions with plans, evidence and
+// entropy.
+//
+// Usage:
+//
+//	uniquery -demo ecommerce -q "Find the total revenue of all products in Q4"
+//	uniquery -demo healthcare              # interactive loop on stdin
+//	uniquery -dir ./data -vocab vocab.txt -q "..."
+//
+// The optional vocab file registers domain entities, one per line:
+// "product: Product Alpha" / "drug: Drug A" / "side_effect: nausea".
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of sources (*.txt, *.csv, *.jsonl, *.xml)")
+	demo := flag.String("demo", "", "built-in demo corpus: ecommerce | healthcare | ops")
+	vocab := flag.String("vocab", "", "vocabulary file: 'kind: phrase' per line")
+	question := flag.String("q", "", "one-shot question (otherwise interactive)")
+	showTables := flag.Bool("tables", false, "list catalog tables after build")
+	saveDir := flag.String("save", "", "persist the built index+catalog to this directory")
+	exportKB := flag.String("export-knowledge", "", "write inferred knowledge triples (TSV) to this file")
+	flag.Parse()
+
+	sys, err := buildSystem(*dir, *demo, *vocab)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uniquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("index: %d nodes, %d edges, %d chunks, %d entities, %d cues, %d extracted rows (built in %v)\n",
+		st.Nodes, st.Edges, st.Chunks, st.Entities, st.Cues, st.ExtractedRows, st.BuildTime)
+	if *showTables {
+		fmt.Printf("tables: %s\n", strings.Join(sys.Tables(), ", "))
+	}
+	if *saveDir != "" {
+		if err := sys.Save(*saveDir); err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved index to %s\n", *saveDir)
+	}
+	if *exportKB != "" {
+		f, err := os.Create(*exportKB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: export: %v\n", err)
+			os.Exit(1)
+		}
+		err = sys.ExportKnowledge(f, unisem.KnowledgeTSV)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("exported knowledge triples to %s\n", *exportKB)
+	}
+
+	if *question != "" {
+		answer(sys, *question)
+		return
+	}
+
+	fmt.Println(`type a question ("exit" to quit):`)
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		answer(sys, line)
+	}
+}
+
+func answer(sys *unisem.System, q string) {
+	ans, err := sys.Ask(q)
+	if err != nil {
+		fmt.Printf("no answer: %v\n", err)
+		return
+	}
+	fmt.Printf("answer: %s\n", ans.Text)
+	if ans.Plan != "" {
+		fmt.Printf("plan:   %s\n", ans.Plan)
+	}
+	fmt.Printf("entropy: %.3f", ans.Entropy)
+	if ans.Flagged {
+		fmt.Print("  [FLAGGED for review]")
+	}
+	fmt.Println()
+	for i, e := range ans.Evidence {
+		if i >= 3 {
+			fmt.Printf("  ... and %d more evidence items\n", len(ans.Evidence)-3)
+			break
+		}
+		text := e.Text
+		if len(text) > 100 {
+			text = text[:100] + "..."
+		}
+		fmt.Printf("  [%.2f] %s: %s\n", e.Score, e.ID, text)
+	}
+}
+
+func buildSystem(dir, demo, vocabPath string) (*unisem.System, error) {
+	sys := unisem.New()
+
+	switch demo {
+	case "ecommerce":
+		return demoSystem(sys, workload.ECommerce(workload.DefaultECommerceOptions()))
+	case "healthcare":
+		return demoSystem(sys, workload.Healthcare(workload.DefaultHealthcareOptions()))
+	case "ops":
+		return demoSystem(sys, workload.Ops(workload.DefaultOpsOptions()))
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown demo %q", demo)
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("need -dir or -demo")
+	}
+
+	if vocabPath != "" {
+		if err := loadVocab(sys, vocabPath); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, entry := range entries {
+		if entry.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, entry.Name())
+		base := strings.TrimSuffix(entry.Name(), filepath.Ext(entry.Name()))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(filepath.Ext(entry.Name())) {
+		case ".txt":
+			data, rerr := os.ReadFile(path)
+			if rerr == nil {
+				err = sys.AddDocument("docs", base, string(data))
+			} else {
+				err = rerr
+			}
+		case ".csv":
+			err = sys.AddCSV(base, f)
+		case ".jsonl", ".json":
+			err = sys.AddJSONLines(base, f)
+		case ".xml":
+			err = sys.AddXML(base, f)
+		}
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+	}
+	if err := sys.Build(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// demoSystem loads a generated corpus through the public API: text
+// documents via AddDocument, relational tables via CSV round-trip,
+// JSON records reconstructed from their flattened fields.
+func demoSystem(sys *unisem.System, c *workload.Corpus) (*unisem.System, error) {
+	for kind, phrases := range c.Vocab() {
+		sys.Vocabulary(unisem.VocabKind(kind), phrases...)
+	}
+	for _, rec := range c.Sources.Records() {
+		switch rec.Kind {
+		case store.KindText:
+			if err := sys.AddDocument(rec.Source, rec.ID, rec.Text); err != nil {
+				return nil, err
+			}
+		case store.KindJSON:
+			obj := map[string]interface{}{}
+			for k, v := range rec.Fields {
+				obj[k] = v
+			}
+			data, err := json.Marshal(obj)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.AddJSONLines(rec.Source, bytes.NewReader(data)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cat := c.NativeCatalog()
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			return nil, err
+		}
+		if err := sys.AddCSV(name, &buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Build(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func loadVocab(sys *unisem.System, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		sys.Vocabulary(unisem.VocabKind(strings.TrimSpace(parts[0])), strings.TrimSpace(parts[1]))
+	}
+	return scanner.Err()
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFixture creates a mixed-source data directory.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"reviews.txt": "Customer C-1 rated Product Alpha 5 stars. Customer C-2 rated Product Alpha 3 stars.",
+		"sales.csv":   "product,quarter,revenue\nProduct Alpha,Q2,1200\nProduct Beta,Q2,800\n",
+		"events.jsonl": `{"id":"e1","product":"Product Alpha","event":"return"}
+{"id":"e2","product":"Product Beta","event":"order"}`,
+		"conf.xml": `<cfg><svc id="s1"><host>db1</host></svc></cfg>`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vocab := filepath.Join(dir, "vocab.txt")
+	if err := os.WriteFile(vocab, []byte("# demo vocab\nproduct: Product Alpha\nproduct: Product Beta\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestBuildSystemFromDir(t *testing.T) {
+	dir := writeFixture(t)
+	sys, err := buildSystem(dir, "", filepath.Join(dir, "vocab.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("What was the revenue of Product Alpha in Q2?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "1200" {
+		t.Errorf("answer = %q (plan %s)", ans.Text, ans.Plan)
+	}
+	ans, err = sys.Ask("What is the average rating of Product Alpha?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "4" {
+		t.Errorf("rating = %q", ans.Text)
+	}
+}
+
+func TestBuildSystemDemos(t *testing.T) {
+	for _, demo := range []string{"ecommerce", "healthcare", "ops"} {
+		sys, err := buildSystem("", demo, "")
+		if err != nil {
+			t.Fatalf("%s: %v", demo, err)
+		}
+		if sys.Stats().Nodes == 0 {
+			t.Errorf("%s: empty index", demo)
+		}
+	}
+}
+
+func TestBuildSystemErrors(t *testing.T) {
+	if _, err := buildSystem("", "", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := buildSystem("", "nonsense", ""); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if _, err := buildSystem("/nonexistent-dir-xyz", "", ""); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestLoadVocabSkipsComments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.txt")
+	os.WriteFile(path, []byte("# comment\n\nbadline\nproduct: Widget\n"), 0o644)
+	sys, err := buildSystem(writeFixture(t), "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+}

@@ -1,0 +1,62 @@
+package unisem
+
+import (
+	"sync"
+	"testing"
+)
+
+// Ask must be safe from multiple goroutines after Build (run with
+// -race to verify).
+func TestConcurrentAsk(t *testing.T) {
+	sys := buildDemo(t)
+	questions := []string{
+		"What was the revenue of Product Alpha in Q3?",
+		"What is the average rating of Product Alpha?",
+		"Which side effects were reported for Drug A?",
+		"Compare total revenue for Product Alpha and Product Beta in Q2",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				q := questions[(w+i)%len(questions)]
+				if _, err := sys.Ask(q); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Ask: %v", err)
+	}
+}
+
+// Concurrent asks must not change structured answers (they are
+// deterministic regardless of RNG interleaving).
+func TestConcurrentAskDeterministicAnswers(t *testing.T) {
+	sys := buildDemo(t)
+	const q = "What was the revenue of Product Alpha in Q3?"
+	var wg sync.WaitGroup
+	answers := make([]string, 16)
+	for i := range answers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, err := sys.Ask(q)
+			if err == nil {
+				answers[i] = ans.Text
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, a := range answers {
+		if a != "1500" {
+			t.Errorf("answer[%d] = %q", i, a)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// E-commerce Multi-Entity QA: the paper's Section III.C scenario — a
+// data lake of unstructured customer reviews, free-text sales reports,
+// structured catalog/sales tables and JSON events, queried with
+// complex multi-entity questions including the flagship cross-modal
+// join ("average customer satisfaction of products whose sales grew
+// more than 15%").
+//
+// The corpus comes from the seeded synthetic generator so answers are
+// verifiable; everything is ingested through the public API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	corpus := workload.ECommerce(workload.DefaultECommerceOptions())
+	sys := unisem.New()
+	for kind, phrases := range corpus.Vocab() {
+		sys.Vocabulary(unisem.VocabKind(kind), phrases...)
+	}
+	for _, rec := range corpus.Sources.Records() {
+		if rec.Kind == store.KindText {
+			if err := sys.AddDocument(rec.Source, rec.ID, rec.Text); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	cat := corpus.NativeCatalog()
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.AddCSV(name, &buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("corpus: %d chunks, %d entities, %d cues; SLM generated %d rows into tables %v\n\n",
+		st.Chunks, st.Entities, st.Cues, st.ExtractedRows, sys.Tables())
+
+	// Show a generated table — Relational Table Generation output.
+	preview, err := sys.Table("metric_changes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SLM-generated table metric_changes:\n%s\n", preview)
+
+	// Run the generated workload, checking answers against gold.
+	correct := 0
+	for _, q := range corpus.Queries {
+		ans, err := sys.Ask(q.Text)
+		status := "OK"
+		switch {
+		case err != nil:
+			status = fmt.Sprintf("ERR %v", err)
+		case ans.Text != q.Gold:
+			status = fmt.Sprintf("MISMATCH got %q want %q", ans.Text, q.Gold)
+		default:
+			correct++
+		}
+		fmt.Printf("[%-16s] %s\n  -> %s (%s)\n", q.Class, q.Text, ans.Text, status)
+	}
+	fmt.Printf("\n%d/%d exact matches across query classes\n", correct, len(corpus.Queries))
+}

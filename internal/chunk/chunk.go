@@ -1,0 +1,115 @@
+// Package chunk segments raw documents into the text-chunk nodes of the
+// heterogeneous graph index (paper Section III.A: "Text chunks are the
+// foundational segments derived from raw documents, serving as the
+// basic nodes within the graph").
+//
+// Chunking is sentence-aligned: sentences are grouped greedily into
+// windows under a token budget, with optional sentence overlap between
+// consecutive chunks so entity mentions near a boundary appear in at
+// least one complete context.
+package chunk
+
+import (
+	"fmt"
+
+	"repro/internal/slm"
+)
+
+// Chunk is one contiguous segment of a source document.
+type Chunk struct {
+	ID        string // stable id: "<docID>#<n>"
+	DocID     string // owning document
+	Seq       int    // position within the document, from 0
+	Text      string
+	Start     int // byte offset in the document
+	End       int
+	Sentences int // number of sentences merged into this chunk
+}
+
+// Options configures a Chunker. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	MaxTokens       int // token budget per chunk (words+numbers)
+	OverlapSentence int // sentences repeated from the previous chunk
+}
+
+// DefaultOptions matches the lightweight setting of MiniRAG-style
+// systems: short chunks an SLM can tag in one pass.
+func DefaultOptions() Options {
+	return Options{MaxTokens: 64, OverlapSentence: 1}
+}
+
+// Chunker splits documents under a fixed options set.
+type Chunker struct {
+	opts Options
+}
+
+// New returns a Chunker. Invalid options are normalized: MaxTokens < 8
+// becomes 8, negative overlap becomes 0.
+func New(opts Options) *Chunker {
+	if opts.MaxTokens < 8 {
+		opts.MaxTokens = 8
+	}
+	if opts.OverlapSentence < 0 {
+		opts.OverlapSentence = 0
+	}
+	return &Chunker{opts: opts}
+}
+
+// Split segments text into chunks. Every non-blank sentence of the
+// document appears in at least one chunk, and chunk byte ranges are
+// valid spans of text. Empty input yields no chunks.
+func (c *Chunker) Split(docID, text string) []Chunk {
+	sentences := slm.SplitSentences(text)
+	if len(sentences) == 0 {
+		return nil
+	}
+	var chunks []Chunk
+	i := 0
+	for i < len(sentences) {
+		budget := c.opts.MaxTokens
+		j := i
+		toks := 0
+		for j < len(sentences) {
+			n := countTokens(sentences[j].Text)
+			if j > i && toks+n > budget {
+				break
+			}
+			toks += n
+			j++
+		}
+		start := sentences[i].Start
+		end := sentences[j-1].End
+		chunks = append(chunks, Chunk{
+			ID:        fmt.Sprintf("%s#%d", docID, len(chunks)),
+			DocID:     docID,
+			Seq:       len(chunks),
+			Text:      text[start:end],
+			Start:     start,
+			End:       end,
+			Sentences: j - i,
+		})
+		if j >= len(sentences) {
+			break
+		}
+		// Step forward, re-including the trailing overlap sentences.
+		next := j - c.opts.OverlapSentence
+		if next <= i {
+			next = i + 1
+		}
+		i = next
+	}
+	return chunks
+}
+
+// countTokens counts word and number tokens, the same notion of length
+// the simulated SLM's cost model uses.
+func countTokens(s string) int {
+	n := 0
+	for _, t := range slm.Tokenize(s) {
+		if t.Kind == slm.TokenWord || t.Kind == slm.TokenNumber {
+			n++
+		}
+	}
+	return n
+}

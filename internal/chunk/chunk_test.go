@@ -1,0 +1,151 @@
+package chunk
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitEmpty(t *testing.T) {
+	c := New(DefaultOptions())
+	if got := c.Split("d", ""); got != nil {
+		t.Errorf("empty doc: %v", got)
+	}
+}
+
+func TestSplitSingleSentence(t *testing.T) {
+	c := New(DefaultOptions())
+	got := c.Split("d", "Q2 sales increased 20%.")
+	if len(got) != 1 {
+		t.Fatalf("got %d chunks", len(got))
+	}
+	if got[0].ID != "d#0" || got[0].DocID != "d" || got[0].Seq != 0 {
+		t.Errorf("chunk metadata: %+v", got[0])
+	}
+	if got[0].Sentences != 1 {
+		t.Errorf("sentences = %d", got[0].Sentences)
+	}
+}
+
+func TestSplitRespectsBudget(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		b.WriteString("Product Alpha sold forty two units in the second quarter of the year. ")
+	}
+	c := New(Options{MaxTokens: 30, OverlapSentence: 0})
+	chunks := c.Split("d", b.String())
+	if len(chunks) < 10 {
+		t.Fatalf("expected many chunks, got %d", len(chunks))
+	}
+	for _, ch := range chunks {
+		if n := countTokens(ch.Text); n > 30+13 { // one sentence may overflow
+			t.Errorf("chunk %s has %d tokens", ch.ID, n)
+		}
+	}
+}
+
+func TestSplitOverlap(t *testing.T) {
+	text := "First fact here. Second fact here. Third fact here. Fourth fact here."
+	c := New(Options{MaxTokens: 8, OverlapSentence: 1})
+	chunks := c.Split("d", text)
+	if len(chunks) < 2 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	// With overlap 1, consecutive chunks share a sentence.
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Start >= chunks[i-1].End {
+			t.Errorf("chunks %d and %d do not overlap", i-1, i)
+		}
+	}
+}
+
+func TestSplitNoOverlapGaps(t *testing.T) {
+	text := "Alpha one. Beta two. Gamma three. Delta four. Epsilon five."
+	c := New(Options{MaxTokens: 8, OverlapSentence: 0})
+	chunks := c.Split("d", text)
+	// Every sentence must be inside some chunk.
+	for _, s := range []string{"Alpha one", "Beta two", "Gamma three", "Delta four", "Epsilon five"} {
+		found := false
+		for _, ch := range chunks {
+			if strings.Contains(ch.Text, s) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("sentence %q not covered", s)
+		}
+	}
+}
+
+func TestSplitOffsetsValid(t *testing.T) {
+	text := "One sentence. Another sentence follows. And a third."
+	c := New(Options{MaxTokens: 10, OverlapSentence: 1})
+	for _, ch := range c.Split("doc", text) {
+		if ch.Start < 0 || ch.End > len(text) || ch.Start >= ch.End {
+			t.Fatalf("bad span: %+v", ch)
+		}
+		if text[ch.Start:ch.End] != ch.Text {
+			t.Errorf("text mismatch: %q vs slice %q", ch.Text, text[ch.Start:ch.End])
+		}
+	}
+}
+
+func TestNewNormalizesOptions(t *testing.T) {
+	c := New(Options{MaxTokens: -5, OverlapSentence: -2})
+	chunks := c.Split("d", "A few words here. More words there.")
+	if len(chunks) == 0 {
+		t.Fatal("normalized chunker produced nothing")
+	}
+}
+
+func TestSplitSequentialIDs(t *testing.T) {
+	text := strings.Repeat("Some sentence with several words inside it. ", 20)
+	c := New(Options{MaxTokens: 16, OverlapSentence: 0})
+	for i, ch := range c.Split("doc", text) {
+		if ch.Seq != i {
+			t.Errorf("chunk %d has Seq %d", i, ch.Seq)
+		}
+	}
+}
+
+// Property: chunking always terminates, covers the first and last
+// sentence, and produces monotonically increasing spans.
+func TestSplitProperties(t *testing.T) {
+	c := New(Options{MaxTokens: 12, OverlapSentence: 1})
+	f := func(words []string, nSentences uint8) bool {
+		n := int(nSentences%20) + 1
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString("word")
+			for j, w := range words {
+				if j > 3 {
+					break
+				}
+				clean := strings.Map(func(r rune) rune {
+					if r >= 'a' && r <= 'z' {
+						return r
+					}
+					return -1
+				}, strings.ToLower(w))
+				if clean != "" {
+					b.WriteString(" " + clean)
+				}
+			}
+			b.WriteString(". ")
+		}
+		chunks := c.Split("d", b.String())
+		if len(chunks) == 0 {
+			return false
+		}
+		for i := 1; i < len(chunks); i++ {
+			if chunks[i].Start <= chunks[i-1].Start {
+				return false
+			}
+		}
+		return chunks[0].Start <= 1 && chunks[len(chunks)-1].End >= len(strings.TrimRight(b.String(), " "))-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

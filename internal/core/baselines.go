@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/entropy"
+	"repro/internal/retrieval"
+	"repro/internal/semop"
+	"repro/internal/slm"
+	"repro/internal/sql"
+	"repro/internal/store"
+	"repro/internal/table"
+	"repro/internal/vector"
+)
+
+// RAGOptions configures the conventional-RAG baseline.
+type RAGOptions struct {
+	Chunk     chunk.Options
+	EvidenceK int
+	EntropyM  int
+	UseIVF    bool // approximate index instead of exact scan
+	Seed      uint64
+}
+
+// DefaultRAGOptions returns the standard configuration.
+func DefaultRAGOptions() RAGOptions {
+	return RAGOptions{Chunk: chunk.DefaultOptions(), EvidenceK: 8, EntropyM: 5, Seed: 1}
+}
+
+// RAG is the conventional dense-retrieval pipeline the paper positions
+// against (Section I): embed everything, retrieve nearest neighbors,
+// read generatively. It has no table engine, so numeric aggregation
+// and joins depend entirely on some chunk containing the answer span.
+type RAG struct {
+	ner       *slm.NER
+	dense     *retrieval.Dense
+	gen       *slm.Generator
+	clusterer *entropy.Clusterer
+	opts      RAGOptions
+	rng       *slm.RNG
+}
+
+// NewRAG embeds the sources into a vector index and returns the
+// baseline pipeline.
+func NewRAG(sources *store.Multi, ner *slm.NER, opts RAGOptions) (*RAG, error) {
+	if opts.EvidenceK <= 0 {
+		opts.EvidenceK = 8
+	}
+	if opts.EntropyM <= 0 {
+		opts.EntropyM = 5
+	}
+	embedder := slm.NewEmbedder(slm.DefaultEmbeddingDim)
+	var ix vector.Index
+	if opts.UseIVF {
+		ix = vector.NewIVF(embedder.Dim(), 16, 4)
+	} else {
+		ix = vector.NewFlat(embedder.Dim())
+	}
+	dense, err := retrieval.NewDenseFromRecords(sources.Records(), chunk.New(opts.Chunk), embedder, ix)
+	if err != nil {
+		return nil, fmt.Errorf("core: rag index: %w", err)
+	}
+	return &RAG{
+		ner:       ner,
+		dense:     dense,
+		gen:       slm.NewGenerator(),
+		clusterer: entropy.NewClusterer(embedder),
+		opts:      opts,
+		rng:       slm.NewRNG(opts.Seed),
+	}, nil
+}
+
+// Name implements Pipeline.
+func (r *RAG) Name() string { return "rag" }
+
+// Dense exposes the underlying retriever for the retrieval experiment.
+func (r *RAG) Dense() *retrieval.Dense { return r.dense }
+
+// Answer implements Pipeline: retrieve, then read extractively.
+func (r *RAG) Answer(question string) Answer {
+	start := time.Now()
+	ans := Answer{}
+	ans.Evidence = r.dense.Retrieve(question, r.opts.EvidenceK)
+	cands := slm.DeriveCandidates(question, retrieval.Texts(ans.Evidence), r.ner)
+	if len(cands) == 0 {
+		ans.Err = fmt.Errorf("%w: %q", ErrNoAnswer, question)
+	} else {
+		greedy := &slm.Generator{Temperature: 0}
+		ans.Text = greedy.Generate(cands, r.rng).Canonical
+	}
+	ans.Uncertainty = assessUncertainty(ans.Text, nil, ans.Evidence, question,
+		r.ner, r.gen, r.clusterer, r.opts.EntropyM, r.rng)
+	ans.Latency = time.Since(start)
+	return ans
+}
+
+// TextToSQL is the classical structured-only baseline: semantic
+// operator synthesis over the *native* relational catalog. Questions
+// whose answers live in unstructured text fail to bind or return empty
+// results — the failure mode of Section I, gap 2.
+type TextToSQL struct {
+	ner     *slm.NER
+	catalog *table.Catalog
+}
+
+// NewTextToSQL wraps a native catalog.
+func NewTextToSQL(catalog *table.Catalog, ner *slm.NER) *TextToSQL {
+	return &TextToSQL{ner: ner, catalog: catalog}
+}
+
+// Name implements Pipeline.
+func (t *TextToSQL) Name() string { return "text_to_sql" }
+
+// Answer implements Pipeline: parse → bind → render SQL → execute the
+// SQL through the internal/sql engine. The Plan field carries the
+// generated SQL text, so this baseline is a genuine text-to-SQL
+// system, not an in-memory shortcut. Plans with synthesized semi-joins
+// exceed the dialect (no subqueries) and execute through the logical
+// plan directly.
+func (t *TextToSQL) Answer(question string) Answer {
+	start := time.Now()
+	ans := Answer{}
+	q := semop.Parse(question, t.ner)
+	plan, err := semop.Bind(q, t.catalog)
+	if err != nil {
+		ans.Err = err
+		ans.Latency = time.Since(start)
+		return ans
+	}
+
+	var res *table.Table
+	if plan.JoinTable != "" {
+		ans.Plan = plan.String()
+		res, err = semop.Exec(plan, t.catalog)
+	} else {
+		stmts := plan.ToSQL()
+		ans.Plan = strings.Join(stmts, "; ")
+		res, err = t.execSQL(stmts)
+	}
+	if err != nil {
+		ans.Err = err
+		ans.Latency = time.Since(start)
+		return ans
+	}
+	text, err := synthesize(plan, q, res)
+	if err != nil {
+		ans.Err = err
+	} else {
+		ans.Text = text
+	}
+	ans.Latency = time.Since(start)
+	return ans
+}
+
+// execSQL runs each statement and unions the results (comparison plans
+// render one statement per compared item).
+func (t *TextToSQL) execSQL(stmts []string) (*table.Table, error) {
+	var out *table.Table
+	for _, stmt := range stmts {
+		res, err := sql.Exec(t.catalog, stmt)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = res
+			continue
+		}
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	return out, nil
+}

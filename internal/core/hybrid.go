@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/entropy"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/retrieval"
+	"repro/internal/semop"
+	"repro/internal/slm"
+	"repro/internal/store"
+	"repro/internal/table"
+)
+
+// HybridOptions configures the paper's system.
+type HybridOptions struct {
+	Index             index.Options
+	Topology          retrieval.TopologyOptions
+	EvidenceK         int    // evidence items per query (default 8)
+	EntropyM          int    // samples for uncertainty scoring (default 5)
+	Seed              uint64 // generator sampling seed
+	DisableExtraction bool   // ablation: no Relational Table Generation
+}
+
+// DefaultHybridOptions returns the standard configuration.
+func DefaultHybridOptions() HybridOptions {
+	return HybridOptions{
+		Index:     index.DefaultOptions(),
+		Topology:  retrieval.DefaultTopologyOptions(),
+		EvidenceK: 8,
+		EntropyM:  5,
+		Seed:      1,
+	}
+}
+
+// Hybrid is the paper's end-to-end system: at ingest it builds the
+// heterogeneous graph index and runs Relational Table Generation over
+// every unstructured document; at query time it synthesizes semantic
+// operators over the combined catalog, retrieves topology-guided
+// evidence, and scores semantic entropy.
+type Hybrid struct {
+	ner       *slm.NER
+	graph     *graph.Graph
+	builder   *index.Builder
+	extractor *extract.Engine
+	retriever *retrieval.Topology
+	catalog   *table.Catalog // native + extracted tables
+	gen       *slm.Generator
+	clusterer *entropy.Clusterer
+	opts      HybridOptions
+	rngMu     sync.Mutex
+	rng       *slm.RNG
+	cost      *slm.CostModel
+
+	IndexStats   index.Stats
+	ExtractCount int // extracted rows merged into the catalog
+}
+
+// NewHybrid ingests the sources and returns a ready system. The
+// recognizer should already carry the domain gazetteer.
+func NewHybrid(sources *store.Multi, ner *slm.NER, opts HybridOptions) (*Hybrid, error) {
+	if opts.EvidenceK <= 0 {
+		opts.EvidenceK = 8
+	}
+	if opts.EntropyM <= 0 {
+		opts.EntropyM = 5
+	}
+	h := &Hybrid{
+		ner:       ner,
+		gen:       slm.NewGenerator(),
+		clusterer: entropy.NewClusterer(slm.NewEmbedder(slm.DefaultEmbeddingDim)),
+		opts:      opts,
+		rng:       slm.NewRNG(opts.Seed),
+	}
+
+	// 1. Graph index over every source.
+	h.builder = index.NewBuilder(ner, opts.Index)
+	g, stats, err := h.builder.Build(sources)
+	if err != nil {
+		return nil, fmt.Errorf("core: hybrid index: %w", err)
+	}
+	h.graph = g
+	h.IndexStats = stats
+	h.retriever = retrieval.NewTopology(g, ner, opts.Topology)
+
+	// 2. Catalog: native tables, materialized semi-structured sources
+	// (JSON/XML become typed relations), plus SLM-generated tables
+	// from every unstructured document (Relational Table Generation).
+	h.catalog = table.NewCatalog()
+	for _, s := range sources.Sources() {
+		switch src := s.(type) {
+		case *store.RelationalStore:
+			for _, name := range src.Catalog().Names() {
+				if t, err := src.Catalog().Get(name); err == nil {
+					h.catalog.Put(t)
+				}
+			}
+		default:
+			if s.Kind() == store.KindJSON || s.Kind() == store.KindXML {
+				t, err := store.ToTable(s.Name(), s.Records())
+				if err != nil {
+					return nil, fmt.Errorf("core: materialize %s: %w", s.Name(), err)
+				}
+				if t.Len() > 0 {
+					h.catalog.Put(t)
+				}
+			}
+		}
+	}
+	if !opts.DisableExtraction {
+		h.extractor = extract.NewEngine(ner, extract.Rules()...)
+		var extractions []extract.Extraction
+		for _, s := range sources.Sources() {
+			if s.Kind() != store.KindText {
+				continue
+			}
+			for _, rec := range s.Records() {
+				extractions = append(extractions, h.extractor.ExtractDoc(rec.ID, rec.Text)...)
+			}
+		}
+		if err := extract.Merge(h.catalog, extractions); err != nil {
+			return nil, fmt.Errorf("core: hybrid extraction: %w", err)
+		}
+		h.ExtractCount = len(extractions)
+	}
+	return h, nil
+}
+
+// NewHybridFromState reconstructs a hybrid system from a previously
+// built graph index and catalog (see Graph/Catalog accessors and their
+// serializers) without re-ingesting sources. The recognizer must carry
+// the same gazetteer used at build time, or query anchoring degrades.
+func NewHybridFromState(g *graph.Graph, catalog *table.Catalog, ner *slm.NER, opts HybridOptions) *Hybrid {
+	if opts.EvidenceK <= 0 {
+		opts.EvidenceK = 8
+	}
+	if opts.EntropyM <= 0 {
+		opts.EntropyM = 5
+	}
+	h := &Hybrid{
+		ner:       ner,
+		graph:     g,
+		builder:   index.NewBuilder(ner, opts.Index),
+		catalog:   catalog,
+		gen:       slm.NewGenerator(),
+		clusterer: entropy.NewClusterer(slm.NewEmbedder(slm.DefaultEmbeddingDim)),
+		opts:      opts,
+		rng:       slm.NewRNG(opts.Seed),
+	}
+	if !opts.DisableExtraction {
+		h.extractor = extract.NewEngine(ner, extract.Rules()...)
+	}
+	h.retriever = retrieval.NewTopology(g, ner, opts.Topology)
+	h.IndexStats = index.Stats{
+		Nodes:     g.NodeCount(),
+		Edges:     g.EdgeCount(),
+		Entities:  len(g.NodesOfType(graph.NodeEntity)),
+		Chunks:    len(g.NodesOfType(graph.NodeChunk)),
+		Cues:      len(g.NodesOfType(graph.NodeCue)),
+		Rows:      len(g.NodesOfType(graph.NodeRow)),
+		Docs:      len(g.NodesOfType(graph.NodeDoc)),
+		SizeBytes: g.SizeBytes(),
+	}
+	return h
+}
+
+// WithCost attaches a cost model to the answer path. It returns h.
+func (h *Hybrid) WithCost(c *slm.CostModel) *Hybrid {
+	h.cost = c
+	h.gen.WithCost(c)
+	return h
+}
+
+// Name implements Pipeline.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Catalog exposes the combined catalog (native + extracted), used by
+// examples and the extraction-quality experiment.
+func (h *Hybrid) Catalog() *table.Catalog { return h.catalog }
+
+// Graph exposes the built index for inspection.
+func (h *Hybrid) Graph() *graph.Graph { return h.graph }
+
+// Retriever exposes the topology retriever for the retrieval
+// experiments.
+func (h *Hybrid) Retriever() *retrieval.Topology { return h.retriever }
+
+// Ingest indexes one new unstructured document into the live system:
+// the graph gains its chunks/entities/cues, extraction adds its rows
+// to the catalog, and the retriever's centrality prior refreshes. This
+// is the paper's "real-time data analytics" path — no rebuild.
+func (h *Hybrid) Ingest(source, id, text string) error {
+	rec := store.Record{ID: id, Source: source, Kind: store.KindText, Text: text}
+	stats, err := h.builder.IndexRecord(h.graph, rec)
+	if err != nil {
+		return fmt.Errorf("core: ingest %s: %w", id, err)
+	}
+	h.IndexStats.Docs++
+	h.IndexStats.Chunks += stats.Chunks
+	h.IndexStats.Cues += stats.Cues
+	h.IndexStats.Nodes = stats.Nodes
+	h.IndexStats.Edges = stats.Edges
+	h.IndexStats.Entities = stats.Entities
+	h.IndexStats.SizeBytes = stats.SizeBytes
+	if h.extractor != nil {
+		extractions := h.extractor.ExtractDoc(id, text)
+		if err := extract.Merge(h.catalog, extractions); err != nil {
+			return fmt.Errorf("core: ingest %s: %w", id, err)
+		}
+		h.ExtractCount += len(extractions)
+	}
+	h.retriever.Refresh()
+	return nil
+}
+
+// Triples exports the graph's cue layer as knowledge facts — the
+// "knowledge database construction" output.
+func (h *Hybrid) Triples() []index.Triple { return index.Triples(h.graph) }
+
+// Answer implements Pipeline: parse → bind → execute → synthesize,
+// with graph-retrieved evidence and a generative fallback when no
+// table can answer.
+func (h *Hybrid) Answer(question string) Answer {
+	start := time.Now()
+	ans := Answer{}
+
+	// Fork a per-call generator stream so concurrent Answers do not
+	// race on shared RNG state; the fork point is serialized, keeping
+	// single-threaded runs deterministic.
+	h.rngMu.Lock()
+	rng := h.rng.Fork()
+	h.rngMu.Unlock()
+
+	ans.Evidence = h.retriever.Retrieve(question, h.opts.EvidenceK)
+
+	var conflicts []slm.Candidate
+	q := semop.Parse(question, h.ner)
+	plan, err := semop.Bind(q, h.catalog)
+	if err == nil {
+		ans.Plan = plan.String()
+		res, execErr := semop.Exec(plan, h.catalog)
+		if execErr == nil {
+			text, synthErr := synthesize(plan, q, res)
+			if synthErr == nil {
+				ans.Text = text
+				conflicts = resultConflicts(plan, q, res)
+			} else {
+				err = synthErr
+			}
+		} else {
+			err = execErr
+		}
+	}
+	if ans.Text == "" {
+		// Generative fallback over retrieved evidence.
+		cands := slm.DeriveCandidates(question, retrieval.Texts(ans.Evidence), h.ner)
+		if len(cands) > 0 {
+			greedy := &slm.Generator{Temperature: 0}
+			ans.Text = greedy.Generate(cands, rng).Canonical
+		} else if err != nil {
+			ans.Err = err
+		} else {
+			ans.Err = fmt.Errorf("%w: %q", ErrNoAnswer, question)
+		}
+	}
+
+	ans.Uncertainty = assessUncertainty(ans.Text, conflicts, ans.Evidence, question,
+		h.ner, h.gen, h.clusterer, h.opts.EntropyM, rng)
+	ans.Latency = time.Since(start)
+	return ans
+}

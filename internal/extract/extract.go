@@ -1,0 +1,196 @@
+// Package extract implements SLM-driven Relational Table Generation
+// (paper Section III.C, task 1): converting free text like "Q2 sales
+// increased 20%" into typed relational rows ("Quarter | Metric |
+// Change"), which then feed the TableQA engine.
+//
+// Extraction is rule-driven over the simulated SLM's NER output: each
+// Rule matches a configuration of entity types and trigger verbs
+// within one sentence and emits a row for a target table. The Engine
+// runs all rules over all sentences and merges the rows into a
+// table.Catalog with induced schemas.
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/slm"
+	"repro/internal/table"
+)
+
+// Extraction is one extracted row before merging: the target table,
+// the cells by column name, and provenance.
+type Extraction struct {
+	Table  string
+	Cells  map[string]table.Value
+	DocID  string
+	Source string // sentence the row came from
+}
+
+// Rule matches one relational pattern in a tagged sentence.
+type Rule interface {
+	// Name identifies the rule for diagnostics.
+	Name() string
+	// Apply returns extractions found in the sentence. ents are the
+	// sentence's recognized entities in offset order.
+	Apply(docID, sentence string, ents []slm.Entity) []Extraction
+}
+
+// Engine runs rules over documents and accumulates typed tables.
+type Engine struct {
+	ner   *slm.NER
+	rules []Rule
+	cost  *slm.CostModel
+}
+
+// NewEngine returns an engine with the given recognizer and rules.
+// Pass Rules() for the built-in set.
+func NewEngine(ner *slm.NER, rules ...Rule) *Engine {
+	return &Engine{ner: ner, rules: rules}
+}
+
+// WithCost attaches a cost model accounting each sentence pass as one
+// simulated SLM call. It returns e.
+func (e *Engine) WithCost(c *slm.CostModel) *Engine {
+	e.cost = c
+	return e
+}
+
+// ExtractDoc runs every rule over every sentence of the document.
+func (e *Engine) ExtractDoc(docID, text string) []Extraction {
+	var out []Extraction
+	for _, sent := range slm.SplitSentences(text) {
+		ents := e.ner.Recognize(sent.Text)
+		if e.cost != nil {
+			e.cost.Record(slm.OpGenerate, len(slm.Tokenize(sent.Text)))
+		}
+		for _, r := range e.rules {
+			out = append(out, r.Apply(docID, sent.Text, ents)...)
+		}
+	}
+	return out
+}
+
+// Merge folds extractions into the catalog, creating tables with
+// induced schemas on first sight and appending rows thereafter. Rows
+// are deduplicated per table on their full cell content. Columns added
+// by later extractions extend the schema with NULL backfill.
+func Merge(c *table.Catalog, extractions []Extraction) error {
+	// Group by table, collect the union of columns per table.
+	byTable := make(map[string][]Extraction)
+	var order []string
+	for _, x := range extractions {
+		if _, ok := byTable[x.Table]; !ok {
+			order = append(order, x.Table)
+		}
+		byTable[x.Table] = append(byTable[x.Table], x)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		xs := byTable[name]
+		cols, types := unionColumns(xs)
+		tbl, err := c.Get(name)
+		if err != nil {
+			schema := make(table.Schema, len(cols))
+			for i, col := range cols {
+				schema[i] = table.Column{Name: col, Type: types[col]}
+			}
+			tbl = table.New(name, schema)
+			c.Put(tbl)
+		} else {
+			for _, col := range cols {
+				if tbl.Schema.ColIndex(col) < 0 {
+					tbl.Schema = append(tbl.Schema, table.Column{Name: col, Type: types[col]})
+					for i := range tbl.Rows {
+						tbl.Rows[i] = append(tbl.Rows[i], table.Null(types[col]))
+					}
+				}
+			}
+		}
+		seen := make(map[string]bool, tbl.Len())
+		for _, row := range tbl.Rows {
+			seen[rowKey(row)] = true
+		}
+		for _, x := range xs {
+			row := make([]table.Value, len(tbl.Schema))
+			for i, col := range tbl.Schema {
+				if v, ok := x.Cells[col.Name]; ok {
+					row[i] = coerce(v, col.Type)
+				} else {
+					row[i] = table.Null(col.Type)
+				}
+			}
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if err := tbl.Append(row); err != nil {
+				return fmt.Errorf("extract: merge into %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// unionColumns returns the sorted union of column names over the
+// extractions and the dominant type per column.
+func unionColumns(xs []Extraction) ([]string, map[string]table.ColType) {
+	types := make(map[string]table.ColType)
+	counts := make(map[string]map[table.ColType]int)
+	for _, x := range xs {
+		for col, v := range x.Cells {
+			if counts[col] == nil {
+				counts[col] = make(map[table.ColType]int)
+			}
+			counts[col][v.Kind()]++
+		}
+	}
+	cols := make([]string, 0, len(counts))
+	for col, byType := range counts {
+		cols = append(cols, col)
+		best, bestN := table.TypeString, -1
+		// Deterministic winner: highest count, then widest type wins
+		// ties via fixed preference order.
+		for _, t := range []table.ColType{table.TypeFloat, table.TypeInt, table.TypeDate, table.TypeBool, table.TypeString} {
+			if n := byType[t]; n > bestN {
+				best, bestN = t, n
+			}
+		}
+		// Mixed int/float columns widen to float.
+		if byType[table.TypeInt] > 0 && byType[table.TypeFloat] > 0 {
+			best = table.TypeFloat
+		}
+		types[col] = best
+	}
+	sort.Strings(cols)
+	return cols, types
+}
+
+func coerce(v table.Value, t table.ColType) table.Value {
+	if v.IsNull() || v.Kind() == t {
+		return v
+	}
+	switch {
+	case t == table.TypeFloat && v.Kind() == table.TypeInt:
+		return table.F(v.Float())
+	case t == table.TypeString:
+		return table.S(v.String())
+	default:
+		parsed, err := table.Parse(t, v.String())
+		if err != nil {
+			return table.Null(t)
+		}
+		return parsed
+	}
+}
+
+func rowKey(row []table.Value) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}

@@ -1,0 +1,255 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/slm"
+	"repro/internal/table"
+)
+
+func testNER() *slm.NER {
+	n := slm.NewNER()
+	n.AddGazetteer(slm.EntProduct, "Product Alpha", "Product Beta", "Widget Pro")
+	n.AddGazetteer(slm.EntDrug, "Drug A", "Drug B")
+	n.AddGazetteer(slm.EntSideEffect, "nausea", "fatigue", "headache", "dizziness")
+	return n
+}
+
+func testEngine() *Engine {
+	return NewEngine(testNER(), Rules()...)
+}
+
+func cellsOf(t *testing.T, xs []Extraction, tableName string) []map[string]table.Value {
+	t.Helper()
+	var out []map[string]table.Value
+	for _, x := range xs {
+		if x.Table == tableName {
+			out = append(out, x.Cells)
+		}
+	}
+	return out
+}
+
+func TestMetricChangeExtraction(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Q2 sales increased 20%.")
+	rows := cellsOf(t, xs, "metric_changes")
+	if len(rows) != 1 {
+		t.Fatalf("extractions = %v", xs)
+	}
+	c := rows[0]
+	if c["quarter"].Str() != "Q2" || c["metric"].Str() != "sales" ||
+		c["direction"].Str() != "up" || c["change_pct"].Float() != 20 {
+		t.Errorf("cells = %v", c)
+	}
+}
+
+func TestMetricChangeDown(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Customer satisfaction fell 12% in Q3.")
+	rows := cellsOf(t, xs, "metric_changes")
+	if len(rows) != 1 {
+		t.Fatalf("extractions = %v", xs)
+	}
+	if rows[0]["direction"].Str() != "down" || rows[0]["metric"].Str() != "satisfaction" {
+		t.Errorf("cells = %v", rows[0])
+	}
+}
+
+func TestMetricChangeRequiresPercent(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Sales increased dramatically in Q2.")
+	if rows := cellsOf(t, xs, "metric_changes"); len(rows) != 0 {
+		t.Errorf("should not extract without a percent: %v", rows)
+	}
+}
+
+func TestProductSalesExtraction(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Product Alpha sold 42 units in Q2.")
+	rows := cellsOf(t, xs, "product_sales")
+	if len(rows) != 1 {
+		t.Fatalf("extractions = %v", xs)
+	}
+	c := rows[0]
+	if c["product"].Str() != "Product Alpha" || c["units"].Int() != 42 || c["quarter"].Str() != "Q2" {
+		t.Errorf("cells = %v", c)
+	}
+}
+
+func TestRevenueExtraction(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Revenue reached $2.5 million in Q3.")
+	rows := cellsOf(t, xs, "revenues")
+	if len(rows) != 1 {
+		t.Fatalf("extractions = %v", xs)
+	}
+	if rows[0]["amount_usd"].Float() != 2.5e6 || rows[0]["quarter"].Str() != "Q3" {
+		t.Errorf("cells = %v", rows[0])
+	}
+}
+
+func TestRatingExtraction(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Product Beta was rated 4.5 stars by reviewers.")
+	rows := cellsOf(t, xs, "ratings")
+	if len(rows) != 1 {
+		t.Fatalf("extractions = %v", xs)
+	}
+	if rows[0]["product"].Str() != "Product Beta" || rows[0]["stars"].Float() != 4.5 {
+		t.Errorf("cells = %v", rows[0])
+	}
+}
+
+func TestTreatmentExtraction(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Patient P-12 received Drug A on 2024-05-01.")
+	rows := cellsOf(t, xs, "treatments")
+	if len(rows) != 1 {
+		t.Fatalf("extractions = %v", xs)
+	}
+	c := rows[0]
+	if c["patient"].Str() != "P-12" || c["drug"].Str() != "Drug A" || c["date"].Str() != "2024-05-01" {
+		t.Errorf("cells = %v", c)
+	}
+}
+
+func TestSideEffectMultiple(t *testing.T) {
+	xs := testEngine().ExtractDoc("d1", "Patient P-12 reported nausea and fatigue after Drug A.")
+	rows := cellsOf(t, xs, "side_effects")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	effects := map[string]bool{}
+	for _, r := range rows {
+		effects[r["effect"].Str()] = true
+		if r["patient"].Str() != "P-12" || r["drug"].Str() != "Drug A" {
+			t.Errorf("cells = %v", r)
+		}
+	}
+	if !effects["nausea"] || !effects["fatigue"] {
+		t.Errorf("effects = %v", effects)
+	}
+}
+
+func TestMultiSentenceDoc(t *testing.T) {
+	doc := "Q1 revenue grew 5%. Product Alpha sold 10 units in Q1. Patient P-1 received Drug B on 2024-01-02."
+	xs := testEngine().ExtractDoc("d", doc)
+	tables := map[string]bool{}
+	for _, x := range xs {
+		tables[x.Table] = true
+	}
+	for _, want := range []string{"metric_changes", "product_sales", "treatments"} {
+		if !tables[want] {
+			t.Errorf("missing table %s in %v", want, tables)
+		}
+	}
+}
+
+func TestNoFalsePositivesOnPlainText(t *testing.T) {
+	xs := testEngine().ExtractDoc("d", "The weather was pleasant. Nothing else happened today.")
+	if len(xs) != 0 {
+		t.Errorf("spurious extractions: %v", xs)
+	}
+}
+
+func TestMergeCreatesTables(t *testing.T) {
+	c := table.NewCatalog()
+	xs := testEngine().ExtractDoc("d", "Q2 sales increased 20%. Q3 sales decreased 5%.")
+	if err := Merge(c, xs); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := c.Get("metric_changes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("rows = %d", tbl.Len())
+	}
+	if tbl.Schema.ColIndex("change_pct") < 0 {
+		t.Errorf("schema = %v", tbl.Schema.Names())
+	}
+}
+
+func TestMergeDeduplicates(t *testing.T) {
+	c := table.NewCatalog()
+	xs := testEngine().ExtractDoc("d", "Q2 sales increased 20%.")
+	xs = append(xs, xs...) // duplicate
+	if err := Merge(c, xs); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := c.Get("metric_changes")
+	if tbl.Len() != 1 {
+		t.Errorf("dedup failed: %d rows", tbl.Len())
+	}
+	// Second merge of the same extraction is also a no-op.
+	if err := Merge(c, xs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("re-merge duplicated: %d rows", tbl.Len())
+	}
+}
+
+func TestMergeSchemaExtension(t *testing.T) {
+	c := table.NewCatalog()
+	// First extraction without quarter column.
+	x1 := Extraction{Table: "t", Cells: map[string]table.Value{"a": table.S("x")}}
+	if err := Merge(c, []Extraction{x1}); err != nil {
+		t.Fatal(err)
+	}
+	// Second with a new column.
+	x2 := Extraction{Table: "t", Cells: map[string]table.Value{"a": table.S("y"), "b": table.I(1)}}
+	if err := Merge(c, []Extraction{x2}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := c.Get("t")
+	if tbl.Schema.ColIndex("b") < 0 {
+		t.Fatalf("schema not extended: %v", tbl.Schema.Names())
+	}
+	if !tbl.Rows[0][tbl.Schema.ColIndex("b")].IsNull() {
+		t.Error("backfill should be NULL")
+	}
+}
+
+func TestMergeMixedNumericWidensToFloat(t *testing.T) {
+	c := table.NewCatalog()
+	xs := []Extraction{
+		{Table: "m", Cells: map[string]table.Value{"v": table.I(1)}},
+		{Table: "m", Cells: map[string]table.Value{"v": table.F(2.5)}},
+	}
+	if err := Merge(c, xs); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := c.Get("m")
+	if tbl.Schema[0].Type != table.TypeFloat {
+		t.Errorf("type = %v", tbl.Schema[0].Type)
+	}
+}
+
+func TestParseMoney(t *testing.T) {
+	tests := map[string]float64{
+		"$2.5 million": 2.5e6,
+		"$1,200":       1200,
+		"900 dollars":  900,
+		"$3 billion":   3e9,
+		"garbage":      0,
+	}
+	for in, want := range tests {
+		if got := parseMoney(in); got != want {
+			t.Errorf("parseMoney(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestEngineCostAccounting(t *testing.T) {
+	cost := slm.NewCostModel(slm.SLMProfile())
+	e := NewEngine(testNER(), Rules()...).WithCost(cost)
+	e.ExtractDoc("d", "One sentence. Two sentences.")
+	if cost.Calls(slm.OpGenerate) != 2 {
+		t.Errorf("calls = %d, want 2", cost.Calls(slm.OpGenerate))
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if r.Name() == "" || seen[r.Name()] {
+			t.Errorf("bad rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+}

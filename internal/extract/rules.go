@@ -1,0 +1,331 @@
+package extract
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/slm"
+	"repro/internal/table"
+)
+
+// Rules returns the built-in rule set covering the paper's running
+// examples: business metric changes, product sales, revenues, ratings,
+// clinical treatments and patient-reported side effects.
+func Rules() []Rule {
+	return []Rule{
+		MetricChangeRule{},
+		ProductSalesRule{},
+		RevenueRule{},
+		RatingRule{},
+		TreatmentRule{},
+		SideEffectRule{},
+	}
+}
+
+// verbDirection maps trigger verbs to a change direction.
+var verbDirection = map[string]string{
+	"increased": "up", "rose": "up", "grew": "up", "climbed": "up",
+	"improved": "up", "gained": "up",
+	"decreased": "down", "fell": "down", "dropped": "down",
+	"declined": "down", "worsened": "down", "lost": "down",
+}
+
+// metricWords are the business metrics the change rule recognizes.
+var metricWords = map[string]string{
+	"sales": "sales", "revenue": "revenue", "satisfaction": "satisfaction",
+	"returns": "returns", "orders": "orders", "enrollment": "enrollment",
+	"traffic": "traffic", "margin": "margin",
+}
+
+// MetricChangeRule extracts "Q2 sales increased 20%" style sentences
+// into metric_changes(quarter, metric, direction, change_pct) — the
+// paper's own worked example of Relational Table Generation.
+type MetricChangeRule struct{}
+
+// Name implements Rule.
+func (MetricChangeRule) Name() string { return "metric_change" }
+
+// Apply implements Rule.
+func (MetricChangeRule) Apply(docID, sentence string, ents []slm.Entity) []Extraction {
+	words := lowerWords(sentence)
+	var metric, direction string
+	for _, w := range words {
+		if m, ok := metricWords[w]; ok && metric == "" {
+			metric = m
+		}
+		if d, ok := verbDirection[w]; ok && direction == "" {
+			direction = d
+		}
+	}
+	if metric == "" || direction == "" {
+		return nil
+	}
+	pct, pctOK := firstEntity(ents, slm.EntPercent)
+	if !pctOK {
+		return nil
+	}
+	// change_pct is signed: "decreased 12%" stores -12, so threshold
+	// queries ("increase of more than 15%") filter correctly.
+	change := parsePercent(pct.Canonical)
+	if direction == "down" {
+		change = -change
+	}
+	cells := map[string]table.Value{
+		"metric":     table.S(metric),
+		"direction":  table.S(direction),
+		"change_pct": table.F(change),
+	}
+	if q, ok := firstEntity(ents, slm.EntQuarter); ok {
+		cells["quarter"] = table.S(normalizeQuarter(q.Canonical))
+	}
+	if p, ok := firstEntity(ents, slm.EntProduct); ok {
+		cells["product"] = table.S(titleCase(p.Canonical))
+	}
+	return []Extraction{{Table: "metric_changes", Cells: cells, DocID: docID, Source: sentence}}
+}
+
+// ProductSalesRule extracts "Product Alpha sold 42 units in Q2" into
+// product_sales(product, units, quarter).
+type ProductSalesRule struct{}
+
+// Name implements Rule.
+func (ProductSalesRule) Name() string { return "product_sales" }
+
+// Apply implements Rule.
+func (ProductSalesRule) Apply(docID, sentence string, ents []slm.Entity) []Extraction {
+	if !containsAny(sentence, "sold", "shipped", "moved") {
+		return nil
+	}
+	prod, ok := firstEntity(ents, slm.EntProduct)
+	if !ok {
+		return nil
+	}
+	qty, ok := firstEntity(ents, slm.EntQuantity)
+	if !ok {
+		return nil
+	}
+	cells := map[string]table.Value{
+		"product": table.S(titleCase(prod.Canonical)),
+		"units":   table.I(parseLeadingInt(qty.Canonical)),
+	}
+	if q, ok := firstEntity(ents, slm.EntQuarter); ok {
+		cells["quarter"] = table.S(normalizeQuarter(q.Canonical))
+	}
+	return []Extraction{{Table: "product_sales", Cells: cells, DocID: docID, Source: sentence}}
+}
+
+// RevenueRule extracts "Revenue reached $2.5 million in Q3" into
+// revenues(quarter, amount_usd).
+type RevenueRule struct{}
+
+// Name implements Rule.
+func (RevenueRule) Name() string { return "revenue" }
+
+// Apply implements Rule.
+func (RevenueRule) Apply(docID, sentence string, ents []slm.Entity) []Extraction {
+	if !containsAny(sentence, "revenue", "sales") ||
+		!containsAny(sentence, "reached", "totaled", "totalled", "recorded", "hit", "was") {
+		return nil
+	}
+	money, ok := firstEntity(ents, slm.EntMoney)
+	if !ok {
+		return nil
+	}
+	cells := map[string]table.Value{
+		"amount_usd": table.F(parseMoney(money.Text)),
+	}
+	if q, ok := firstEntity(ents, slm.EntQuarter); ok {
+		cells["quarter"] = table.S(normalizeQuarter(q.Canonical))
+	}
+	if p, ok := firstEntity(ents, slm.EntProduct); ok {
+		cells["product"] = table.S(titleCase(p.Canonical))
+	}
+	return []Extraction{{Table: "revenues", Cells: cells, DocID: docID, Source: sentence}}
+}
+
+// RatingRule extracts "Product Alpha was rated 4.5 stars" into
+// ratings(product, stars).
+type RatingRule struct{}
+
+// Name implements Rule.
+func (RatingRule) Name() string { return "rating" }
+
+// Apply implements Rule.
+func (RatingRule) Apply(docID, sentence string, ents []slm.Entity) []Extraction {
+	rating, ok := firstEntity(ents, slm.EntRating)
+	if !ok {
+		return nil
+	}
+	prod, ok := firstEntity(ents, slm.EntProduct)
+	if !ok {
+		// Fall back to a proper-noun subject.
+		if prod, ok = firstEntity(ents, slm.EntMisc); !ok {
+			return nil
+		}
+	}
+	stars, err := strconv.ParseFloat(rating.Canonical, 64)
+	if err != nil {
+		return nil
+	}
+	cells := map[string]table.Value{
+		"product": table.S(titleCase(prod.Canonical)),
+		"stars":   table.F(stars),
+	}
+	// Keep the reviewer id when present: distinct reviews awarding the
+	// same stars must stay distinct rows, or averages skew.
+	if reviewer, ok := firstEntity(ents, slm.EntID); ok {
+		cells["reviewer"] = table.S(strings.ToUpper(reviewer.Canonical))
+	}
+	return []Extraction{{
+		Table:  "ratings",
+		Cells:  cells,
+		DocID:  docID,
+		Source: sentence,
+	}}
+}
+
+// TreatmentRule extracts "Patient P-12 received Drug A on 2024-05-01"
+// into treatments(patient, drug, date) — the paper's healthcare edge
+// example ("Patient X received Drug Y on Date Z").
+type TreatmentRule struct{}
+
+// Name implements Rule.
+func (TreatmentRule) Name() string { return "treatment" }
+
+// Apply implements Rule.
+func (TreatmentRule) Apply(docID, sentence string, ents []slm.Entity) []Extraction {
+	if !containsAny(sentence, "received", "prescribed", "administered", "took", "given") {
+		return nil
+	}
+	patient, ok := firstEntity(ents, slm.EntID)
+	if !ok {
+		return nil
+	}
+	drug, ok := firstEntity(ents, slm.EntDrug)
+	if !ok {
+		return nil
+	}
+	cells := map[string]table.Value{
+		"patient": table.S(strings.ToUpper(patient.Canonical)),
+		"drug":    table.S(titleCase(drug.Canonical)),
+	}
+	if d, ok := firstEntity(ents, slm.EntDate); ok {
+		cells["date"] = table.D(d.Canonical)
+	}
+	return []Extraction{{Table: "treatments", Cells: cells, DocID: docID, Source: sentence}}
+}
+
+// SideEffectRule extracts "Patient P-12 reported nausea and fatigue"
+// into side_effects(patient, effect), one row per effect.
+type SideEffectRule struct{}
+
+// Name implements Rule.
+func (SideEffectRule) Name() string { return "side_effect" }
+
+// Apply implements Rule.
+func (SideEffectRule) Apply(docID, sentence string, ents []slm.Entity) []Extraction {
+	if !containsAny(sentence, "reported", "experienced", "developed", "complained") {
+		return nil
+	}
+	var out []Extraction
+	patient, hasPatient := firstEntity(ents, slm.EntID)
+	drug, hasDrug := firstEntity(ents, slm.EntDrug)
+	for _, e := range ents {
+		if e.Type != slm.EntSideEffect {
+			continue
+		}
+		cells := map[string]table.Value{"effect": table.S(e.Canonical)}
+		if hasPatient {
+			cells["patient"] = table.S(strings.ToUpper(patient.Canonical))
+		}
+		if hasDrug {
+			cells["drug"] = table.S(titleCase(drug.Canonical))
+		}
+		out = append(out, Extraction{Table: "side_effects", Cells: cells, DocID: docID, Source: sentence})
+	}
+	return out
+}
+
+// --- helpers ---
+
+func firstEntity(ents []slm.Entity, t slm.EntityType) (slm.Entity, bool) {
+	for _, e := range ents {
+		if e.Type == t {
+			return e, true
+		}
+	}
+	return slm.Entity{}, false
+}
+
+func lowerWords(s string) []string {
+	return slm.Words(slm.Tokenize(s))
+}
+
+func containsAny(sentence string, words ...string) bool {
+	lower := strings.ToLower(sentence)
+	for _, w := range words {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func parsePercent(canonical string) float64 {
+	f, err := strconv.ParseFloat(strings.TrimSuffix(canonical, "%"), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+func parseLeadingInt(s string) int64 {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(strings.ReplaceAll(fields[0], ",", ""), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// parseMoney converts "$2.5 million" / "$1,200" / "900 dollars" to a
+// plain USD amount.
+func parseMoney(s string) float64 {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.Contains(s, "billion") || strings.HasSuffix(s, "bn"):
+		mult = 1e9
+	case strings.Contains(s, "million") || strings.HasSuffix(s, " m"):
+		mult = 1e6
+	case strings.Contains(s, "thousand") || strings.HasSuffix(s, " k"):
+		mult = 1e3
+	}
+	num := strings.NewReplacer("$", "", ",", "", "million", "", "billion", "", "thousand", "", "dollars", "", "dollar", "", "usd", "").Replace(s)
+	f, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil {
+		return 0
+	}
+	return f * mult
+}
+
+func normalizeQuarter(canonical string) string {
+	fields := strings.Fields(canonical)
+	if len(fields) == 0 {
+		return canonical
+	}
+	return strings.ToUpper(fields[0])
+}
+
+func titleCase(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if len(f) > 0 {
+			fields[i] = strings.ToUpper(f[:1]) + f[1:]
+		}
+	}
+	return strings.Join(fields, " ")
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// DegreeCentrality returns normalized out-degree per node: degree
+// divided by (n-1). For n <= 1 all values are 0.
+func (g *Graph) DegreeCentrality() map[string]float64 {
+	n := len(g.nodes)
+	out := make(map[string]float64, n)
+	if n <= 1 {
+		for id := range g.nodes {
+			out[id] = 0
+		}
+		return out
+	}
+	denom := float64(n - 1)
+	for id := range g.nodes {
+		out[id] = float64(len(g.out[id])) / denom
+	}
+	return out
+}
+
+// PageRankOptions configures PageRank.
+type PageRankOptions struct {
+	Damping    float64 // typically 0.85
+	Iterations int     // fixed iteration cap
+	Tolerance  float64 // early-exit L1 threshold
+}
+
+// DefaultPageRankOptions returns the standard setting.
+func DefaultPageRankOptions() PageRankOptions {
+	return PageRankOptions{Damping: 0.85, Iterations: 40, Tolerance: 1e-8}
+}
+
+// PageRank computes weighted PageRank over the directed graph. Edge
+// weights bias the random walk; dangling mass is redistributed
+// uniformly. Scores sum to 1 over all nodes. This is the "centrality
+// measure[] to identify influential nodes" of Section III.B.
+func (g *Graph) PageRank(opts PageRankOptions) map[string]float64 {
+	n := len(g.nodes)
+	ranks := make(map[string]float64, n)
+	if n == 0 {
+		return ranks
+	}
+	if opts.Damping <= 0 || opts.Damping >= 1 {
+		opts.Damping = 0.85
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 40
+	}
+	ids := g.NodeIDs()
+	init := 1.0 / float64(n)
+	for _, id := range ids {
+		ranks[id] = init
+	}
+	// Precompute total outgoing weight per node.
+	outWeight := make(map[string]float64, n)
+	for id, es := range g.out {
+		var w float64
+		for _, e := range es {
+			w += e.Weight
+		}
+		outWeight[id] = w
+	}
+	next := make(map[string]float64, n)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		var dangling float64
+		for _, id := range ids {
+			if outWeight[id] == 0 {
+				dangling += ranks[id]
+			}
+			next[id] = 0
+		}
+		for _, id := range ids {
+			w := outWeight[id]
+			if w == 0 {
+				continue
+			}
+			share := ranks[id] / w
+			for _, e := range g.out[id] {
+				next[e.To] += share * e.Weight
+			}
+		}
+		base := (1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n)
+		var delta float64
+		for _, id := range ids {
+			v := base + opts.Damping*next[id]
+			delta += math.Abs(v - ranks[id])
+			ranks[id] = v
+		}
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+	return ranks
+}
+
+// ClosenessSample estimates closeness centrality by running BFS from a
+// deterministic sample of k source nodes. Exact closeness is O(V·E);
+// the sampled estimate is enough for traversal priors on large graphs.
+func (g *Graph) ClosenessSample(k int) map[string]float64 {
+	ids := g.NodeIDs()
+	n := len(ids)
+	out := make(map[string]float64, n)
+	if n == 0 {
+		return out
+	}
+	if k <= 0 || k > n {
+		k = n
+	}
+	stride := n / k
+	if stride == 0 {
+		stride = 1
+	}
+	sumDist := make(map[string]float64, n)
+	reached := make(map[string]int, n)
+	for i := 0; i < n; i += stride {
+		src := ids[i]
+		for _, v := range g.BFS([]string{src}, n) {
+			sumDist[v.ID] += float64(v.Depth)
+			reached[v.ID]++
+		}
+	}
+	for _, id := range ids {
+		if reached[id] == 0 || sumDist[id] == 0 {
+			out[id] = 0
+			continue
+		}
+		out[id] = float64(reached[id]) / sumDist[id]
+	}
+	return out
+}
+
+// TopK returns the k highest-scoring ids from a score map, ties broken
+// by id for determinism.
+func TopK(scores map[string]float64, k int) []string {
+	ids := make([]string, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] > scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}

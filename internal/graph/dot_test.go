@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := chainGraph(t)
+	s := g.DOTString(0)
+	if !strings.HasPrefix(s, "digraph unisem {") || !strings.HasSuffix(strings.TrimSpace(s), "}") {
+		t.Errorf("dot frame:\n%s", s)
+	}
+	for _, want := range []string{`"a" [shape=box`, `"a" -> "b"`, "label=\"next\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dot missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteDOTCapped(t *testing.T) {
+	g := chainGraph(t)
+	s := g.DOTString(2)
+	// Only two node declarations and no edges to excluded nodes.
+	if strings.Count(s, "shape=") != 2 {
+		t.Errorf("cap ignored:\n%s", s)
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := chainGraph(t)
+	if g.DOTString(0) != g.DOTString(0) {
+		t.Error("dot not deterministic")
+	}
+}
+
+func TestWriteDOTTruncatesLabels(t *testing.T) {
+	g := New()
+	g.AddNode(Node{ID: "x", Type: NodeChunk, Label: strings.Repeat("w", 100)})
+	if !strings.Contains(g.DOTString(0), "…") {
+		t.Error("long label not truncated")
+	}
+}

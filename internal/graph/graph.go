@@ -1,0 +1,229 @@
+// Package graph implements the semantic-aware heterogeneous graph index
+// of paper Section III.A: a single topological structure whose nodes
+// are text chunks, named entities, relational cues, and structured
+// records, and whose typed weighted edges encode relationships such as
+// "Patient X received Drug Y on Date Z".
+//
+// The graph is the system's index: retrieval is sparse, topology-guided
+// traversal over it (Section III.B) instead of dense vector search.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeType classifies a heterogeneous graph node.
+type NodeType string
+
+// Node types in the unified index.
+const (
+	NodeChunk  NodeType = "chunk"  // raw document segment
+	NodeEntity NodeType = "entity" // named entity (canonical)
+	NodeCue    NodeType = "cue"    // inferred relational cue
+	NodeRow    NodeType = "row"    // structured table row
+	NodeTable  NodeType = "table"  // table schema node
+	NodeDoc    NodeType = "doc"    // source document
+	NodeValue  NodeType = "value"  // semi-structured field value
+)
+
+// EdgeType classifies a relationship between nodes.
+type EdgeType string
+
+// Edge types in the unified index.
+const (
+	EdgeMentions EdgeType = "mentions" // chunk -> entity
+	EdgeRelates  EdgeType = "relates"  // entity <-> entity via a cue
+	EdgeCueArg   EdgeType = "cue_arg"  // cue -> entity argument
+	EdgeCueIn    EdgeType = "cue_in"   // cue -> supporting chunk
+	EdgeNextTo   EdgeType = "next"     // chunk -> following chunk
+	EdgePartOf   EdgeType = "part_of"  // chunk -> doc, row -> table
+	EdgeHasValue EdgeType = "value"    // row -> value node
+	EdgeSameAs   EdgeType = "same_as"  // cross-modal identity link
+)
+
+// Node is a graph vertex. Attrs carries type-specific payload (e.g. a
+// chunk's text, an entity's type, a row's table and index).
+type Node struct {
+	ID    string            `json:"id"`
+	Type  NodeType          `json:"type"`
+	Label string            `json:"label"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Edge is a typed, weighted, directed connection. Undirected semantics
+// are represented by a reverse twin edge (see AddUndirected).
+type Edge struct {
+	From   string   `json:"from"`
+	To     string   `json:"to"`
+	Type   EdgeType `json:"type"`
+	Weight float64  `json:"weight"`
+}
+
+// Sentinel errors returned by graph operations.
+var (
+	ErrNodeExists   = errors.New("graph: node already exists")
+	ErrNodeNotFound = errors.New("graph: node not found")
+	ErrBadEdge      = errors.New("graph: edge endpoint missing")
+)
+
+// Graph is an in-memory heterogeneous property graph. It is not safe
+// for concurrent mutation; build once, then read from any goroutine.
+type Graph struct {
+	nodes map[string]*Node
+	out   map[string][]Edge // adjacency by source
+	in    map[string][]Edge // reverse adjacency by target
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		out:   make(map[string][]Edge),
+		in:    make(map[string][]Edge),
+	}
+}
+
+// AddNode inserts a node. It returns ErrNodeExists if the id is taken.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("graph: empty node id: %w", ErrNodeNotFound)
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrNodeExists, n.ID)
+	}
+	g.nodes[n.ID] = &n
+	return nil
+}
+
+// EnsureNode inserts the node if absent and returns the stored node.
+// Existing nodes are returned unchanged (first write wins), which is
+// the behaviour the index builder needs for entity unification.
+func (g *Graph) EnsureNode(n Node) *Node {
+	if existing, ok := g.nodes[n.ID]; ok {
+		return existing
+	}
+	g.nodes[n.ID] = &n
+	return &n
+}
+
+// Node returns the node with id, or nil if absent.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id string) bool { _, ok := g.nodes[id]; return ok }
+
+// AddEdge inserts a directed edge. Both endpoints must exist.
+func (g *Graph) AddEdge(e Edge) error {
+	if !g.HasNode(e.From) || !g.HasNode(e.To) {
+		return fmt.Errorf("%w: %s -> %s", ErrBadEdge, e.From, e.To)
+	}
+	if e.Weight == 0 {
+		e.Weight = 1
+	}
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To] = append(g.in[e.To], e)
+	g.edges++
+	return nil
+}
+
+// AddUndirected inserts the edge and its reverse twin.
+func (g *Graph) AddUndirected(e Edge) error {
+	if err := g.AddEdge(e); err != nil {
+		return err
+	}
+	rev := Edge{From: e.To, To: e.From, Type: e.Type, Weight: e.Weight}
+	return g.AddEdge(rev)
+}
+
+// Out returns the outgoing edges of id (shared slice; do not mutate).
+func (g *Graph) Out(id string) []Edge { return g.out[id] }
+
+// In returns the incoming edges of id (shared slice; do not mutate).
+func (g *Graph) In(id string) []Edge { return g.in[id] }
+
+// Neighbors returns the distinct node ids reachable over one outgoing
+// edge, optionally filtered to the given edge types (nil = all).
+func (g *Graph) Neighbors(id string, types ...EdgeType) []string {
+	var filter map[EdgeType]bool
+	if len(types) > 0 {
+		filter = make(map[EdgeType]bool, len(types))
+		for _, t := range types {
+			filter[t] = true
+		}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range g.out[id] {
+		if filter != nil && !filter[e.Type] {
+			continue
+		}
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the out-degree of id.
+func (g *Graph) Degree(id string) int { return len(g.out[id]) }
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of directed edges (an undirected edge
+// counts twice).
+func (g *Graph) EdgeCount() int { return g.edges }
+
+// NodeIDs returns all node ids in sorted order.
+func (g *Graph) NodeIDs() []string {
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NodesOfType returns all nodes of the given type, sorted by id.
+func (g *Graph) NodesOfType(t NodeType) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if n.Type == t {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountByType returns node counts per type, for index statistics.
+func (g *Graph) CountByType() map[NodeType]int {
+	m := make(map[NodeType]int)
+	for _, n := range g.nodes {
+		m[n.Type]++
+	}
+	return m
+}
+
+// SizeBytes estimates the resident size of the index: node labels and
+// attrs plus edge records. Used by experiment E1 (index size).
+func (g *Graph) SizeBytes() int64 {
+	var b int64
+	for _, n := range g.nodes {
+		b += int64(len(n.ID) + len(n.Label) + 16)
+		for k, v := range n.Attrs {
+			b += int64(len(k) + len(v) + 16)
+		}
+	}
+	for _, es := range g.out {
+		for _, e := range es {
+			b += int64(len(e.From) + len(e.To) + len(e.Type) + 8)
+		}
+	}
+	return b
+}

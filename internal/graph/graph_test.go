@@ -1,0 +1,407 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// chainGraph builds a -> b -> c -> d with an entity hub linked to all.
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d", "hub"} {
+		if err := g.AddNode(Node{ID: id, Type: NodeChunk, Label: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		if err := g.AddEdge(Edge{From: pair[0], To: pair[1], Type: EdgeNextTo}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := g.AddUndirected(Edge{From: "hub", To: id, Type: EdgeMentions}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	if err := g.AddNode(Node{ID: "x", Type: NodeChunk}); err != nil {
+		t.Fatal(err)
+	}
+	err := g.AddNode(Node{ID: "x", Type: NodeEntity})
+	if !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate add: %v", err)
+	}
+}
+
+func TestAddNodeEmptyID(t *testing.T) {
+	if err := New().AddNode(Node{}); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestAddEdgeMissingEndpoint(t *testing.T) {
+	g := New()
+	g.AddNode(Node{ID: "x", Type: NodeChunk})
+	err := g.AddEdge(Edge{From: "x", To: "missing", Type: EdgeNextTo})
+	if !errors.Is(err, ErrBadEdge) {
+		t.Errorf("missing endpoint: %v", err)
+	}
+}
+
+func TestEnsureNodeFirstWriteWins(t *testing.T) {
+	g := New()
+	g.EnsureNode(Node{ID: "e", Type: NodeEntity, Label: "first"})
+	n := g.EnsureNode(Node{ID: "e", Type: NodeEntity, Label: "second"})
+	if n.Label != "first" {
+		t.Errorf("label = %q, want first", n.Label)
+	}
+}
+
+func TestDefaultEdgeWeight(t *testing.T) {
+	g := New()
+	g.AddNode(Node{ID: "a", Type: NodeChunk})
+	g.AddNode(Node{ID: "b", Type: NodeChunk})
+	g.AddEdge(Edge{From: "a", To: "b", Type: EdgeNextTo})
+	if w := g.Out("a")[0].Weight; w != 1 {
+		t.Errorf("default weight = %v", w)
+	}
+}
+
+func TestNeighborsFiltered(t *testing.T) {
+	g := chainGraph(t)
+	all := g.Neighbors("hub")
+	if len(all) != 4 {
+		t.Errorf("hub neighbors = %v", all)
+	}
+	next := g.Neighbors("a", EdgeNextTo)
+	if len(next) != 1 || next[0] != "b" {
+		t.Errorf("filtered = %v", next)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := chainGraph(t)
+	if g.NodeCount() != 5 {
+		t.Errorf("nodes = %d", g.NodeCount())
+	}
+	if g.EdgeCount() != 3+8 {
+		t.Errorf("edges = %d", g.EdgeCount())
+	}
+	byType := g.CountByType()
+	if byType[NodeChunk] != 5 {
+		t.Errorf("byType = %v", byType)
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := chainGraph(t)
+	visits := g.BFS([]string{"a"}, 2, EdgeNextTo)
+	want := map[string]int{"a": 0, "b": 1, "c": 2}
+	if len(visits) != len(want) {
+		t.Fatalf("visits = %v", visits)
+	}
+	for _, v := range visits {
+		if want[v.ID] != v.Depth {
+			t.Errorf("%s at depth %d, want %d", v.ID, v.Depth, want[v.ID])
+		}
+	}
+}
+
+func TestBFSUnknownAnchor(t *testing.T) {
+	g := chainGraph(t)
+	if got := g.BFS([]string{"nope"}, 3); len(got) != 0 {
+		t.Errorf("unknown anchor: %v", got)
+	}
+}
+
+func TestBFSVisitOnceProperty(t *testing.T) {
+	// Random small graphs: BFS never reports a node twice and depths
+	// are within the limit.
+	f := func(edges []uint8, maxDepth uint8) bool {
+		g := New()
+		const n = 10
+		for i := 0; i < n; i++ {
+			g.AddNode(Node{ID: fmt.Sprintf("n%d", i), Type: NodeChunk})
+		}
+		for i := 0; i+1 < len(edges); i += 2 {
+			from := fmt.Sprintf("n%d", int(edges[i])%n)
+			to := fmt.Sprintf("n%d", int(edges[i+1])%n)
+			if from != to {
+				g.AddEdge(Edge{From: from, To: to, Type: EdgeNextTo})
+			}
+		}
+		d := int(maxDepth % 5)
+		visits := g.BFS([]string{"n0"}, d)
+		seen := map[string]bool{}
+		for _, v := range visits {
+			if seen[v.ID] || v.Depth > d {
+				return false
+			}
+			seen[v.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedExpandPrefersStrongEdges(t *testing.T) {
+	g := New()
+	for _, id := range []string{"q", "strong", "weak"} {
+		g.AddNode(Node{ID: id, Type: NodeChunk})
+	}
+	g.AddEdge(Edge{From: "q", To: "strong", Type: EdgeMentions, Weight: 1.0})
+	g.AddEdge(Edge{From: "q", To: "weak", Type: EdgeMentions, Weight: 0.1})
+	visits := g.WeightedExpand([]string{"q"}, ExpandOptions{MaxDepth: 1})
+	if visits[0].ID != "q" || visits[1].ID != "strong" || visits[2].ID != "weak" {
+		t.Errorf("order = %v", visits)
+	}
+}
+
+func TestWeightedExpandBudget(t *testing.T) {
+	g := chainGraph(t)
+	visits := g.WeightedExpand([]string{"hub"}, ExpandOptions{MaxDepth: 3, Budget: 2})
+	if len(visits) != 2 {
+		t.Errorf("budgeted visits = %v", visits)
+	}
+}
+
+func TestWeightedExpandEdgeTypeGate(t *testing.T) {
+	g := chainGraph(t)
+	visits := g.WeightedExpand([]string{"a"}, ExpandOptions{
+		MaxDepth:  3,
+		EdgeTypes: map[EdgeType]float64{EdgeNextTo: 1},
+	})
+	for _, v := range visits {
+		if v.ID == "hub" {
+			t.Error("gated edge type was traversed")
+		}
+	}
+}
+
+func TestWeightedExpandNodePrior(t *testing.T) {
+	g := New()
+	for _, id := range []string{"q", "x", "y"} {
+		g.AddNode(Node{ID: id, Type: NodeChunk})
+	}
+	g.AddEdge(Edge{From: "q", To: "x", Type: EdgeMentions})
+	g.AddEdge(Edge{From: "q", To: "y", Type: EdgeMentions})
+	visits := g.WeightedExpand([]string{"q"}, ExpandOptions{
+		MaxDepth: 1,
+		NodeWeight: func(n *Node) float64 {
+			if n.ID == "y" {
+				return 2
+			}
+			return 1
+		},
+	})
+	pos := map[string]int{}
+	for i, v := range visits {
+		pos[v.ID] = i
+	}
+	if pos["y"] >= pos["x"] {
+		t.Errorf("prior ignored: %v", visits)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := chainGraph(t)
+	path := g.ShortestPath("a", "d")
+	// a->b->c->d is 4 hops; a->hub? hub edges are undirected so
+	// a has no edge to hub (only hub->a and a->hub via AddUndirected
+	// twin), so a -> hub -> d has length 3.
+	if len(path) != 3 || path[0] != "a" || path[1] != "hub" || path[2] != "d" {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := chainGraph(t)
+	if p := g.ShortestPath("a", "a"); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	g := New()
+	g.AddNode(Node{ID: "a", Type: NodeChunk})
+	g.AddNode(Node{ID: "b", Type: NodeChunk})
+	if p := g.ShortestPath("a", "b"); p != nil {
+		t.Errorf("disconnected path = %v", p)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "x", "y"} {
+		g.AddNode(Node{ID: id, Type: NodeChunk})
+	}
+	g.AddEdge(Edge{From: "a", To: "b", Type: EdgeNextTo})
+	g.AddEdge(Edge{From: "b", To: "c", Type: EdgeNextTo})
+	g.AddEdge(Edge{From: "x", To: "y", Type: EdgeNextTo})
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 || len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestDegreeCentralityBounds(t *testing.T) {
+	g := chainGraph(t)
+	for id, c := range g.DegreeCentrality() {
+		if c < 0 || c > 1 {
+			t.Errorf("centrality[%s] = %v out of [0,1]", id, c)
+		}
+	}
+}
+
+func TestDegreeCentralitySingleNode(t *testing.T) {
+	g := New()
+	g.AddNode(Node{ID: "only", Type: NodeChunk})
+	if c := g.DegreeCentrality()["only"]; c != 0 {
+		t.Errorf("single-node centrality = %v", c)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := chainGraph(t)
+	pr := g.PageRank(DefaultPageRankOptions())
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("pagerank sum = %v", sum)
+	}
+}
+
+func TestPageRankHubWins(t *testing.T) {
+	g := chainGraph(t)
+	pr := g.PageRank(DefaultPageRankOptions())
+	for _, id := range []string{"a"} {
+		if pr["hub"] <= pr[id] {
+			t.Errorf("hub rank %v <= %s rank %v", pr["hub"], id, pr[id])
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	if pr := New().PageRank(DefaultPageRankOptions()); len(pr) != 0 {
+		t.Errorf("empty graph pagerank = %v", pr)
+	}
+}
+
+func TestPageRankPropertyNonNegative(t *testing.T) {
+	f := func(edges []uint8) bool {
+		g := New()
+		const n = 8
+		for i := 0; i < n; i++ {
+			g.AddNode(Node{ID: fmt.Sprintf("n%d", i), Type: NodeChunk})
+		}
+		for i := 0; i+1 < len(edges); i += 2 {
+			from := fmt.Sprintf("n%d", int(edges[i])%n)
+			to := fmt.Sprintf("n%d", int(edges[i+1])%n)
+			if from != to {
+				g.AddEdge(Edge{From: from, To: to, Type: EdgeNextTo})
+			}
+		}
+		pr := g.PageRank(DefaultPageRankOptions())
+		var sum float64
+		for _, v := range pr {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum > 0.99 && sum < 1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosenessSample(t *testing.T) {
+	g := chainGraph(t)
+	cs := g.ClosenessSample(5)
+	if len(cs) != g.NodeCount() {
+		t.Errorf("closeness size = %d", len(cs))
+	}
+	for id, v := range cs {
+		if v < 0 {
+			t.Errorf("closeness[%s] = %v", id, v)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := map[string]float64{"a": 0.5, "b": 0.9, "c": 0.9, "d": 0.1}
+	got := TopK(scores, 3)
+	if len(got) != 3 || got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Errorf("TopK = %v", got)
+	}
+	if got := TopK(scores, 10); len(got) != 4 {
+		t.Errorf("TopK overshoot = %v", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	g := chainGraph(t)
+	g.Node("a").Attrs = map[string]string{"text": "hello"}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NodeCount() != g.NodeCount() || g2.EdgeCount() != g.EdgeCount() {
+		t.Errorf("round trip: %d/%d nodes, %d/%d edges",
+			g2.NodeCount(), g.NodeCount(), g2.EdgeCount(), g.EdgeCount())
+	}
+	if g2.Node("a").Attrs["text"] != "hello" {
+		t.Error("attrs lost in round trip")
+	}
+}
+
+func TestSerializationDeterministic(t *testing.T) {
+	g := chainGraph(t)
+	var a, b bytes.Buffer
+	g.WriteJSON(&a)
+	g.WriteJSON(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization not deterministic")
+	}
+}
+
+func TestReadJSONCorrupt(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("corrupt input accepted")
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	g := chainGraph(t)
+	if g.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive for a nonempty graph")
+	}
+}
+
+func TestNodesOfTypeSorted(t *testing.T) {
+	g := New()
+	g.AddNode(Node{ID: "z", Type: NodeEntity})
+	g.AddNode(Node{ID: "a", Type: NodeEntity})
+	g.AddNode(Node{ID: "m", Type: NodeChunk})
+	ents := g.NodesOfType(NodeEntity)
+	if len(ents) != 2 || ents[0].ID != "a" || ents[1].ID != "z" {
+		t.Errorf("NodesOfType = %v", ents)
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// serialized is the stable on-disk form of a graph.
+type serialized struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// WriteJSON serializes the graph as deterministic JSON (nodes and edges
+// sorted), suitable for persistence and for diffing index builds.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	s := serialized{Nodes: make([]Node, 0, len(g.nodes))}
+	for _, id := range g.NodeIDs() {
+		s.Nodes = append(s.Nodes, *g.nodes[id])
+	}
+	for _, id := range g.NodeIDs() {
+		s.Edges = append(s.Edges, g.out[id]...)
+	}
+	sort.Slice(s.Edges, func(i, j int) bool {
+		a, b := s.Edges[i], s.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Type < b.Type
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadJSON reconstructs a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var s serialized
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g := New()
+	for _, n := range s.Nodes {
+		if err := g.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

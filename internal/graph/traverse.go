@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Visit is one node reached by a traversal, with the depth at which it
+// was first seen and the accumulated path score.
+type Visit struct {
+	ID    string
+	Depth int
+	Score float64
+}
+
+// BFS performs breadth-first expansion from the anchor nodes up to
+// maxDepth hops, following only the given edge types (nil = all).
+// Each node is visited once, at its minimum depth; anchors are depth 0.
+// Results are ordered by (depth, id) for determinism.
+func (g *Graph) BFS(anchors []string, maxDepth int, types ...EdgeType) []Visit {
+	var filter map[EdgeType]bool
+	if len(types) > 0 {
+		filter = make(map[EdgeType]bool, len(types))
+		for _, t := range types {
+			filter[t] = true
+		}
+	}
+	depth := make(map[string]int)
+	var frontier []string
+	for _, a := range anchors {
+		if !g.HasNode(a) {
+			continue
+		}
+		if _, ok := depth[a]; !ok {
+			depth[a] = 0
+			frontier = append(frontier, a)
+		}
+	}
+	d := 0
+	for len(frontier) > 0 && d < maxDepth {
+		var next []string
+		for _, id := range frontier {
+			for _, e := range g.out[id] {
+				if filter != nil && !filter[e.Type] {
+					continue
+				}
+				if _, seen := depth[e.To]; !seen {
+					depth[e.To] = d + 1
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+		d++
+	}
+	visits := make([]Visit, 0, len(depth))
+	for id, dd := range depth {
+		visits = append(visits, Visit{ID: id, Depth: dd, Score: 1.0 / float64(1+dd)})
+	}
+	sort.Slice(visits, func(i, j int) bool {
+		if visits[i].Depth != visits[j].Depth {
+			return visits[i].Depth < visits[j].Depth
+		}
+		return visits[i].ID < visits[j].ID
+	})
+	return visits
+}
+
+// expandItem is a priority-queue entry for WeightedExpand.
+type expandItem struct {
+	id    string
+	score float64
+	depth int
+	index int
+}
+
+type expandQueue []*expandItem
+
+func (q expandQueue) Len() int           { return len(q) }
+func (q expandQueue) Less(i, j int) bool { return q[i].score > q[j].score }
+func (q expandQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *expandQueue) Push(x interface{}) {
+	it := x.(*expandItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *expandQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ExpandOptions parameterizes WeightedExpand.
+type ExpandOptions struct {
+	MaxDepth   int                  // hop limit (0 = anchors only)
+	Budget     int                  // max nodes to settle; <=0 = unlimited
+	Decay      float64              // per-hop score decay in (0, 1]
+	NodeWeight func(*Node) float64  // multiplicative node prior (nil = 1)
+	EdgeTypes  map[EdgeType]float64 // per-type edge multiplier (nil = 1)
+}
+
+// WeightedExpand is the topology-enhanced traversal of Section III.B:
+// a best-first expansion from the anchors where a node's score is the
+// best product of edge weights, per-hop decay, and a node prior
+// (typically a centrality measure). The highest-scoring nodes settle
+// first, so a budget yields the most topologically relevant subgraph.
+func (g *Graph) WeightedExpand(anchors []string, opts ExpandOptions) []Visit {
+	if opts.Decay <= 0 || opts.Decay > 1 {
+		opts.Decay = 0.7
+	}
+	nodePrior := func(n *Node) float64 { return 1 }
+	if opts.NodeWeight != nil {
+		nodePrior = opts.NodeWeight
+	}
+	edgeMult := func(t EdgeType) float64 { return 1 }
+	if opts.EdgeTypes != nil {
+		edgeMult = func(t EdgeType) float64 {
+			if m, ok := opts.EdgeTypes[t]; ok {
+				return m
+			}
+			return 0 // unlisted types are not traversed
+		}
+	}
+
+	settled := make(map[string]Visit)
+	best := make(map[string]float64)
+	q := &expandQueue{}
+	heap.Init(q)
+	for _, a := range anchors {
+		if !g.HasNode(a) {
+			continue
+		}
+		if best[a] < 1 {
+			best[a] = 1
+			heap.Push(q, &expandItem{id: a, score: 1, depth: 0})
+		}
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*expandItem)
+		if _, done := settled[it.id]; done {
+			continue
+		}
+		settled[it.id] = Visit{ID: it.id, Depth: it.depth, Score: it.score}
+		if opts.Budget > 0 && len(settled) >= opts.Budget {
+			break
+		}
+		if it.depth >= opts.MaxDepth {
+			continue
+		}
+		for _, e := range g.out[it.id] {
+			mult := edgeMult(e.Type)
+			if mult == 0 {
+				continue
+			}
+			n := g.nodes[e.To]
+			s := it.score * opts.Decay * e.Weight * mult * nodePrior(n)
+			if s <= best[e.To] {
+				continue
+			}
+			best[e.To] = s
+			heap.Push(q, &expandItem{id: e.To, score: s, depth: it.depth + 1})
+		}
+	}
+	visits := make([]Visit, 0, len(settled))
+	for _, v := range settled {
+		visits = append(visits, v)
+	}
+	sort.Slice(visits, func(i, j int) bool {
+		if visits[i].Score != visits[j].Score {
+			return visits[i].Score > visits[j].Score
+		}
+		return visits[i].ID < visits[j].ID
+	})
+	return visits
+}
+
+// ShortestPath returns one minimum-hop path between two nodes following
+// any edge type, or nil if disconnected. Used to explain answers
+// ("Patient X —received→ Drug Y —reported→ nausea").
+func (g *Graph) ShortestPath(from, to string) []string {
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return nil
+	}
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: ""}
+	frontier := []string{from}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			// Deterministic neighbor order.
+			edges := g.out[id]
+			for _, e := range edges {
+				if _, seen := prev[e.To]; seen {
+					continue
+				}
+				prev[e.To] = id
+				if e.To == to {
+					return buildPath(prev, from, to)
+				}
+				next = append(next, e.To)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func buildPath(prev map[string]string, from, to string) []string {
+	var rev []string
+	for cur := to; cur != ""; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == from {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ConnectedComponents returns the weakly connected components as sorted
+// slices of node ids, largest first. Useful as an index sanity check:
+// a well-linked corpus should have one dominant component.
+func (g *Graph) ConnectedComponents() [][]string {
+	seen := make(map[string]bool)
+	var comps [][]string
+	for _, start := range g.NodeIDs() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, id)
+			for _, e := range g.out[id] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+			for _, e := range g.in[id] {
+				if !seen[e.From] {
+					seen[e.From] = true
+					stack = append(stack, e.From)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}

@@ -1,0 +1,49 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// ErrDocExists reports an incremental ingest of an id that is already
+// indexed; re-indexing in place would duplicate edges.
+var ErrDocExists = fmt.Errorf("index: document already indexed")
+
+// IndexRecord indexes one record into an existing graph — the
+// incremental path behind the paper's "real-time data analytics"
+// future-work direction. Text records are chunked, tagged and
+// cue-linked exactly as in a batch build, except that relational cues
+// materialize per document (with MinCueCooccur == 1 this is identical
+// to the batch result; higher thresholds apply within the document).
+//
+// Returns the per-record stats delta plus refreshed graph totals. The
+// graph must not be read concurrently with an IndexRecord call.
+func (b *Builder) IndexRecord(g *graph.Graph, rec store.Record) (Stats, error) {
+	var stats Stats
+	if rec.Kind == store.KindText && g.HasNode("doc:"+rec.ID) {
+		return stats, fmt.Errorf("%w: %s", ErrDocExists, rec.ID)
+	}
+	if rec.Kind != store.KindText && g.HasNode("row:"+rec.ID) {
+		return stats, fmt.Errorf("%w: %s", ErrDocExists, rec.ID)
+	}
+	if rec.Kind == store.KindText {
+		cueCounts := make(map[string]int)
+		if err := b.indexDocument(g, rec, cueCounts, &stats); err != nil {
+			return stats, fmt.Errorf("index: incremental: %w", err)
+		}
+		if !b.opts.DisableCues && !b.opts.DisableEntityNodes {
+			b.materializeCues(g, cueCounts, &stats)
+		}
+	} else {
+		if err := b.indexRecord(g, rec, &stats); err != nil {
+			return stats, fmt.Errorf("index: incremental: %w", err)
+		}
+	}
+	stats.Nodes = g.NodeCount()
+	stats.Edges = g.EdgeCount()
+	stats.Entities = len(g.NodesOfType(graph.NodeEntity))
+	stats.SizeBytes = g.SizeBytes()
+	return stats, nil
+}

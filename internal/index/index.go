@@ -1,0 +1,302 @@
+// Package index builds the semantic-aware heterogeneous graph index of
+// paper Section III.A from heterogeneous sources: it chunks documents,
+// tags entities with the (simulated) SLM, infers relational cues, and
+// links text chunks, named entities, cues and structured records into
+// one graph.Graph.
+//
+// Ablation switches (DisableCues, DisableEntityNodes) exist so
+// experiment E7 can measure each component's contribution.
+package index
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/graph"
+	"repro/internal/slm"
+	"repro/internal/store"
+)
+
+// Options configures a Builder.
+type Options struct {
+	Chunk              chunk.Options
+	DisableCues        bool // ablation: skip relational-cue inference
+	DisableEntityNodes bool // ablation: chunk-only graph
+	MinCueCooccur      int  // min co-occurrences for a relates edge (default 1)
+}
+
+// DefaultOptions returns the standard build configuration.
+func DefaultOptions() Options {
+	return Options{Chunk: chunk.DefaultOptions(), MinCueCooccur: 1}
+}
+
+// Stats reports what a build produced and what it cost.
+type Stats struct {
+	Docs       int
+	Chunks     int
+	Entities   int
+	Cues       int
+	Rows       int
+	Nodes      int
+	Edges      int
+	BuildTime  time.Duration
+	ModelCalls int64
+	SizeBytes  int64
+}
+
+// String renders the stats one-line.
+func (s Stats) String() string {
+	return fmt.Sprintf("docs=%d chunks=%d entities=%d cues=%d rows=%d nodes=%d edges=%d bytes=%d time=%v calls=%d",
+		s.Docs, s.Chunks, s.Entities, s.Cues, s.Rows, s.Nodes, s.Edges, s.SizeBytes, s.BuildTime, s.ModelCalls)
+}
+
+// Builder constructs graph indexes.
+type Builder struct {
+	ner     *slm.NER
+	chunker *chunk.Chunker
+	opts    Options
+	cost    *slm.CostModel
+}
+
+// NewBuilder returns a builder using the given recognizer.
+func NewBuilder(ner *slm.NER, opts Options) *Builder {
+	if opts.MinCueCooccur < 1 {
+		opts.MinCueCooccur = 1
+	}
+	return &Builder{ner: ner, chunker: chunk.New(opts.Chunk), opts: opts}
+}
+
+// WithCost attaches a cost model for build accounting. It returns b.
+func (b *Builder) WithCost(c *slm.CostModel) *Builder {
+	b.cost = c
+	return b
+}
+
+// EntityNodeID returns the graph node id for a canonical entity.
+func EntityNodeID(canonical string) string { return "ent:" + canonical }
+
+// Build indexes all records of the source group into a fresh graph.
+func (b *Builder) Build(m *store.Multi) (*graph.Graph, Stats, error) {
+	start := time.Now()
+	g := graph.New()
+	var stats Stats
+	var callsBefore int64
+	if b.cost != nil {
+		callsBefore = b.cost.TotalCalls()
+	}
+
+	cueCounts := make(map[string]int) // "e1\x1fverb\x1fe2" -> count
+
+	for _, rec := range m.Records() {
+		switch rec.Kind {
+		case store.KindText:
+			if err := b.indexDocument(g, rec, cueCounts, &stats); err != nil {
+				return nil, stats, err
+			}
+		default:
+			if err := b.indexRecord(g, rec, &stats); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+
+	if !b.opts.DisableCues && !b.opts.DisableEntityNodes {
+		b.materializeCues(g, cueCounts, &stats)
+	}
+
+	stats.Nodes = g.NodeCount()
+	stats.Edges = g.EdgeCount()
+	stats.Entities = len(g.NodesOfType(graph.NodeEntity))
+	stats.SizeBytes = g.SizeBytes()
+	stats.BuildTime = time.Since(start)
+	if b.cost != nil {
+		stats.ModelCalls = b.cost.TotalCalls() - callsBefore
+	}
+	return g, stats, nil
+}
+
+// indexDocument chunks an unstructured document, tags each chunk, and
+// links chunks, entities, and intra-sentence cue candidates.
+func (b *Builder) indexDocument(g *graph.Graph, rec store.Record, cueCounts map[string]int, stats *Stats) error {
+	docNode := graph.Node{ID: "doc:" + rec.ID, Type: graph.NodeDoc, Label: rec.ID,
+		Attrs: map[string]string{"source": rec.Source}}
+	g.EnsureNode(docNode)
+	stats.Docs++
+
+	chunks := b.chunker.Split(rec.ID, rec.Text)
+	var prevChunkID string
+	for _, ch := range chunks {
+		chunkID := "chunk:" + ch.ID
+		g.EnsureNode(graph.Node{
+			ID: chunkID, Type: graph.NodeChunk, Label: ch.ID,
+			Attrs: map[string]string{"text": ch.Text, "doc": rec.ID, "source": rec.Source},
+		})
+		stats.Chunks++
+		if err := g.AddEdge(graph.Edge{From: chunkID, To: docNode.ID, Type: graph.EdgePartOf}); err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		if prevChunkID != "" {
+			if err := g.AddUndirected(graph.Edge{From: prevChunkID, To: chunkID, Type: graph.EdgeNextTo, Weight: 0.5}); err != nil {
+				return fmt.Errorf("index: %w", err)
+			}
+		}
+		prevChunkID = chunkID
+
+		if b.opts.DisableEntityNodes {
+			continue
+		}
+		// Tag per sentence so cue inference sees sentence scope.
+		for _, sent := range slm.SplitSentences(ch.Text) {
+			ents := b.ner.Recognize(sent.Text)
+			for _, e := range ents {
+				entID := EntityNodeID(e.Canonical)
+				g.EnsureNode(graph.Node{
+					ID: entID, Type: graph.NodeEntity, Label: e.Canonical,
+					Attrs: map[string]string{"etype": string(e.Type)},
+				})
+				if !hasEdge(g, chunkID, entID, graph.EdgeMentions) {
+					if err := g.AddUndirected(graph.Edge{From: chunkID, To: entID, Type: graph.EdgeMentions}); err != nil {
+						return fmt.Errorf("index: %w", err)
+					}
+				}
+			}
+			if !b.opts.DisableCues {
+				collectCues(sent.Text, ents, chunkID, cueCounts)
+			}
+		}
+	}
+	return nil
+}
+
+// indexRecord indexes one structured/semi-structured record as a row
+// node linked to entity nodes matching its field values.
+func (b *Builder) indexRecord(g *graph.Graph, rec store.Record, stats *Stats) error {
+	rowID := "row:" + rec.ID
+	attrs := map[string]string{"source": rec.Source, "kind": string(rec.Kind), "text": rec.Text}
+	for k, v := range rec.Fields {
+		attrs["f:"+k] = v
+	}
+	g.EnsureNode(graph.Node{ID: rowID, Type: graph.NodeRow, Label: rec.ID, Attrs: attrs})
+	stats.Rows++
+
+	if b.opts.DisableEntityNodes {
+		return nil
+	}
+	// Link the row to entities recognized in its rendered text and to
+	// value nodes for its fields, giving cross-modal connectivity.
+	ents := b.ner.Recognize(rec.Text)
+	seen := map[string]bool{}
+	for _, e := range ents {
+		entID := EntityNodeID(e.Canonical)
+		if seen[entID] {
+			continue
+		}
+		seen[entID] = true
+		g.EnsureNode(graph.Node{
+			ID: entID, Type: graph.NodeEntity, Label: e.Canonical,
+			Attrs: map[string]string{"etype": string(e.Type)},
+		})
+		if err := g.AddUndirected(graph.Edge{From: rowID, To: entID, Type: graph.EdgeMentions}); err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+	}
+	return nil
+}
+
+// cueVerbs are the relation-bearing verbs that create cue nodes
+// ("Customer X purchased Product Y", "Patient X received Drug Y").
+var cueVerbs = map[string]bool{
+	"purchased": true, "bought": true, "ordered": true, "sold": true,
+	"received": true, "prescribed": true, "administered": true,
+	"reported": true, "experienced": true, "developed": true,
+	"rated": true, "reviewed": true, "returned": true,
+	"treated": true, "diagnosed": true, "caused": true, "reduced": true,
+	"increased": true, "decreased": true, "launched": true,
+}
+
+// collectCues finds verb-mediated entity pairs inside one sentence and
+// accumulates their co-occurrence counts.
+func collectCues(sentence string, ents []slm.Entity, chunkID string, cueCounts map[string]int) {
+	if len(ents) < 2 {
+		return
+	}
+	verb := ""
+	for _, w := range slm.Words(slm.Tokenize(sentence)) {
+		if cueVerbs[w] {
+			verb = w
+			break
+		}
+	}
+	if verb == "" {
+		verb = "cooccurs"
+	}
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			a, b := ents[i].Canonical, ents[j].Canonical
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			key := a + "\x1f" + verb + "\x1f" + b + "\x1f" + chunkID
+			cueCounts[key]++
+		}
+	}
+}
+
+// materializeCues converts accumulated cue counts into cue nodes and
+// relates edges. Pairs below MinCueCooccur are dropped.
+func (b *Builder) materializeCues(g *graph.Graph, cueCounts map[string]int, stats *Stats) {
+	pairTotals := make(map[string]int)
+	for key, n := range cueCounts {
+		parts := strings.SplitN(key, "\x1f", 4)
+		pairKey := parts[0] + "\x1f" + parts[1] + "\x1f" + parts[2]
+		pairTotals[pairKey] += n
+	}
+	made := make(map[string]bool)
+	for key := range cueCounts {
+		parts := strings.SplitN(key, "\x1f", 4)
+		e1, verb, e2, chunkID := parts[0], parts[1], parts[2], parts[3]
+		pairKey := e1 + "\x1f" + verb + "\x1f" + e2
+		if pairTotals[pairKey] < b.opts.MinCueCooccur {
+			continue
+		}
+		cueID := "cue:" + e1 + "|" + verb + "|" + e2
+		if !made[cueID] {
+			made[cueID] = true
+			// The cue may already exist from an earlier incremental
+			// ingest; only create the node and its entity edges once.
+			if !g.HasNode(cueID) {
+				g.EnsureNode(graph.Node{
+					ID: cueID, Type: graph.NodeCue, Label: verb,
+					Attrs: map[string]string{"arg1": e1, "arg2": e2, "verb": verb},
+				})
+				stats.Cues++
+				w := 1.0 + float64(pairTotals[pairKey])*0.1
+				id1, id2 := EntityNodeID(e1), EntityNodeID(e2)
+				if g.HasNode(id1) && g.HasNode(id2) {
+					g.AddUndirected(graph.Edge{From: id1, To: id2, Type: graph.EdgeRelates, Weight: w})
+					g.AddUndirected(graph.Edge{From: cueID, To: id1, Type: graph.EdgeCueArg})
+					g.AddUndirected(graph.Edge{From: cueID, To: id2, Type: graph.EdgeCueArg})
+				}
+			}
+		}
+		if g.HasNode(chunkID) {
+			if !hasEdge(g, cueID, chunkID, graph.EdgeCueIn) {
+				g.AddUndirected(graph.Edge{From: cueID, To: chunkID, Type: graph.EdgeCueIn})
+			}
+		}
+	}
+}
+
+func hasEdge(g *graph.Graph, from, to string, t graph.EdgeType) bool {
+	for _, e := range g.Out(from) {
+		if e.To == to && e.Type == t {
+			return true
+		}
+	}
+	return false
+}

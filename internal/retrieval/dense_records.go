@@ -1,0 +1,45 @@
+package retrieval
+
+import (
+	"repro/internal/chunk"
+	"repro/internal/slm"
+	"repro/internal/store"
+	"repro/internal/vector"
+)
+
+// NewDenseFromRecords builds the dense baseline directly from source
+// records, without a graph: text documents are chunked and embedded,
+// structured/semi-structured records are embedded from their rendered
+// text. This is the standalone conventional-RAG indexing path used by
+// the RAG pipeline and the index-cost experiment (E1).
+func NewDenseFromRecords(records []store.Record, chunker *chunk.Chunker, embedder *slm.Embedder, ix vector.Index) (*Dense, error) {
+	d := &Dense{
+		ix:       ix,
+		embedder: embedder,
+		texts:    make(map[string]string),
+		kinds:    make(map[string]string),
+	}
+	for _, rec := range records {
+		if rec.Kind == store.KindText {
+			for _, ch := range chunker.Split(rec.ID, rec.Text) {
+				id := "chunk:" + ch.ID
+				if err := ix.Add(id, embedder.Embed(ch.Text)); err != nil {
+					return nil, err
+				}
+				d.texts[id] = ch.Text
+				d.kinds[id] = "chunk"
+			}
+			continue
+		}
+		if rec.Text == "" {
+			continue
+		}
+		id := "row:" + rec.ID
+		if err := ix.Add(id, embedder.Embed(rec.Text)); err != nil {
+			return nil, err
+		}
+		d.texts[id] = rec.Text
+		d.kinds[id] = "row"
+	}
+	return d, nil
+}

@@ -1,0 +1,118 @@
+package semop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+// Parse must never panic, whatever the input.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	ner := testNER()
+	f := func(s string) bool {
+		_ = Parse(s, ner)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bind+Exec over arbitrary questions either answers or errors; never
+// panics, never returns a nil table with nil error.
+func TestBindExecTotalProperty(t *testing.T) {
+	ner := testNER()
+	c := testCatalog()
+	f := func(s string) bool {
+		q := Parse(s, ner)
+		p, err := Bind(q, c)
+		if err != nil {
+			return true
+		}
+		res, err := Exec(p, c)
+		return err != nil || res != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionFallbackFields(t *testing.T) {
+	// An ID condition binds to "service" when the table has no
+	// "patient" column.
+	c := table.NewCatalog()
+	logs := table.New("logs", table.Schema{
+		{Name: "service", Type: table.TypeString},
+		{Name: "latency_ms", Type: table.TypeFloat},
+	})
+	logs.MustAppend([]table.Value{table.S("SVC-1"), table.F(100)})
+	logs.MustAppend([]table.Value{table.S("SVC-2"), table.F(300)})
+	c.Put(logs)
+
+	q := Parse("What is the average latency of SVC-1?", testNER())
+	p, err := Bind(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range p.Filters {
+		if f.Col == "service" && f.Val.Str() == "SVC-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallback filter missing: %v", p.Filters)
+	}
+	res, err := Exec(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0].Float() != 100 {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestErrorLevelCondition(t *testing.T) {
+	q := Parse("How many error events did SVC-1 have?", testNER())
+	found := false
+	for _, cond := range q.Conditions {
+		if cond.Field == "level" && cond.Value.Str() == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("level condition missing: %v", q.Conditions)
+	}
+}
+
+func TestLevelConditionHarmlessElsewhere(t *testing.T) {
+	// "error" in a question over a catalog without a level column must
+	// not break binding.
+	c := testCatalog()
+	q := Parse("Did any sales reports contain an error for Product Alpha?", testNER())
+	if _, err := Bind(q, c); err != nil {
+		// Binding may fail for other reasons, but must not panic and
+		// must not fail due to the level condition alone. Accept a
+		// clean ErrNoBinding.
+		t.Logf("bind: %v", err)
+	}
+}
+
+func TestMetricPrefixBinding(t *testing.T) {
+	c := table.NewCatalog()
+	logs := table.New("events", table.Schema{
+		{Name: "service", Type: table.TypeString},
+		{Name: "latency_ms", Type: table.TypeFloat},
+	})
+	logs.MustAppend([]table.Value{table.S("SVC-1"), table.F(10)})
+	c.Put(logs)
+	q := Parse("average latency for SVC-1", testNER())
+	p, err := Bind(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MetricCol != "latency_ms" {
+		t.Errorf("metric col = %q", p.MetricCol)
+	}
+}

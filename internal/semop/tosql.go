@@ -1,0 +1,106 @@
+package semop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// ToSQL renders the bound plan as a statement in the dialect of
+// internal/sql, making Semantic Operator Synthesis a genuine
+// text→SQL→execution pipeline. Comparison plans render one statement
+// per compared item (the dialect has no OR); callers union results.
+func (p *Plan) ToSQL() []string {
+	if len(p.Comparison) > 0 && p.CompareCol != "" {
+		out := make([]string, 0, len(p.Comparison))
+		items := append([]string(nil), p.Comparison...)
+		sortStrings(items)
+		for _, item := range items {
+			sub := *p
+			sub.Comparison = nil
+			sub.GroupBy = []string{p.CompareCol}
+			sub.Filters = append(append([]table.Pred(nil), p.Filters...),
+				table.Pred{Col: p.CompareCol, Op: table.OpContains, Val: table.S(item)})
+			out = append(out, sub.renderOne())
+		}
+		return out
+	}
+	return []string{p.renderOne()}
+}
+
+func (p *Plan) renderOne() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case len(p.Aggs) > 0:
+		parts := make([]string, 0, len(p.GroupBy)+len(p.Aggs))
+		parts = append(parts, p.GroupBy...)
+		for _, a := range p.Aggs {
+			col := a.Col
+			if col == "" {
+				col = "*"
+			}
+			as := a.As
+			if as == "" {
+				as = strings.ToLower(a.Func.String()) + "_" + a.Col
+			}
+			parts = append(parts, fmt.Sprintf("%s(%s) AS %s", a.Func, col, as))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	case len(p.Columns) > 0:
+		b.WriteString(strings.Join(p.Columns, ", "))
+	default:
+		b.WriteString("*")
+	}
+	fmt.Fprintf(&b, " FROM %s", p.Table)
+	if p.JoinTable != "" {
+		fmt.Fprintf(&b, " JOIN %s ON %s.%s = %s.%s",
+			p.JoinTable, p.Table, p.JoinLeftCol, p.JoinTable, p.JoinRightCol)
+	}
+	wheres := make([]string, 0, len(p.Filters)+len(p.JoinFilters))
+	for _, f := range p.Filters {
+		wheres = append(wheres, renderPred(f))
+	}
+	for _, f := range p.JoinFilters {
+		wheres = append(wheres, renderPred(f))
+	}
+	if len(wheres) > 0 {
+		b.WriteString(" WHERE " + strings.Join(wheres, " AND "))
+	}
+	if len(p.GroupBy) > 0 && len(p.Aggs) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(p.GroupBy, ", "))
+	}
+	for i, k := range p.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.Col)
+		if k.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if p.LimitRows > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", p.LimitRows)
+	}
+	return b.String()
+}
+
+func renderPred(f table.Pred) string {
+	val := f.Val.String()
+	if !f.Val.IsNumeric() && !f.Val.IsNull() && f.Val.Kind() != table.TypeBool {
+		val = "'" + strings.ReplaceAll(val, "'", "''") + "'"
+	}
+	op := f.Op.String()
+	return fmt.Sprintf("%s %s %s", f.Col, op, val)
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

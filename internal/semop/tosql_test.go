@@ -1,0 +1,104 @@
+package semop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+func TestToSQLAggregate(t *testing.T) {
+	c := testCatalog()
+	q := Parse("Find the total sales of all products in Q3", testNER())
+	p, err := Bind(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := p.ToSQL()
+	if len(stmts) != 1 {
+		t.Fatalf("stmts = %v", stmts)
+	}
+	s := stmts[0]
+	for _, want := range []string{"SELECT", "SUM(units)", "FROM product_sales", "WHERE quarter = 'Q3'"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sql %q missing %q", s, want)
+		}
+	}
+	// The rendered SQL must actually execute and agree with the plan.
+	res, err := sql.Exec(c, s)
+	if err != nil {
+		t.Fatalf("exec %q: %v", s, err)
+	}
+	direct, err := Exec(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != direct.Len() || table.Compare(res.Rows[0][0], direct.Rows[0][0]) != 0 {
+		t.Errorf("sql path %v != plan path %v", res.Rows[0], direct.Rows[0])
+	}
+}
+
+func TestToSQLCompareRendersPerItem(t *testing.T) {
+	c := testCatalog()
+	q := Parse("Compare total sales for Product Alpha and Product Beta in Q2", testNER())
+	p, err := Bind(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := p.ToSQL()
+	if len(stmts) != 2 {
+		t.Fatalf("stmts = %v", stmts)
+	}
+	// Items render in sorted order, one statement each.
+	if !strings.Contains(stmts[0], "product alpha") || !strings.Contains(stmts[1], "product beta") {
+		t.Errorf("stmts = %v", stmts)
+	}
+	for _, s := range stmts {
+		if _, err := sql.Exec(c, s); err != nil {
+			t.Errorf("exec %q: %v", s, err)
+		}
+	}
+}
+
+func TestToSQLLookupAndList(t *testing.T) {
+	c := testCatalog()
+	q := Parse("List products rated above 4 stars", testNER())
+	p, err := Bind(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.ToSQL()[0]
+	if !strings.Contains(s, "LIMIT 50") {
+		t.Errorf("sql = %q", s)
+	}
+	if _, err := sql.Exec(c, s); err != nil {
+		t.Errorf("exec: %v", err)
+	}
+}
+
+func TestToSQLEscapesQuotes(t *testing.T) {
+	p := &Plan{
+		Table:   "t",
+		Filters: []table.Pred{{Col: "name", Op: table.OpEq, Val: table.S("O'Brien")}},
+	}
+	s := p.ToSQL()[0]
+	if !strings.Contains(s, "'O''Brien'") {
+		t.Errorf("sql = %q", s)
+	}
+}
+
+func TestToSQLJoinRendered(t *testing.T) {
+	p := &Plan{
+		Table: "ratings", MetricCol: "stars",
+		JoinTable: "metric_changes", JoinLeftCol: "product", JoinRightCol: "product",
+		JoinFilters: []table.Pred{{Col: "change_pct", Op: table.OpGt, Val: table.F(15)}},
+		Aggs:        []table.Agg{{Func: table.AggAvg, Col: "stars", As: "result"}},
+	}
+	s := p.ToSQL()[0]
+	for _, want := range []string{"JOIN metric_changes ON ratings.product = metric_changes.product", "change_pct > 15"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sql %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package slm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := NewEmbedder(64)
+	a := e.Embed("Q2 sales increased 20%")
+	b := e.Embed("Q2 sales increased 20%")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := NewEmbedder(128)
+	v := e.Embed("customer satisfaction ratings for products")
+	var sum float64
+	for _, x := range v {
+		sum += float64(x) * float64(x)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Errorf("norm^2 = %v, want 1", sum)
+	}
+}
+
+func TestEmbedSimilarityOrdering(t *testing.T) {
+	e := NewEmbedder(256)
+	query := e.Embed("sales increase for Product Alpha in Q2")
+	related := e.Embed("Product Alpha sales increased during Q2")
+	unrelated := e.Embed("the patient was diagnosed with influenza")
+	if Cosine(query, related) <= Cosine(query, unrelated) {
+		t.Errorf("related %v <= unrelated %v", Cosine(query, related), Cosine(query, unrelated))
+	}
+}
+
+func TestEmbedStemmingUnifies(t *testing.T) {
+	e := NewEmbedder(256)
+	a := e.Embed("sales increased rapidly")
+	b := e.Embed("sale increase rapid")
+	if Cosine(a, b) < 0.5 {
+		t.Errorf("stemmed variants cosine = %v, want >= 0.5", Cosine(a, b))
+	}
+}
+
+func TestEmbedEmptyInput(t *testing.T) {
+	e := NewEmbedder(32)
+	v := e.Embed("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty input should embed to zero vector")
+		}
+	}
+	if Cosine(v, v) != 0 {
+		t.Error("cosine of zero vectors should be 0")
+	}
+}
+
+func TestEmbedStopwordsIgnored(t *testing.T) {
+	e := NewEmbedder(128)
+	a := e.Embed("the sales of the products")
+	b := e.Embed("sales products")
+	if c := Cosine(a, b); c < 0.8 {
+		t.Errorf("stopword-stripped cosine = %v, want >= 0.8", c)
+	}
+}
+
+func TestNewEmbedderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEmbedder(0) should panic")
+		}
+	}()
+	NewEmbedder(0)
+}
+
+func TestCosineMismatchedLengths(t *testing.T) {
+	if Cosine([]float32{1, 0}, []float32{1}) != 0 {
+		t.Error("mismatched lengths should return 0")
+	}
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	e := NewEmbedder(64)
+	f := func(a, b string) bool {
+		c := Cosine(e.Embed(a), e.Embed(b))
+		return c >= -1.0000001 && c <= 1.0000001 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineSelfSimilarityProperty(t *testing.T) {
+	e := NewEmbedder(64)
+	f := func(s string) bool {
+		v := e.Embed(s)
+		c := Cosine(v, v)
+		// Self-similarity is 1 for non-zero vectors, 0 for zero vectors.
+		return math.Abs(c-1) < 1e-6 || c == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStem(t *testing.T) {
+	tests := map[string]string{
+		"increased": "increas",
+		"increase":  "increas",
+		"increases": "increas",
+		"companies": "company",
+		"running":   "runn",
+		"sales":     "sale", // len 4 after s-strip: silent-e rule skips
+		"sale":      "sale",
+		"glass":     "glass",
+		"boxes":     "box",
+		"rapidly":   "rapid",
+		"is":        "is",
+	}
+	for in, want := range tests {
+		if got := stem(in); got != want {
+			t.Errorf("stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmbedCostAccounting(t *testing.T) {
+	cost := NewCostModel(SLMProfile())
+	e := NewEmbedder(64).WithCost(cost)
+	e.Embed("three content words here")
+	if cost.Calls(OpEmbed) != 1 {
+		t.Errorf("embed calls = %d", cost.Calls(OpEmbed))
+	}
+}

@@ -1,0 +1,404 @@
+package slm
+
+import (
+	"strings"
+)
+
+// EntityType classifies a recognized named entity. The inventory covers
+// the paper's running examples: products, drugs, patients, quarters,
+// percentages, money, dates, ratings and generic identifiers.
+type EntityType string
+
+// Entity types recognized by the simulated SLM tagger.
+const (
+	EntProduct      EntityType = "PRODUCT"
+	EntDrug         EntityType = "DRUG"
+	EntPerson       EntityType = "PERSON"
+	EntOrg          EntityType = "ORG"
+	EntQuarter      EntityType = "QUARTER"
+	EntDate         EntityType = "DATE"
+	EntPercent      EntityType = "PERCENT"
+	EntMoney        EntityType = "MONEY"
+	EntRating       EntityType = "RATING"
+	EntQuantity     EntityType = "QUANTITY"
+	EntID           EntityType = "ID"
+	EntMetric       EntityType = "METRIC"
+	EntCondition    EntityType = "CONDITION"
+	EntSideEffect   EntityType = "SIDE_EFFECT"
+	EntManufacturer EntityType = "MANUFACTURER"
+	EntMisc         EntityType = "MISC"
+)
+
+// Entity is a recognized span with a canonical form used as the graph
+// node key. Canonicalization lower-cases and strips determiners so that
+// "the Product Alpha" and "Product Alpha" unify.
+type Entity struct {
+	Type      EntityType
+	Text      string // surface form
+	Canonical string // canonical key
+	Start     int    // byte offset in source
+	End       int
+}
+
+// NER recognizes entities with a gazetteer plus deterministic surface
+// patterns — the "lightweight SLM-based tagging" of Section III.A.
+// A NER value is safe for concurrent use after construction.
+type NER struct {
+	gazetteer map[string]EntityType // canonical phrase -> type
+	maxLen    int                   // longest gazetteer phrase, in tokens
+	cost      *CostModel
+}
+
+// NewNER returns a recognizer with the built-in pattern rules and an
+// empty gazetteer. Domain vocabularies are added with AddGazetteer.
+func NewNER() *NER {
+	return &NER{gazetteer: make(map[string]EntityType), maxLen: 1}
+}
+
+// WithCost attaches a cost model: each Recognize call is accounted as
+// one simulated SLM inference over the token length. It returns n.
+func (n *NER) WithCost(c *CostModel) *NER {
+	n.cost = c
+	return n
+}
+
+// AddGazetteer registers canonical phrases of a given type. Phrases are
+// matched case-insensitively and greedily (longest match first).
+func (n *NER) AddGazetteer(t EntityType, phrases ...string) {
+	for _, p := range phrases {
+		key := canonicalize(p)
+		if key == "" {
+			continue
+		}
+		n.gazetteer[key] = t
+		if l := len(strings.Fields(key)); l > n.maxLen {
+			n.maxLen = l
+		}
+	}
+}
+
+// GazetteerSize reports the number of registered phrases.
+func (n *NER) GazetteerSize() int { return len(n.gazetteer) }
+
+// Recognize extracts entities from text. Matching order: gazetteer
+// (longest-first), then surface patterns (quarters, percents, money,
+// ratings, dates, IDs, quantities), then capitalized-sequence proper
+// nouns. Overlapping matches are resolved in that priority order.
+func (n *NER) Recognize(text string) []Entity {
+	tokens := Tokenize(text)
+	if n.cost != nil {
+		n.cost.Record(OpTag, len(tokens))
+	}
+	claimed := make([]bool, len(tokens))
+	var ents []Entity
+
+	add := func(e Entity, from, to int) {
+		for i := from; i < to; i++ {
+			claimed[i] = true
+		}
+		ents = append(ents, e)
+	}
+
+	// Pass 1: gazetteer, longest match first.
+	for i := 0; i < len(tokens); i++ {
+		if claimed[i] {
+			continue
+		}
+		limit := n.maxLen
+		if i+limit > len(tokens) {
+			limit = len(tokens) - i
+		}
+		for l := limit; l >= 1; l-- {
+			if anyClaimed(claimed, i, i+l) {
+				continue
+			}
+			key := canonicalTokens(tokens[i : i+l])
+			if t, ok := n.gazetteer[key]; ok {
+				add(Entity{
+					Type:      t,
+					Text:      text[tokens[i].Start:tokens[i+l-1].End],
+					Canonical: key,
+					Start:     tokens[i].Start,
+					End:       tokens[i+l-1].End,
+				}, i, i+l)
+				i += l - 1
+				break
+			}
+		}
+	}
+
+	// Pass 2: surface patterns.
+	for i := 0; i < len(tokens); i++ {
+		if claimed[i] {
+			continue
+		}
+		if e, width, ok := matchPattern(text, tokens, i, claimed); ok {
+			add(e, i, i+width)
+			i += width - 1
+		}
+	}
+
+	// Pass 3: capitalized sequences as generic proper nouns.
+	for i := 0; i < len(tokens); i++ {
+		if claimed[i] || tokens[i].Kind != TokenWord || !isUpperInitial(tokens[i].Text) {
+			continue
+		}
+		if i == 0 && !looksProper(tokens, 0) {
+			continue
+		}
+		j := i
+		for j < len(tokens) && !claimed[j] && tokens[j].Kind == TokenWord && isUpperInitial(tokens[j].Text) {
+			j++
+		}
+		surface := text[tokens[i].Start:tokens[j-1].End]
+		add(Entity{
+			Type:      EntMisc,
+			Text:      surface,
+			Canonical: canonicalize(surface),
+			Start:     tokens[i].Start,
+			End:       tokens[j-1].End,
+		}, i, j)
+		i = j - 1
+	}
+
+	sortEntities(ents)
+	return ents
+}
+
+// matchPattern tries the built-in surface patterns at token i.
+func matchPattern(text string, tokens []Token, i int, claimed []bool) (Entity, int, bool) {
+	t := tokens[i]
+	lower := strings.ToLower(t.Text)
+
+	// Quarter: "Q2", "Q2 2024", "second quarter".
+	if len(lower) == 2 && lower[0] == 'q' && lower[1] >= '1' && lower[1] <= '4' {
+		width := 1
+		end := t.End
+		if i+1 < len(tokens) && !claimed[i+1] && tokens[i+1].Kind == TokenNumber && isYear(tokens[i+1].Text) {
+			width = 2
+			end = tokens[i+1].End
+		}
+		return Entity{Type: EntQuarter, Text: text[t.Start:end], Canonical: canonicalize(text[t.Start:end]), Start: t.Start, End: end}, width, true
+	}
+	if ord, ok := ordinalQuarter(lower); ok && i+1 < len(tokens) && strings.EqualFold(tokens[i+1].Text, "quarter") {
+		end := tokens[i+1].End
+		return Entity{Type: EntQuarter, Text: text[t.Start:end], Canonical: "q" + ord, Start: t.Start, End: end}, 2, true
+	}
+
+	// Percent: number token ending in '%' or "N percent".
+	if t.Kind == TokenNumber && strings.HasSuffix(t.Text, "%") {
+		return Entity{Type: EntPercent, Text: t.Text, Canonical: strings.TrimSuffix(t.Text, "%") + "%", Start: t.Start, End: t.End}, 1, true
+	}
+	if t.Kind == TokenNumber && i+1 < len(tokens) && strings.EqualFold(tokens[i+1].Text, "percent") {
+		end := tokens[i+1].End
+		return Entity{Type: EntPercent, Text: text[t.Start:end], Canonical: t.Text + "%", Start: t.Start, End: end}, 2, true
+	}
+
+	// Money: "$1,234.56" — '$' tokenizes as a symbol before the number —
+	// or "N dollars".
+	if t.Kind == TokenSymbol && t.Text == "$" && i+1 < len(tokens) && tokens[i+1].Kind == TokenNumber {
+		end := tokens[i+1].End
+		unitWidth := 2
+		if i+2 < len(tokens) && isMagnitudeWord(tokens[i+2].Text) {
+			end = tokens[i+2].End
+			unitWidth = 3
+		}
+		return Entity{Type: EntMoney, Text: text[t.Start:end], Canonical: canonicalize(text[t.Start:end]), Start: t.Start, End: end}, unitWidth, true
+	}
+	if t.Kind == TokenNumber && i+1 < len(tokens) && isCurrencyWord(tokens[i+1].Text) {
+		end := tokens[i+1].End
+		return Entity{Type: EntMoney, Text: text[t.Start:end], Canonical: canonicalize(text[t.Start:end]), Start: t.Start, End: end}, 2, true
+	}
+
+	// Rating: "4.5 stars", "rated 4 out of 5".
+	if t.Kind == TokenNumber && i+1 < len(tokens) && isStarsWord(tokens[i+1].Text) {
+		end := tokens[i+1].End
+		return Entity{Type: EntRating, Text: text[t.Start:end], Canonical: t.Text, Start: t.Start, End: end}, 2, true
+	}
+
+	// Date: "2024-05-01", "May 5, 2024", "2024".
+	if t.Kind == TokenNumber && isISODateStart(text, t) {
+		end := t.Start + 10
+		return Entity{Type: EntDate, Text: text[t.Start:end], Canonical: text[t.Start:end], Start: t.Start, End: end}, dateTokenWidth(tokens, i, end), true
+	}
+	if isMonthName(lower) && i+1 < len(tokens) && tokens[i+1].Kind == TokenNumber {
+		end := tokens[i+1].End
+		width := 2
+		// Optional ", YYYY".
+		j := i + 2
+		if j < len(tokens) && tokens[j].Kind == TokenPunct && tokens[j].Text == "," && j+1 < len(tokens) && isYear(tokens[j+1].Text) {
+			end = tokens[j+1].End
+			width = 4
+		}
+		return Entity{Type: EntDate, Text: text[t.Start:end], Canonical: canonicalize(text[t.Start:end]), Start: t.Start, End: end}, width, true
+	}
+
+	// ID: "P-1042", "TRIAL_7", "#123" style mixed alphanumerics.
+	if t.Kind == TokenWord && looksLikeID(t.Text) {
+		return Entity{Type: EntID, Text: t.Text, Canonical: strings.ToLower(t.Text), Start: t.Start, End: t.End}, 1, true
+	}
+
+	// Quantity: "12 units", "3 tablets".
+	if t.Kind == TokenNumber && i+1 < len(tokens) && isUnitWord(tokens[i+1].Text) {
+		end := tokens[i+1].End
+		return Entity{Type: EntQuantity, Text: text[t.Start:end], Canonical: canonicalize(text[t.Start:end]), Start: t.Start, End: end}, 2, true
+	}
+
+	return Entity{}, 0, false
+}
+
+func dateTokenWidth(tokens []Token, i int, end int) int {
+	w := 1
+	for j := i + 1; j < len(tokens) && tokens[j].Start < end; j++ {
+		w++
+	}
+	return w
+}
+
+func anyClaimed(claimed []bool, from, to int) bool {
+	for i := from; i < to; i++ {
+		if claimed[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func looksProper(tokens []Token, i int) bool {
+	// A sentence-initial capitalized word counts as proper if the next
+	// token is also capitalized ("Product Alpha ...").
+	return i+1 < len(tokens) && tokens[i+1].Kind == TokenWord && isUpperInitial(tokens[i+1].Text)
+}
+
+func looksLikeID(s string) bool {
+	hasLetter, hasDigit, hasSep := false, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			hasDigit = true
+		case c == '_' || c == '-':
+			hasSep = true
+		case isLetter(c):
+			hasLetter = true
+		}
+	}
+	if !hasLetter || !hasDigit {
+		return false
+	}
+	// Require a separator or an upper-case prefix like "P1042".
+	return hasSep || (s[0] >= 'A' && s[0] <= 'Z')
+}
+
+func isYear(s string) bool {
+	if len(s) != 4 {
+		return false
+	}
+	for i := 0; i < 4; i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return s[0] == '1' || s[0] == '2'
+}
+
+func isISODateStart(text string, t Token) bool {
+	if !isYear(t.Text) || t.Start+10 > len(text) {
+		return false
+	}
+	s := text[t.Start : t.Start+10]
+	return s[4] == '-' && s[7] == '-' &&
+		isDigit(s[5]) && isDigit(s[6]) && isDigit(s[8]) && isDigit(s[9])
+}
+
+func ordinalQuarter(s string) (string, bool) {
+	switch s {
+	case "first":
+		return "1", true
+	case "second":
+		return "2", true
+	case "third":
+		return "3", true
+	case "fourth":
+		return "4", true
+	}
+	return "", false
+}
+
+func isMonthName(s string) bool {
+	switch s {
+	case "january", "february", "march", "april", "may", "june", "july",
+		"august", "september", "october", "november", "december",
+		"jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
+		"oct", "nov", "dec":
+		return true
+	}
+	return false
+}
+
+func isCurrencyWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "dollars", "dollar", "usd", "euros", "euro", "eur":
+		return true
+	}
+	return false
+}
+
+func isMagnitudeWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "million", "billion", "thousand", "k", "m", "bn":
+		return true
+	}
+	return false
+}
+
+func isStarsWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "stars", "star":
+		return true
+	}
+	return false
+}
+
+func isUnitWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "units", "unit", "tablets", "tablet", "mg", "ml", "items", "item",
+		"orders", "order", "doses", "dose", "patients", "reviews":
+		return true
+	}
+	return false
+}
+
+// canonicalize lower-cases, collapses whitespace, and strips leading
+// determiners so surface variants share a key.
+func canonicalize(s string) string {
+	fields := strings.Fields(strings.ToLower(s))
+	for len(fields) > 0 && determiners[fields[0]] {
+		fields = fields[1:]
+	}
+	for i, f := range fields {
+		fields[i] = strings.Trim(f, ".,;:!?\"'()[]{}")
+	}
+	return strings.Join(fields, " ")
+}
+
+func canonicalTokens(tokens []Token) string {
+	parts := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if t.Kind == TokenPunct {
+			continue
+		}
+		parts = append(parts, strings.ToLower(t.Text))
+	}
+	return strings.Join(parts, " ")
+}
+
+// sortEntities orders entities by start offset (stable, insertion sort —
+// entity lists are short).
+func sortEntities(ents []Entity) {
+	for i := 1; i < len(ents); i++ {
+		for j := i; j > 0 && ents[j].Start < ents[j-1].Start; j-- {
+			ents[j], ents[j-1] = ents[j-1], ents[j]
+		}
+	}
+}

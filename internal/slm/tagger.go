@@ -1,0 +1,174 @@
+package slm
+
+import "strings"
+
+// POS is a coarse part-of-speech tag. The tagger is intentionally
+// lightweight — the paper's SLM performs "part-of-speech tagging and
+// named-entity recognition" as the first stage of Relational Table
+// Generation (Section III.C), and the extraction rules only need this
+// coarse inventory.
+type POS int
+
+// Coarse tag inventory.
+const (
+	POSNoun POS = iota
+	POSProperNoun
+	POSVerb
+	POSAdjective
+	POSNumber
+	POSDeterminer
+	POSPreposition
+	POSConjunction
+	POSPronoun
+	POSPunct
+	POSOther
+)
+
+// String returns the conventional short tag name.
+func (p POS) String() string {
+	switch p {
+	case POSNoun:
+		return "NOUN"
+	case POSProperNoun:
+		return "PROPN"
+	case POSVerb:
+		return "VERB"
+	case POSAdjective:
+		return "ADJ"
+	case POSNumber:
+		return "NUM"
+	case POSDeterminer:
+		return "DET"
+	case POSPreposition:
+		return "ADP"
+	case POSConjunction:
+		return "CCONJ"
+	case POSPronoun:
+		return "PRON"
+	case POSPunct:
+		return "PUNCT"
+	default:
+		return "X"
+	}
+}
+
+// TaggedToken pairs a surface token with its coarse tag.
+type TaggedToken struct {
+	Token
+	POS POS
+}
+
+var determiners = map[string]bool{
+	"the": true, "a": true, "an": true, "this": true, "that": true,
+	"these": true, "those": true, "all": true, "each": true, "every": true,
+	"some": true, "any": true, "no": true,
+}
+
+var prepositions = map[string]bool{
+	"of": true, "in": true, "on": true, "at": true, "by": true, "for": true,
+	"from": true, "to": true, "with": true, "during": true, "over": true,
+	"under": true, "between": true, "across": true, "per": true, "than": true,
+	"into": true, "after": true, "before": true, "since": true, "about": true,
+}
+
+var conjunctions = map[string]bool{
+	"and": true, "or": true, "but": true, "nor": true, "so": true, "yet": true,
+	"while": true, "whereas": true,
+}
+
+var pronouns = map[string]bool{
+	"i": true, "you": true, "he": true, "she": true, "it": true, "we": true,
+	"they": true, "them": true, "him": true, "her": true, "its": true,
+	"their": true, "his": true, "our": true, "your": true, "who": true,
+	"which": true, "what": true, "whose": true,
+}
+
+// verbLexicon lists verbs the extraction and cue-inference rules care
+// about; suffix heuristics cover the rest.
+var verbLexicon = map[string]bool{
+	"is": true, "are": true, "was": true, "were": true, "be": true, "been": true,
+	"has": true, "have": true, "had": true, "do": true, "does": true, "did": true,
+	"increase": true, "increased": true, "decrease": true, "decreased": true,
+	"rose": true, "fell": true, "grew": true, "dropped": true, "declined": true,
+	"bought": true, "purchased": true, "sold": true, "ordered": true,
+	"received": true, "prescribed": true, "administered": true, "reported": true,
+	"treated": true, "diagnosed": true, "experienced": true, "developed": true,
+	"returned": true, "reviewed": true, "rated": true, "shipped": true,
+	"compare": true, "find": true, "show": true, "list": true, "give": true,
+	"improved": true, "worsened": true, "caused": true, "reduced": true,
+	"launched": true, "recorded": true, "totaled": true, "reached": true,
+	"took": true, "visited": true, "enrolled": true, "completed": true,
+}
+
+var adjectiveLexicon = map[string]bool{
+	"high": true, "low": true, "severe": true, "mild": true, "moderate": true,
+	"average": true, "total": true, "common": true, "adverse": true,
+	"positive": true, "negative": true, "effective": true, "satisfied": true,
+	"poor": true, "good": true, "excellent": true, "last": true, "first": true,
+	"new": true, "top": true, "best": true, "worst": true,
+}
+
+// Tag assigns a coarse part-of-speech tag to every token. The rules are
+// deterministic: lexicon lookups first, then capitalization and suffix
+// heuristics. Sentence-initial capitalized words are only proper nouns
+// if they are not in any closed-class lexicon.
+func Tag(tokens []Token) []TaggedToken {
+	out := make([]TaggedToken, len(tokens))
+	for i, t := range tokens {
+		out[i] = TaggedToken{Token: t, POS: tagOne(t, i == 0)}
+	}
+	return out
+}
+
+func tagOne(t Token, sentenceInitial bool) POS {
+	switch t.Kind {
+	case TokenNumber:
+		return POSNumber
+	case TokenPunct, TokenSymbol:
+		return POSPunct
+	}
+	lower := strings.ToLower(t.Text)
+	switch {
+	case determiners[lower]:
+		return POSDeterminer
+	case prepositions[lower]:
+		return POSPreposition
+	case conjunctions[lower]:
+		return POSConjunction
+	case pronouns[lower]:
+		return POSPronoun
+	case verbLexicon[lower]:
+		return POSVerb
+	case adjectiveLexicon[lower]:
+		return POSAdjective
+	}
+	if isUpperInitial(t.Text) && !sentenceInitial {
+		return POSProperNoun
+	}
+	if isUpperInitial(t.Text) && sentenceInitial {
+		// Sentence-initial capitalized open-class word: proper noun only
+		// if fully capitalized or mixed case beyond the first rune.
+		if t.Text == strings.ToUpper(t.Text) && len(t.Text) > 1 {
+			return POSProperNoun
+		}
+		return POSNoun
+	}
+	switch {
+	case strings.HasSuffix(lower, "ing"), strings.HasSuffix(lower, "ize"),
+		strings.HasSuffix(lower, "ise"), strings.HasSuffix(lower, "ify"):
+		return POSVerb
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "al"), strings.HasSuffix(lower, "ic"):
+		return POSAdjective
+	}
+	return POSNoun
+}
+
+func isUpperInitial(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c >= 'A' && c <= 'Z'
+}

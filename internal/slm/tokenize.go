@@ -1,0 +1,208 @@
+// Package slm implements the simulated Small Language Model substrate
+// that the rest of the system is built on.
+//
+// The paper assumes an on-device SLM that can (1) tag named entities in
+// text, (2) embed text for similarity, and (3) generate answers with
+// temperature sampling. Go has no mature SLM inference bindings, so this
+// package provides a deterministic, rule-based stand-in that exposes the
+// same interface surface: Tokenize, Tagger, NER, Embedder, Generator,
+// plus a CostModel that accounts for simulated inference cost so the
+// paper's SLM-vs-LLM efficiency comparisons remain meaningful. See
+// DESIGN.md §2 for the substitution rationale.
+package slm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a surface token.
+type TokenKind int
+
+// Token kinds produced by Tokenize.
+const (
+	TokenWord TokenKind = iota
+	TokenNumber
+	TokenPunct
+	TokenSymbol
+)
+
+// String returns the kind name for diagnostics.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenWord:
+		return "word"
+	case TokenNumber:
+		return "number"
+	case TokenPunct:
+		return "punct"
+	case TokenSymbol:
+		return "symbol"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is a surface token with its byte offsets in the source text.
+type Token struct {
+	Text  string
+	Kind  TokenKind
+	Start int // byte offset of first byte
+	End   int // byte offset one past last byte
+}
+
+// Tokenize splits text into word, number, punctuation and symbol tokens.
+// Numbers keep internal '.' , ',' and '%' attached ("1,234.5%", "20%"),
+// and words keep internal hyphens and apostrophes ("patient-reported",
+// "don't"), which the extraction rules depend on.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		c := rune(text[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case isDigit(byte(text[i])):
+			start := i
+			i++
+			for i < n && (isDigit(text[i]) || text[i] == '.' || text[i] == ',') {
+				// A trailing '.' or ',' belongs to the sentence, not the number.
+				if (text[i] == '.' || text[i] == ',') && (i+1 >= n || !isDigit(text[i+1])) {
+					break
+				}
+				i++
+			}
+			if i < n && text[i] == '%' {
+				i++
+			}
+			tokens = append(tokens, Token{Text: text[start:i], Kind: TokenNumber, Start: start, End: i})
+		case isWordStart(c):
+			start := i
+			i++
+			for i < n {
+				r := rune(text[i])
+				if isWordPart(r) {
+					i++
+					continue
+				}
+				// Keep internal hyphen/apostrophe when followed by a
+				// letter or digit ("patient-reported", "P-1042").
+				if (r == '-' || r == '\'') && i+1 < n && isWordPart(rune(text[i+1])) {
+					i += 2
+					continue
+				}
+				break
+			}
+			tokens = append(tokens, Token{Text: text[start:i], Kind: TokenWord, Start: start, End: i})
+		case isPunct(c):
+			tokens = append(tokens, Token{Text: string(c), Kind: TokenPunct, Start: i, End: i + 1})
+			i++
+		default:
+			tokens = append(tokens, Token{Text: string(c), Kind: TokenSymbol, Start: i, End: i + 1})
+			i++
+		}
+	}
+	return tokens
+}
+
+// Words returns just the lower-cased word and number texts of tokens,
+// which is the form the embedder and BM25 consume.
+func Words(tokens []Token) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if t.Kind == TokenWord || t.Kind == TokenNumber {
+			out = append(out, strings.ToLower(t.Text))
+		}
+	}
+	return out
+}
+
+// SplitSentences splits text on sentence-final punctuation while keeping
+// abbreviations ("Dr.", "e.g.") and decimal points intact. Offsets are
+// preserved so chunks can cite source spans.
+func SplitSentences(text string) []Span {
+	var spans []Span
+	start := 0
+	i := 0
+	n := len(text)
+	for i < n {
+		c := text[i]
+		if c == '.' || c == '!' || c == '?' || c == '\n' {
+			if c == '.' && isAbbreviationDot(text, i) {
+				i++
+				continue
+			}
+			end := i + 1
+			if s := strings.TrimSpace(text[start:end]); s != "" {
+				spans = append(spans, Span{Start: start, End: end, Text: s})
+			}
+			i = end
+			for i < n && (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' || text[i] == '\r') {
+				i++
+			}
+			start = i
+			continue
+		}
+		i++
+	}
+	if s := strings.TrimSpace(text[start:]); s != "" {
+		spans = append(spans, Span{Start: start, End: n, Text: s})
+	}
+	return spans
+}
+
+// Span is a byte range of the source text with its trimmed content.
+type Span struct {
+	Start int
+	End   int
+	Text  string
+}
+
+// isAbbreviationDot reports whether the '.' at index i is part of an
+// abbreviation or decimal rather than a sentence terminator.
+func isAbbreviationDot(text string, i int) bool {
+	// Decimal: digit on both sides.
+	if i > 0 && i+1 < len(text) && isDigit(text[i-1]) && isDigit(text[i+1]) {
+		return true
+	}
+	// Single-letter abbreviation like "A." mid-sentence followed by
+	// lower-case continuation, or known short abbreviations.
+	j := i - 1
+	for j >= 0 && isLetter(text[j]) {
+		j--
+	}
+	word := text[j+1 : i]
+	switch strings.ToLower(word) {
+	case "dr", "mr", "mrs", "ms", "prof", "st":
+		// Title abbreviations precede capitalized names; always join.
+		return true
+	case "e.g", "i.e", "vs", "etc", "no", "fig", "al", "g", "e", "i":
+		// Only treat as abbreviation when not at end of text and the
+		// next non-space byte is lower case or a digit.
+		k := i + 1
+		for k < len(text) && text[k] == ' ' {
+			k++
+		}
+		if k < len(text) && (isLower(text[k]) || isDigit(text[k])) {
+			return true
+		}
+	}
+	return false
+}
+
+func isDigit(b byte) bool  { return b >= '0' && b <= '9' }
+func isLower(b byte) bool  { return b >= 'a' && b <= 'z' }
+func isLetter(b byte) bool { return isLower(b) || (b >= 'A' && b <= 'Z') }
+
+func isWordStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isWordPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+func isPunct(r rune) bool {
+	switch r {
+	case '.', ',', ';', ':', '!', '?', '(', ')', '[', ']', '{', '}', '"', '\'', '-', '/', '–', '—':
+		return true
+	}
+	return unicode.IsPunct(r)
+}

@@ -1,0 +1,188 @@
+package slm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Q2 sales increased 20%", []string{"Q2", "sales", "increased", "20%"}},
+		{"Hello, world!", []string{"Hello", ",", "world", "!"}},
+		{"$1,234.56 revenue", []string{"$", "1,234.56", "revenue"}},
+		{"patient-reported outcomes", []string{"patient-reported", "outcomes"}},
+		{"don't stop", []string{"don't", "stop"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"3.5 stars", []string{"3.5", "stars"}},
+		{"A/B test", []string{"A", "/", "B", "test"}},
+	}
+	for _, tc := range tests {
+		got := Tokenize(tc.in)
+		var texts []string
+		for _, tok := range got {
+			texts = append(texts, tok.Text)
+		}
+		if !equalStrings(texts, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, texts, tc.want)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "Product Alpha sold 42 units."
+	for _, tok := range Tokenize(text) {
+		if tok.Start < 0 || tok.End > len(text) || tok.Start >= tok.End {
+			t.Fatalf("bad offsets %+v for %q", tok, text)
+		}
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: token %q but text slice %q", tok.Text, text[tok.Start:tok.End])
+		}
+	}
+}
+
+func TestTokenizeNumberEdgeCases(t *testing.T) {
+	// Sentence-final period must not be swallowed by the number.
+	toks := Tokenize("Sales were 1,200.")
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens %v, want 4", len(toks), toks)
+	}
+	if toks[2].Text != "1,200" || toks[2].Kind != TokenNumber {
+		t.Errorf("number token = %+v, want 1,200", toks[2])
+	}
+	if toks[3].Text != "." {
+		t.Errorf("final token = %+v, want '.'", toks[3])
+	}
+}
+
+func TestTokenizeKinds(t *testing.T) {
+	toks := Tokenize("rated 4.5 stars ($99)")
+	kinds := map[string]TokenKind{}
+	for _, tok := range toks {
+		kinds[tok.Text] = tok.Kind
+	}
+	if kinds["4.5"] != TokenNumber {
+		t.Errorf("4.5 kind = %v", kinds["4.5"])
+	}
+	if kinds["rated"] != TokenWord {
+		t.Errorf("rated kind = %v", kinds["rated"])
+	}
+	if kinds["("] != TokenPunct {
+		t.Errorf("( kind = %v", kinds["("])
+	}
+	if kinds["$"] != TokenSymbol {
+		t.Errorf("$ kind = %v", kinds["$"])
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	for k, want := range map[TokenKind]string{
+		TokenWord: "word", TokenNumber: "number", TokenPunct: "punct",
+		TokenSymbol: "symbol", TokenKind(99): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("TokenKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words(Tokenize("Compare Sales for Q2, please!"))
+	want := []string{"compare", "sales", "for", "q2", "please"}
+	if !equalStrings(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	text := "Q2 sales increased 20%. Customer satisfaction fell. Dr. Smith approved the 3.5 mg dose on May 5, 2024."
+	spans := SplitSentences(text)
+	if len(spans) != 3 {
+		t.Fatalf("got %d sentences: %#v", len(spans), spans)
+	}
+	if !strings.HasPrefix(spans[2].Text, "Dr. Smith") {
+		t.Errorf("abbreviation split wrongly: %q", spans[2].Text)
+	}
+	if !strings.Contains(spans[2].Text, "3.5 mg") {
+		t.Errorf("decimal split wrongly: %q", spans[2].Text)
+	}
+}
+
+func TestSplitSentencesOffsets(t *testing.T) {
+	text := "First sentence. Second one! Third?"
+	for _, s := range SplitSentences(text) {
+		sub := text[s.Start:s.End]
+		if strings.TrimSpace(sub) != s.Text {
+			t.Errorf("span text %q != slice %q", s.Text, sub)
+		}
+	}
+}
+
+func TestSplitSentencesEmpty(t *testing.T) {
+	if got := SplitSentences(""); len(got) != 0 {
+		t.Errorf("SplitSentences(\"\") = %v", got)
+	}
+	if got := SplitSentences("   "); len(got) != 0 {
+		t.Errorf("SplitSentences(blank) = %v", got)
+	}
+	if got := SplitSentences("no terminator"); len(got) != 1 {
+		t.Errorf("unterminated text: %v", got)
+	}
+}
+
+// Property: tokenization covers every non-space byte of ASCII inputs
+// exactly once, in order.
+func TestTokenizeCoverageProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Restrict to printable ASCII to keep the property crisp.
+		s := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			if b >= 32 && b < 127 {
+				s = append(s, b)
+			}
+		}
+		text := string(s)
+		toks := Tokenize(text)
+		last := 0
+		for _, tok := range toks {
+			if tok.Start < last {
+				return false // overlap or out of order
+			}
+			// Bytes skipped between tokens must all be spaces.
+			for i := last; i < tok.Start; i++ {
+				if text[i] != ' ' && text[i] != '\t' {
+					return false
+				}
+			}
+			if text[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			last = tok.End
+		}
+		for i := last; i < len(text); i++ {
+			if text[i] != ' ' && text[i] != '\t' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

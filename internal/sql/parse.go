@@ -1,0 +1,400 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Sentinel errors.
+var (
+	ErrSyntax = errors.New("sql: syntax error")
+)
+
+// SelectItem is one projection: a bare column or an aggregate call.
+type SelectItem struct {
+	Col   string
+	Agg   table.AggFunc
+	IsAgg bool
+	As    string
+	Star  bool // COUNT(*) or SELECT *
+}
+
+// JoinClause is an INNER equi-join.
+type JoinClause struct {
+	Table    string
+	LeftCol  string // column of the FROM table (qualified form accepted)
+	RightCol string // column of the joined table
+}
+
+// Where is one conjunct of the WHERE clause.
+type Where struct {
+	Col string
+	Op  table.CmpOp
+	Val table.Value
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	Items    []SelectItem
+	Distinct bool
+	From     string
+	Join     *JoinClause
+	Wheres   []Where
+	GroupBy  []string
+	OrderBy  []OrderKey
+	Limit    int // 0 = none
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.cur().kind == tokSymbol && p.cur().text == ";" {
+		p.pos++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s (byte %d of %q)", ErrSyntax, fmt.Sprintf(format, args...), p.cur().pos, p.src)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return nil
+	}
+	return p.errf("expected %s, got %q", kw, p.cur().text)
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return nil
+	}
+	return p.errf("expected %q, got %q", s, p.cur().text)
+}
+
+func (p *parser) selectStmt() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{}
+	if p.cur().kind == tokKeyword && p.cur().text == "DISTINCT" {
+		stmt.Distinct = true
+		p.pos++
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	if p.cur().kind == tokKeyword && (p.cur().text == "JOIN" || p.cur().text == "INNER") {
+		if p.cur().text == "INNER" {
+			p.pos++
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		join, err := p.joinClause()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Join = join
+	}
+
+	if p.cur().kind == tokKeyword && p.cur().text == "WHERE" {
+		p.pos++
+		for {
+			w, err := p.whereClause()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Wheres = append(stmt.Wheres, w)
+			if p.cur().kind == tokKeyword && p.cur().text == "AND" {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+
+	if p.cur().kind == tokKeyword && p.cur().text == "GROUP" {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+
+	if p.cur().kind == tokKeyword && p.cur().text == "ORDER" {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: col}
+			if p.cur().kind == tokKeyword && (p.cur().text == "DESC" || p.cur().text == "ASC") {
+				key.Desc = p.cur().text == "DESC"
+				p.pos++
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+
+	if p.cur().kind == tokKeyword && p.cur().text == "LIMIT" {
+		p.pos++
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected LIMIT count")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT count")
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+var aggKeywords = map[string]table.AggFunc{
+	"COUNT": table.AggCount,
+	"SUM":   table.AggSum,
+	"AVG":   table.AggAvg,
+	"MIN":   table.AggMin,
+	"MAX":   table.AggMax,
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.cur().kind == tokSymbol && p.cur().text == "*" {
+		p.pos++
+		return SelectItem{Star: true}, nil
+	}
+	if fn, ok := aggKeywords[p.cur().text]; ok && p.cur().kind == tokKeyword {
+		p.pos++
+		if err := p.expectSymbol("("); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: fn, IsAgg: true}
+		if p.cur().kind == tokSymbol && p.cur().text == "*" {
+			p.pos++
+			item.Star = true
+		} else {
+			col, err := p.columnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		if p.cur().kind == tokKeyword && p.cur().text == "AS" {
+			p.pos++
+			as, err := p.ident()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.As = as
+		}
+		return item, nil
+	}
+	col, err := p.columnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Col: col}
+	if p.cur().kind == tokKeyword && p.cur().text == "AS" {
+		p.pos++
+		as, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = as
+	}
+	return item, nil
+}
+
+func (p *parser) joinClause() (*JoinClause, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	left, err := p.columnRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	right, err := p.columnRef()
+	if err != nil {
+		return nil, err
+	}
+	return &JoinClause{Table: name, LeftCol: left, RightCol: right}, nil
+}
+
+func (p *parser) whereClause() (Where, error) {
+	col, err := p.columnRef()
+	if err != nil {
+		return Where{}, err
+	}
+	var op table.CmpOp
+	switch {
+	case p.cur().kind == tokSymbol:
+		switch p.cur().text {
+		case "=":
+			op = table.OpEq
+		case "!=", "<>":
+			op = table.OpNe
+		case "<":
+			op = table.OpLt
+		case "<=":
+			op = table.OpLe
+		case ">":
+			op = table.OpGt
+		case ">=":
+			op = table.OpGe
+		default:
+			return Where{}, p.errf("bad operator %q", p.cur().text)
+		}
+		p.pos++
+	case p.cur().kind == tokKeyword && p.cur().text == "CONTAINS":
+		op = table.OpContains
+		p.pos++
+	default:
+		return Where{}, p.errf("expected comparison operator, got %q", p.cur().text)
+	}
+	val, err := p.literal()
+	if err != nil {
+		return Where{}, err
+	}
+	return Where{Col: col, Op: op, Val: val}, nil
+}
+
+func (p *parser) literal() (table.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return table.Value{}, p.errf("bad number %q", t.text)
+			}
+			return table.F(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return table.Value{}, p.errf("bad number %q", t.text)
+		}
+		return table.I(n), nil
+	case t.kind == tokString:
+		p.pos++
+		return table.S(t.text), nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.pos++
+		return table.B(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.pos++
+		return table.B(false), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.pos++
+		return table.Null(table.TypeString), nil
+	default:
+		return table.Value{}, p.errf("expected literal, got %q", t.text)
+	}
+}
+
+// columnRef parses "col" or "table.col" (the qualifier is kept — the
+// executor resolves it against join-renamed schemas).
+func (p *parser) columnRef() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "." {
+		p.pos++
+		col, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return name + "." + col, nil
+	}
+	return name, nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	return p.next().text, nil
+}

@@ -1,0 +1,261 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+func testCatalog() *table.Catalog {
+	c := table.NewCatalog()
+	sales := table.New("sales", table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "quarter", Type: table.TypeString},
+		{Name: "revenue", Type: table.TypeFloat},
+		{Name: "units", Type: table.TypeInt},
+	})
+	sales.MustAppend([]table.Value{table.S("Alpha"), table.S("Q1"), table.F(100), table.I(10)})
+	sales.MustAppend([]table.Value{table.S("Alpha"), table.S("Q2"), table.F(120), table.I(12)})
+	sales.MustAppend([]table.Value{table.S("Beta"), table.S("Q1"), table.F(80), table.I(8)})
+	sales.MustAppend([]table.Value{table.S("Beta"), table.S("Q2"), table.F(60), table.I(6)})
+	c.Put(sales)
+
+	products := table.New("products", table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "maker", Type: table.TypeString},
+	})
+	products.MustAppend([]table.Value{table.S("Alpha"), table.S("Acme")})
+	products.MustAppend([]table.Value{table.S("Beta"), table.S("Globex")})
+	c.Put(products)
+	return c
+}
+
+func mustExec(t *testing.T, q string) *table.Table {
+	t.Helper()
+	res, err := Exec(testCatalog(), q)
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	return res
+}
+
+func TestSelectStar(t *testing.T) {
+	res := mustExec(t, "SELECT * FROM sales")
+	if res.Len() != 4 || len(res.Schema) != 4 {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestSelectProjection(t *testing.T) {
+	res := mustExec(t, "SELECT product, revenue FROM sales")
+	if len(res.Schema) != 2 || res.Schema[0].Name != "product" {
+		t.Errorf("schema = %v", res.Schema.Names())
+	}
+}
+
+func TestSelectAlias(t *testing.T) {
+	res := mustExec(t, "SELECT revenue AS rev FROM sales LIMIT 1")
+	if res.Schema[0].Name != "rev" {
+		t.Errorf("alias = %v", res.Schema.Names())
+	}
+}
+
+func TestWhere(t *testing.T) {
+	res := mustExec(t, "SELECT * FROM sales WHERE quarter = 'Q2' AND revenue > 100")
+	if res.Len() != 1 || res.Rows[0][0].Str() != "Alpha" {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	cases := map[string]int{
+		"SELECT * FROM sales WHERE revenue >= 100":         2,
+		"SELECT * FROM sales WHERE revenue < 80":           1,
+		"SELECT * FROM sales WHERE revenue != 60":          3,
+		"SELECT * FROM sales WHERE product CONTAINS 'alp'": 2,
+		"SELECT * FROM sales WHERE units <= 8":             2,
+	}
+	for q, want := range cases {
+		if res := mustExec(t, q); res.Len() != want {
+			t.Errorf("%q: %d rows, want %d", q, res.Len(), want)
+		}
+	}
+}
+
+func TestWhereLiteralRetyping(t *testing.T) {
+	// Integer literal against a float column must still match.
+	res := mustExec(t, "SELECT * FROM sales WHERE revenue = 120")
+	if res.Len() != 1 {
+		t.Errorf("retyping failed: %d rows", res.Len())
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	res := mustExec(t, "SELECT SUM(revenue) AS total, COUNT(*) AS n FROM sales")
+	if res.Len() != 1 || res.Rows[0][0].Float() != 360 || res.Rows[0][1].Int() != 4 {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	res := mustExec(t, "SELECT product, SUM(revenue) AS total FROM sales GROUP BY product ORDER BY total DESC")
+	if res.Len() != 2 {
+		t.Fatalf("result:\n%s", res)
+	}
+	if res.Rows[0][0].Str() != "Alpha" || res.Rows[0][1].Float() != 220 {
+		t.Errorf("first group: %v", res.Rows[0])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	res := mustExec(t, "SELECT maker, SUM(revenue) AS total FROM sales JOIN products ON sales.product = products.product GROUP BY maker ORDER BY maker")
+	if res.Len() != 2 {
+		t.Fatalf("result:\n%s", res)
+	}
+	if res.Rows[0][0].Str() != "Acme" || res.Rows[0][1].Float() != 220 {
+		t.Errorf("join agg: %v", res.Rows[0])
+	}
+}
+
+func TestInnerJoinKeyword(t *testing.T) {
+	res := mustExec(t, "SELECT * FROM sales INNER JOIN products ON sales.product = products.product")
+	if res.Len() != 4 {
+		t.Errorf("inner join rows = %d", res.Len())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	res := mustExec(t, "SELECT DISTINCT product FROM sales")
+	if res.Len() != 2 {
+		t.Errorf("distinct rows = %d", res.Len())
+	}
+}
+
+func TestOrderByMultiKey(t *testing.T) {
+	res := mustExec(t, "SELECT * FROM sales ORDER BY quarter, revenue DESC")
+	if res.Rows[0][1].Str() != "Q1" || res.Rows[0][2].Float() != 100 {
+		t.Errorf("first row: %v", res.Rows[0])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	if res := mustExec(t, "SELECT * FROM sales LIMIT 2"); res.Len() != 2 {
+		t.Errorf("limit rows = %d", res.Len())
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	if res := mustExec(t, "SELECT * FROM sales;"); res.Len() != 4 {
+		t.Error("semicolon handling broken")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	c := table.NewCatalog()
+	tbl := table.New("t", table.Schema{{Name: "s", Type: table.TypeString}})
+	tbl.MustAppend([]table.Value{table.S("it's")})
+	c.Put(tbl)
+	res, err := Exec(c, "SELECT * FROM t WHERE s = 'it''s'")
+	if err != nil || res.Len() != 1 {
+		t.Errorf("escape: %v %v", err, res)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM sales",
+		"SELECT * FROM",
+		"SELECT * FROM sales WHERE",
+		"SELECT * FROM sales WHERE revenue",
+		"SELECT * FROM sales WHERE revenue ~ 5",
+		"SELECT * FROM sales LIMIT x",
+		"SELECT * FROM sales GARBAGE",
+		"SELECT SUM( FROM sales",
+		"SELECT * FROM sales WHERE s = 'unterminated",
+		"UPDATE sales SET revenue = 0",
+	}
+	for _, q := range bad {
+		if _, err := Exec(testCatalog(), q); err == nil {
+			t.Errorf("%q: accepted", q)
+		}
+	}
+}
+
+func TestSemanticsErrors(t *testing.T) {
+	if _, err := Exec(testCatalog(), "SELECT ghost FROM sales"); !errors.Is(err, ErrBadColumn) {
+		t.Errorf("bad column: %v", err)
+	}
+	if _, err := Exec(testCatalog(), "SELECT * FROM ghost"); !errors.Is(err, table.ErrNoTable) {
+		t.Errorf("bad table: %v", err)
+	}
+	if _, err := Exec(testCatalog(), "SELECT product FROM sales GROUP BY quarter"); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("non-grouped column: %v", err)
+	}
+	if _, err := Exec(testCatalog(), "SELECT product FROM sales JOIN ghost ON sales.product = ghost.product"); err == nil {
+		t.Error("bad join table accepted")
+	}
+}
+
+func TestQualifiedColumns(t *testing.T) {
+	res := mustExec(t, "SELECT sales.product FROM sales WHERE sales.revenue > 100")
+	if res.Len() != 1 {
+		t.Errorf("qualified: %d rows", res.Len())
+	}
+}
+
+func TestParserNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Any input either parses or errors; never panics.
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lex("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos != 0 || toks[1].pos != 7 {
+		t.Errorf("positions: %+v", toks[:2])
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	res := mustExec(t, "SELECT * FROM sales WHERE revenue > -10")
+	if res.Len() != 4 {
+		t.Errorf("negative literal: %d rows", res.Len())
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	c := table.NewCatalog()
+	tbl := table.New("t", table.Schema{{Name: "x", Type: table.TypeFloat}})
+	tbl.MustAppend([]table.Value{table.F(1)})
+	tbl.MustAppend([]table.Value{table.Null(table.TypeFloat)})
+	c.Put(tbl)
+	res, err := Exec(c, "SELECT COUNT(x) AS cx, COUNT(*) AS call FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("counts: %v", res.Rows[0])
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Render a statement's result and sanity-check shape.
+	res := mustExec(t, "SELECT product, AVG(units) AS avg_units FROM sales GROUP BY product")
+	s := res.String()
+	if !strings.Contains(s, "avg_units") {
+		t.Errorf("render:\n%s", s)
+	}
+}

@@ -1,0 +1,415 @@
+// Package store implements the heterogeneous source substrate: the
+// structured (CSV/relational), semi-structured (JSON logs, XML
+// configs) and unstructured (free text) stores the paper's system
+// queries through one interface (Section I).
+//
+// Every store yields Records — a flat, source-tagged view that the
+// index builder consumes uniformly. Semi-structured payloads are
+// flattened to dotted key paths; unstructured documents pass through
+// as text.
+package store
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Kind classifies a data source.
+type Kind string
+
+// Source kinds.
+const (
+	KindText       Kind = "text"       // unstructured documents
+	KindJSON       Kind = "json"       // JSON log lines / arrays
+	KindXML        Kind = "xml"        // XML configuration trees
+	KindRelational Kind = "relational" // typed tables
+)
+
+// Record is the unified view of one item from any source: a document,
+// a log entry, a config element, or a table row.
+type Record struct {
+	ID     string            // stable id within the source
+	Source string            // source name
+	Kind   Kind              // source kind
+	Text   string            // unstructured content ("" for pure rows)
+	Fields map[string]string // flattened key/value payload
+}
+
+// Source is a named collection of records.
+type Source interface {
+	// Name returns the source's unique name.
+	Name() string
+	// Kind returns the source kind.
+	Kind() Kind
+	// Records returns all records in deterministic order.
+	Records() []Record
+	// Len returns the record count.
+	Len() int
+}
+
+// Sentinel errors.
+var (
+	ErrParse = errors.New("store: parse error")
+	ErrEmpty = errors.New("store: empty source")
+)
+
+// --- Unstructured text ---
+
+// TextStore holds free-text documents (clinical notes, reviews,
+// forum posts).
+type TextStore struct {
+	name string
+	ids  []string
+	docs map[string]string
+}
+
+// NewTextStore returns an empty document store.
+func NewTextStore(name string) *TextStore {
+	return &TextStore{name: name, docs: make(map[string]string)}
+}
+
+// Add inserts a document. Re-adding an id replaces its text.
+func (s *TextStore) Add(id, text string) {
+	if _, ok := s.docs[id]; !ok {
+		s.ids = append(s.ids, id)
+	}
+	s.docs[id] = text
+}
+
+// Doc returns a document's text and whether it exists.
+func (s *TextStore) Doc(id string) (string, bool) {
+	t, ok := s.docs[id]
+	return t, ok
+}
+
+// Name implements Source.
+func (s *TextStore) Name() string { return s.name }
+
+// Kind implements Source.
+func (s *TextStore) Kind() Kind { return KindText }
+
+// Len implements Source.
+func (s *TextStore) Len() int { return len(s.ids) }
+
+// Records implements Source.
+func (s *TextStore) Records() []Record {
+	out := make([]Record, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, Record{
+			ID: id, Source: s.name, Kind: KindText, Text: s.docs[id],
+		})
+	}
+	return out
+}
+
+// --- Semi-structured JSON ---
+
+// JSONStore holds flattened JSON objects, one record per object.
+type JSONStore struct {
+	name    string
+	records []Record
+}
+
+// NewJSONStore returns an empty JSON store.
+func NewJSONStore(name string) *JSONStore {
+	return &JSONStore{name: name}
+}
+
+// LoadLines reads JSON-lines input (one object per line; blank lines
+// skipped) and appends one record per object.
+func (s *JSONStore) LoadLines(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	n := 0
+	for {
+		var v interface{}
+		err := dec.Decode(&v)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%w: json object %d: %v", ErrParse, n, err)
+		}
+		s.AddObject(v)
+		n++
+	}
+	return nil
+}
+
+// AddObject flattens one decoded JSON value into a record.
+func (s *JSONStore) AddObject(v interface{}) {
+	fields := make(map[string]string)
+	flattenJSON("", v, fields)
+	id := fmt.Sprintf("%s/%d", s.name, len(s.records))
+	// Prefer an explicit id-ish field when present.
+	for _, key := range []string{"id", "event_id", "log_id", "record_id"} {
+		if val, ok := fields[key]; ok && val != "" {
+			id = fmt.Sprintf("%s/%s", s.name, val)
+			break
+		}
+	}
+	s.records = append(s.records, Record{
+		ID: id, Source: s.name, Kind: KindJSON,
+		Text:   fieldsToText(fields),
+		Fields: fields,
+	})
+}
+
+// Name implements Source.
+func (s *JSONStore) Name() string { return s.name }
+
+// Kind implements Source.
+func (s *JSONStore) Kind() Kind { return KindJSON }
+
+// Len implements Source.
+func (s *JSONStore) Len() int { return len(s.records) }
+
+// Records implements Source.
+func (s *JSONStore) Records() []Record { return append([]Record(nil), s.records...) }
+
+func flattenJSON(prefix string, v interface{}, out map[string]string) {
+	switch x := v.(type) {
+	case map[string]interface{}:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenJSON(joinPath(prefix, k), x[k], out)
+		}
+	case []interface{}:
+		for i, item := range x {
+			flattenJSON(fmt.Sprintf("%s[%d]", prefix, i), item, out)
+		}
+	case nil:
+		out[prefix] = ""
+	case float64:
+		out[prefix] = trimFloat(x)
+	case bool:
+		out[prefix] = fmt.Sprintf("%t", x)
+	default:
+		out[prefix] = fmt.Sprintf("%v", x)
+	}
+}
+
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+func joinPath(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// fieldsToText renders flattened fields as a deterministic sentence-like
+// string so semi-structured records can also be chunked and tagged.
+func fieldsToText(fields map[string]string) string {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	keyWords := strings.NewReplacer(".", " ", "_", " ")
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if fields[k] == "" {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s is %s", keyWords.Replace(k), fields[k]))
+	}
+	return strings.Join(parts, ". ") + "."
+}
+
+// --- Semi-structured XML ---
+
+// XMLStore holds flattened XML elements.
+type XMLStore struct {
+	name    string
+	records []Record
+}
+
+// NewXMLStore returns an empty XML store.
+func NewXMLStore(name string) *XMLStore {
+	return &XMLStore{name: name}
+}
+
+// xmlNode is a generic XML tree node.
+type xmlNode struct {
+	XMLName  xml.Name
+	Attrs    []xml.Attr `xml:",any,attr"`
+	Content  string     `xml:",chardata"`
+	Children []xmlNode  `xml:",any"`
+}
+
+// Load parses an XML document and appends one record per second-level
+// element (the conventional layout of config files: a root wrapping
+// repeated entries). A root with no children yields one record.
+func (s *XMLStore) Load(r io.Reader) error {
+	var root xmlNode
+	if err := xml.NewDecoder(r).Decode(&root); err != nil {
+		return fmt.Errorf("%w: xml: %v", ErrParse, err)
+	}
+	if len(root.Children) == 0 {
+		s.addNode(root)
+		return nil
+	}
+	for _, child := range root.Children {
+		s.addNode(child)
+	}
+	return nil
+}
+
+func (s *XMLStore) addNode(n xmlNode) {
+	fields := make(map[string]string)
+	flattenXML(n.XMLName.Local, n, fields)
+	id := fmt.Sprintf("%s/%d", s.name, len(s.records))
+	for _, attr := range n.Attrs {
+		if strings.EqualFold(attr.Name.Local, "id") {
+			id = fmt.Sprintf("%s/%s", s.name, attr.Value)
+			break
+		}
+	}
+	s.records = append(s.records, Record{
+		ID: id, Source: s.name, Kind: KindXML,
+		Text:   fieldsToText(fields),
+		Fields: fields,
+	})
+}
+
+func flattenXML(prefix string, n xmlNode, out map[string]string) {
+	for _, a := range n.Attrs {
+		out[joinPath(prefix, "@"+a.Name.Local)] = a.Value
+	}
+	content := strings.TrimSpace(n.Content)
+	if len(n.Children) == 0 {
+		if content != "" {
+			out[prefix] = content
+		}
+		return
+	}
+	for _, c := range n.Children {
+		flattenXML(joinPath(prefix, c.XMLName.Local), c, out)
+	}
+}
+
+// Name implements Source.
+func (s *XMLStore) Name() string { return s.name }
+
+// Kind implements Source.
+func (s *XMLStore) Kind() Kind { return KindXML }
+
+// Len implements Source.
+func (s *XMLStore) Len() int { return len(s.records) }
+
+// Records implements Source.
+func (s *XMLStore) Records() []Record { return append([]Record(nil), s.records...) }
+
+// --- Structured relational ---
+
+// RelationalStore wraps a table.Catalog as a record source: each row
+// becomes one record with column-name fields.
+type RelationalStore struct {
+	name    string
+	catalog *table.Catalog
+}
+
+// NewRelationalStore wraps a catalog. The catalog remains the system
+// of record; this view is for indexing.
+func NewRelationalStore(name string, c *table.Catalog) *RelationalStore {
+	return &RelationalStore{name: name, catalog: c}
+}
+
+// Catalog returns the underlying catalog for TableQA execution.
+func (s *RelationalStore) Catalog() *table.Catalog { return s.catalog }
+
+// Name implements Source.
+func (s *RelationalStore) Name() string { return s.name }
+
+// Kind implements Source.
+func (s *RelationalStore) Kind() Kind { return KindRelational }
+
+// Len implements Source.
+func (s *RelationalStore) Len() int {
+	n := 0
+	for _, name := range s.catalog.Names() {
+		t, err := s.catalog.Get(name)
+		if err == nil {
+			n += t.Len()
+		}
+	}
+	return n
+}
+
+// Records implements Source.
+func (s *RelationalStore) Records() []Record {
+	var out []Record
+	for _, name := range s.catalog.Names() {
+		t, err := s.catalog.Get(name)
+		if err != nil {
+			continue
+		}
+		for i, row := range t.Rows {
+			fields := make(map[string]string, len(row))
+			for c, v := range row {
+				if !v.IsNull() {
+					fields[t.Schema[c].Name] = v.String()
+				}
+			}
+			out = append(out, Record{
+				ID:     fmt.Sprintf("%s/%s/%d", s.name, t.Name, i),
+				Source: s.name,
+				Kind:   KindRelational,
+				Text:   fieldsToText(fields),
+				Fields: fields,
+			})
+		}
+	}
+	return out
+}
+
+// Multi groups several sources, preserving registration order.
+type Multi struct {
+	sources []Source
+}
+
+// NewMulti returns an empty source group.
+func NewMulti() *Multi { return &Multi{} }
+
+// Add registers a source and returns m for chaining.
+func (m *Multi) Add(s Source) *Multi {
+	m.sources = append(m.sources, s)
+	return m
+}
+
+// Sources returns the registered sources in order.
+func (m *Multi) Sources() []Source { return append([]Source(nil), m.sources...) }
+
+// Records returns all records of all sources.
+func (m *Multi) Records() []Record {
+	var out []Record
+	for _, s := range m.sources {
+		out = append(out, s.Records()...)
+	}
+	return out
+}
+
+// Len returns the total record count.
+func (m *Multi) Len() int {
+	n := 0
+	for _, s := range m.sources {
+		n += s.Len()
+	}
+	return n
+}

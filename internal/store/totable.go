@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// ToTable materializes semi-structured records (JSON logs, XML
+// configs) as a typed relation so the TableQA engine can aggregate and
+// join over them — the step that makes "semi-structured formats" full
+// citizens of the unified query layer rather than retrieval-only text.
+//
+// The schema is the union of the records' field keys; each column's
+// type is inferred from its observed values (int ⊂ float widening,
+// anything mixed degrades to string). Missing fields become NULL.
+func ToTable(name string, recs []Record) (*table.Table, error) {
+	// Union of keys and per-key type votes.
+	votes := map[string]map[table.ColType]int{}
+	var keys []string
+	for _, rec := range recs {
+		for k, v := range rec.Fields {
+			if votes[k] == nil {
+				votes[k] = map[table.ColType]int{}
+				keys = append(keys, k)
+			}
+			if v == "" {
+				continue
+			}
+			votes[k][table.Infer(v)]++
+		}
+	}
+	sort.Strings(keys)
+
+	schema := make(table.Schema, 0, len(keys))
+	for _, k := range keys {
+		schema = append(schema, table.Column{Name: k, Type: electType(votes[k])})
+	}
+	t := table.New(name, schema)
+	for _, rec := range recs {
+		row := make([]table.Value, len(schema))
+		for i, col := range schema {
+			raw, ok := rec.Fields[col.Name]
+			if !ok || raw == "" {
+				row[i] = table.Null(col.Type)
+				continue
+			}
+			v, err := table.Parse(col.Type, raw)
+			if err != nil {
+				// Type election can be defeated by a late outlier;
+				// degrade the cell, not the load.
+				v = table.Null(col.Type)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row); err != nil {
+			return nil, fmt.Errorf("store: materialize %s: %w", name, err)
+		}
+	}
+	return t, nil
+}
+
+// electType picks a column type from observed value types: unanimous
+// types win; int+float widens to float; any other mixture is string.
+func electType(v map[table.ColType]int) table.ColType {
+	if len(v) == 0 {
+		return table.TypeString
+	}
+	if len(v) == 1 {
+		for t := range v {
+			return t
+		}
+	}
+	if len(v) == 2 && v[table.TypeInt] > 0 && v[table.TypeFloat] > 0 {
+		return table.TypeFloat
+	}
+	return table.TypeString
+}

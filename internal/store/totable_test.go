@@ -1,0 +1,116 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func jsonRecords(t *testing.T, lines string) []Record {
+	t.Helper()
+	s := NewJSONStore("logs")
+	if err := s.LoadLines(strings.NewReader(lines)); err != nil {
+		t.Fatal(err)
+	}
+	return s.Records()
+}
+
+func TestToTableBasic(t *testing.T) {
+	recs := jsonRecords(t, `{"service":"a","latency_ms":120,"ok":true}
+{"service":"b","latency_ms":80.5,"ok":false}`)
+	tbl, err := ToTable("logs", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	// int + float observations widen to float.
+	idx := tbl.Schema.ColIndex("latency_ms")
+	if idx < 0 || tbl.Schema[idx].Type != table.TypeFloat {
+		t.Errorf("latency type = %v", tbl.Schema)
+	}
+	if bi := tbl.Schema.ColIndex("ok"); bi < 0 || tbl.Schema[bi].Type != table.TypeBool {
+		t.Errorf("bool type = %v", tbl.Schema)
+	}
+	if si := tbl.Schema.ColIndex("service"); si < 0 || tbl.Schema[si].Type != table.TypeString {
+		t.Errorf("string type = %v", tbl.Schema)
+	}
+}
+
+func TestToTableMissingFieldsNull(t *testing.T) {
+	recs := jsonRecords(t, `{"a":1}
+{"b":"x"}`)
+	tbl, err := ToTable("t", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, bi := tbl.Schema.ColIndex("a"), tbl.Schema.ColIndex("b")
+	if !tbl.Rows[0][bi].IsNull() || !tbl.Rows[1][ai].IsNull() {
+		t.Errorf("missing fields should be NULL: %v", tbl.Rows)
+	}
+}
+
+func TestToTableMixedTypesDegradeToString(t *testing.T) {
+	recs := jsonRecords(t, `{"v":1}
+{"v":"abc"}`)
+	tbl, err := ToTable("t", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema[tbl.Schema.ColIndex("v")].Type != table.TypeString {
+		t.Errorf("mixed type = %v", tbl.Schema)
+	}
+	if tbl.Rows[0][0].String() != "1" {
+		t.Errorf("int rendered as %q", tbl.Rows[0][0])
+	}
+}
+
+func TestToTableAggregatable(t *testing.T) {
+	recs := jsonRecords(t, `{"service":"a","latency_ms":100}
+{"service":"a","latency_ms":200}
+{"service":"b","latency_ms":50}`)
+	tbl, err := ToTable("logs", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := table.Aggregate(tbl, []string{"service"}, []table.Agg{
+		{Func: table.AggAvg, Col: "latency_ms", As: "avg"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Rows[0][1].Float() != 150 {
+		t.Errorf("agg over materialized table:\n%s", res)
+	}
+}
+
+func TestToTableEmpty(t *testing.T) {
+	tbl, err := ToTable("empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 || len(tbl.Schema) != 0 {
+		t.Errorf("empty: %v", tbl)
+	}
+}
+
+func TestToTableXML(t *testing.T) {
+	s := NewXMLStore("deploy")
+	if err := s.Load(strings.NewReader(
+		`<deployments><d id="x"><replicas>3</replicas></d><d id="y"><replicas>5</replicas></d></deployments>`)); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ToTable("deploy", s.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	ri := tbl.Schema.ColIndex("d.replicas")
+	if ri < 0 || tbl.Schema[ri].Type != table.TypeInt {
+		t.Errorf("schema = %v", tbl.Schema.Names())
+	}
+}

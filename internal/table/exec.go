@@ -1,0 +1,463 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains // case-insensitive substring, strings only
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "CONTAINS"
+	default:
+		return "?"
+	}
+}
+
+// Pred is a single-column comparison predicate.
+type Pred struct {
+	Col string
+	Op  CmpOp
+	Val Value
+}
+
+// String renders the predicate.
+func (p Pred) String() string {
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// Eval applies the predicate to a row of the given schema. NULL never
+// satisfies any comparison (SQL three-valued logic collapsed to false).
+func (p Pred) Eval(schema Schema, row []Value) (bool, error) {
+	idx := schema.ColIndex(p.Col)
+	if idx < 0 {
+		return false, fmt.Errorf("%w: %s", ErrNoColumn, p.Col)
+	}
+	v := row[idx]
+	if v.IsNull() || p.Val.IsNull() {
+		return false, nil
+	}
+	if p.Op == OpContains {
+		return strings.Contains(strings.ToLower(v.String()), strings.ToLower(p.Val.String())), nil
+	}
+	c := Compare(v, p.Val)
+	switch p.Op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("table: unknown operator %v", p.Op)
+	}
+}
+
+// Filter returns the rows satisfying all predicates (conjunction).
+func Filter(t *Table, preds ...Pred) (*Table, error) {
+	out := New(t.Name, t.Schema)
+	for _, row := range t.Rows {
+		keep := true
+		for _, p := range preds {
+			ok, err := p.Eval(t.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Project returns only the named columns, in the given order.
+func Project(t *Table, cols ...string) (*Table, error) {
+	idxs := make([]int, len(cols))
+	schema := make(Schema, len(cols))
+	for i, c := range cols {
+		idx := t.Schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+		}
+		idxs[i] = idx
+		schema[i] = t.Schema[idx]
+	}
+	out := New(t.Name, schema)
+	for _, row := range t.Rows {
+		nr := make([]Value, len(idxs))
+		for i, idx := range idxs {
+			nr[i] = row[idx]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// HashJoin performs an inner equi-join of left and right on
+// left.leftCol = right.rightCol, building the hash table on the smaller
+// side. Output schema is left columns followed by right columns, with
+// right-side name collisions prefixed by the right table name.
+func HashJoin(left, right *Table, leftCol, rightCol string) (*Table, error) {
+	li := left.Schema.ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, left.Name, leftCol)
+	}
+	ri := right.Schema.ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, right.Name, rightCol)
+	}
+	out := New(left.Name+"_join_"+right.Name, joinSchema(left, right))
+
+	// Build on the smaller input, probe with the larger.
+	if len(left.Rows) <= len(right.Rows) {
+		build := make(map[string][][]Value)
+		for _, lr := range left.Rows {
+			if lr[li].IsNull() {
+				continue
+			}
+			k := lr[li].Key()
+			build[k] = append(build[k], lr)
+		}
+		for _, rr := range right.Rows {
+			if rr[ri].IsNull() {
+				continue
+			}
+			for _, lr := range build[rr[ri].Key()] {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	} else {
+		build := make(map[string][][]Value)
+		for _, rr := range right.Rows {
+			if rr[ri].IsNull() {
+				continue
+			}
+			k := rr[ri].Key()
+			build[k] = append(build[k], rr)
+		}
+		for _, lr := range left.Rows {
+			if lr[li].IsNull() {
+				continue
+			}
+			for _, rr := range build[lr[li].Key()] {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+// NestedLoopJoin joins on an arbitrary row predicate; used for
+// non-equi conditions. on receives (leftRow, rightRow).
+func NestedLoopJoin(left, right *Table, on func(l, r []Value) bool) *Table {
+	out := New(left.Name+"_join_"+right.Name, joinSchema(left, right))
+	for _, lr := range left.Rows {
+		for _, rr := range right.Rows {
+			if on(lr, rr) {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	}
+	return out
+}
+
+func joinSchema(left, right *Table) Schema {
+	schema := append(Schema(nil), left.Schema...)
+	used := make(map[string]bool, len(schema))
+	for _, c := range schema {
+		used[strings.ToLower(c.Name)] = true
+	}
+	for _, c := range right.Schema {
+		name := c.Name
+		if used[strings.ToLower(name)] {
+			name = right.Name + "." + name
+		}
+		used[strings.ToLower(name)] = true
+		schema = append(schema, Column{Name: name, Type: c.Type})
+	}
+	return schema
+}
+
+func concatRows(a, b []Value) []Value {
+	out := make([]Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// AggFunc is an aggregation function.
+type AggFunc int
+
+// Aggregation functions.
+const (
+	AggSum AggFunc = iota
+	AggAvg
+	AggCount
+	AggMin
+	AggMax
+)
+
+// String names the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "?"
+	}
+}
+
+// Agg is one aggregation: Func over Col, emitted as output column As.
+// For AggCount, Col may be "" (count rows) or a column (count non-null).
+type Agg struct {
+	Func AggFunc
+	Col  string
+	As   string
+}
+
+// Aggregate groups t by the groupBy columns (possibly empty for a
+// global aggregate) and computes the aggregations. Output columns are
+// the group keys followed by one column per Agg. NULLs are skipped by
+// every function except COUNT(""). Group order is deterministic
+// (sorted by key values).
+func Aggregate(t *Table, groupBy []string, aggs []Agg) (*Table, error) {
+	groupIdx := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		idx := t.Schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+		}
+		groupIdx[i] = idx
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "" {
+			if a.Func != AggCount {
+				return nil, fmt.Errorf("table: %v requires a column", a.Func)
+			}
+			aggIdx[i] = -1
+			continue
+		}
+		idx := t.Schema.ColIndex(a.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, a.Col)
+		}
+		if a.Func != AggCount && a.Func != AggMin && a.Func != AggMax && t.Schema[idx].Type != TypeInt && t.Schema[idx].Type != TypeFloat {
+			return nil, fmt.Errorf("table: %v over non-numeric column %s", a.Func, a.Col)
+		}
+		aggIdx[i] = idx
+	}
+
+	type accum struct {
+		key    []Value
+		sums   []float64
+		counts []int64
+		mins   []Value
+		maxs   []Value
+	}
+	groups := make(map[string]*accum)
+	var order []string
+	for _, row := range t.Rows {
+		var kb strings.Builder
+		key := make([]Value, len(groupIdx))
+		for i, gi := range groupIdx {
+			key[i] = row[gi]
+			kb.WriteString(row[gi].Key())
+			kb.WriteByte('\x1f')
+		}
+		ks := kb.String()
+		acc, ok := groups[ks]
+		if !ok {
+			acc = &accum{
+				key:    key,
+				sums:   make([]float64, len(aggs)),
+				counts: make([]int64, len(aggs)),
+				mins:   make([]Value, len(aggs)),
+				maxs:   make([]Value, len(aggs)),
+			}
+			groups[ks] = acc
+			order = append(order, ks)
+		}
+		for i := range aggs {
+			if aggIdx[i] == -1 {
+				acc.counts[i]++
+				continue
+			}
+			v := row[aggIdx[i]]
+			if v.IsNull() {
+				continue
+			}
+			acc.counts[i]++
+			if v.IsNumeric() {
+				acc.sums[i] += v.Float()
+			}
+			if acc.mins[i].IsNull() || Compare(v, acc.mins[i]) < 0 {
+				acc.mins[i] = v
+			}
+			if acc.maxs[i].IsNull() || Compare(v, acc.maxs[i]) > 0 {
+				acc.maxs[i] = v
+			}
+		}
+	}
+	sort.Strings(order)
+
+	schema := make(Schema, 0, len(groupBy)+len(aggs))
+	for i, c := range groupBy {
+		schema = append(schema, Column{Name: c, Type: t.Schema[groupIdx[i]].Type})
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = strings.ToLower(a.Func.String()) + "_" + a.Col
+		}
+		typ := TypeFloat
+		if a.Func == AggCount {
+			typ = TypeInt
+		} else if a.Func == AggMin || a.Func == AggMax {
+			if idx := t.Schema.ColIndex(a.Col); idx >= 0 {
+				typ = t.Schema[idx].Type
+			}
+		}
+		schema = append(schema, Column{Name: name, Type: typ})
+	}
+	out := New(t.Name+"_agg", schema)
+	for _, ks := range order {
+		acc := groups[ks]
+		row := append([]Value(nil), acc.key...)
+		for i, a := range aggs {
+			switch a.Func {
+			case AggSum:
+				if acc.counts[i] == 0 {
+					row = append(row, Null(TypeFloat))
+				} else {
+					row = append(row, F(acc.sums[i]))
+				}
+			case AggAvg:
+				if acc.counts[i] == 0 {
+					row = append(row, Null(TypeFloat))
+				} else {
+					row = append(row, F(acc.sums[i]/float64(acc.counts[i])))
+				}
+			case AggCount:
+				row = append(row, I(acc.counts[i]))
+			case AggMin:
+				row = append(row, acc.mins[i])
+			case AggMax:
+				row = append(row, acc.maxs[i])
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// SortKey orders rows by a column.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// Sort returns a copy of t ordered by the keys (stable).
+func Sort(t *Table, keys ...SortKey) (*Table, error) {
+	idxs := make([]int, len(keys))
+	for i, k := range keys {
+		idx := t.Schema.ColIndex(k.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, k.Col)
+		}
+		idxs[i] = idx
+	}
+	out := t.Clone()
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		for i, k := range keys {
+			c := Compare(out.Rows[a][idxs[i]], out.Rows[b][idxs[i]])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Limit returns at most n rows.
+func Limit(t *Table, n int) *Table {
+	out := New(t.Name, t.Schema)
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out.Rows = append(out.Rows, t.Rows[:n]...)
+	return out
+}
+
+// Distinct removes duplicate rows, keeping first occurrences.
+func Distinct(t *Table) *Table {
+	out := New(t.Name, t.Schema)
+	seen := make(map[string]bool)
+	for _, row := range t.Rows {
+		var kb strings.Builder
+		for _, v := range row {
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}

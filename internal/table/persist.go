@@ -1,0 +1,84 @@
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// persistTable is the on-disk form of one table: schema plus rows in
+// display encoding (NULL as JSON null).
+type persistTable struct {
+	Name    string      `json:"name"`
+	Columns []Column    `json:"columns"`
+	Rows    [][]*string `json:"rows"`
+}
+
+// persistCatalog is the on-disk form of a catalog.
+type persistCatalog struct {
+	Tables []persistTable `json:"tables"`
+}
+
+// WriteJSON serializes the catalog deterministically (tables sorted by
+// name). Values round-trip through their display strings, which is
+// lossless for every supported type.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	var p persistCatalog
+	for _, name := range c.Names() {
+		t, err := c.Get(name)
+		if err != nil {
+			return err
+		}
+		pt := persistTable{Name: t.Name, Columns: append([]Column(nil), t.Schema...)}
+		for _, row := range t.Rows {
+			pr := make([]*string, len(row))
+			for i, v := range row {
+				if v.IsNull() {
+					continue
+				}
+				s := v.String()
+				pr[i] = &s
+			}
+			pt.Rows = append(pt.Rows, pr)
+		}
+		p.Tables = append(p.Tables, pt)
+	}
+	if err := json.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("table: write catalog: %w", err)
+	}
+	return nil
+}
+
+// ReadCatalogJSON reconstructs a catalog written by WriteJSON.
+func ReadCatalogJSON(r io.Reader) (*Catalog, error) {
+	var p persistCatalog
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("table: read catalog: %w", err)
+	}
+	c := NewCatalog()
+	for _, pt := range p.Tables {
+		t := New(pt.Name, append(Schema(nil), pt.Columns...))
+		for ri, pr := range pt.Rows {
+			if len(pr) != len(t.Schema) {
+				return nil, fmt.Errorf("table: read catalog %s row %d: %w", pt.Name, ri, ErrSchemaMismatch)
+			}
+			row := make([]Value, len(pr))
+			for i, cell := range pr {
+				if cell == nil {
+					row[i] = Null(t.Schema[i].Type)
+					continue
+				}
+				v, err := Parse(t.Schema[i].Type, *cell)
+				if err != nil {
+					return nil, fmt.Errorf("table: read catalog %s row %d: %w", pt.Name, ri, err)
+				}
+				row[i] = v
+			}
+			if err := t.Append(row); err != nil {
+				return nil, fmt.Errorf("table: read catalog %s row %d: %w", pt.Name, ri, err)
+			}
+		}
+		c.Put(t)
+	}
+	return c, nil
+}

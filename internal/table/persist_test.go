@@ -1,0 +1,84 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	c := NewCatalog()
+	tbl := New("sales", Schema{
+		{Name: "product", Type: TypeString},
+		{Name: "revenue", Type: TypeFloat},
+		{Name: "when", Type: TypeDate},
+		{Name: "active", Type: TypeBool},
+		{Name: "units", Type: TypeInt},
+	})
+	tbl.MustAppend([]Value{S("Alpha"), F(120.5), D("2024-05-01"), B(true), I(12)})
+	tbl.MustAppend([]Value{S("Beta"), Null(TypeFloat), Null(TypeDate), B(false), Null(TypeInt)})
+	c.Put(tbl)
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCatalogJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := back.Get("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Len() != 2 || len(bt.Schema) != 5 {
+		t.Fatalf("shape: %d rows, %d cols", bt.Len(), len(bt.Schema))
+	}
+	if Compare(bt.Rows[0][1], F(120.5)) != 0 {
+		t.Errorf("float cell: %v", bt.Rows[0][1])
+	}
+	if !bt.Rows[1][1].IsNull() || !bt.Rows[1][4].IsNull() {
+		t.Error("nulls lost")
+	}
+	if bt.Rows[0][3].Kind() != TypeBool || !bt.Rows[0][3].Bool() {
+		t.Errorf("bool cell: %v", bt.Rows[0][3])
+	}
+	if bt.Rows[0][2].Str() != "2024-05-01" {
+		t.Errorf("date cell: %v", bt.Rows[0][2])
+	}
+}
+
+func TestCatalogJSONDeterministic(t *testing.T) {
+	c := NewCatalog()
+	for _, name := range []string{"zeta", "alpha"} {
+		tbl := New(name, Schema{{Name: "x", Type: TypeInt}})
+		tbl.MustAppend([]Value{I(1)})
+		c.Put(tbl)
+	}
+	var a, b bytes.Buffer
+	c.WriteJSON(&a)
+	c.WriteJSON(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("not deterministic")
+	}
+	// alpha serialized before zeta.
+	if strings.Index(a.String(), "alpha") > strings.Index(a.String(), "zeta") {
+		t.Error("tables not sorted")
+	}
+}
+
+func TestReadCatalogJSONErrors(t *testing.T) {
+	if _, err := ReadCatalogJSON(strings.NewReader("{bad")); err == nil {
+		t.Error("corrupt json accepted")
+	}
+	// Row arity mismatch.
+	bad := `{"tables":[{"name":"t","columns":[{"Name":"a","Type":1}],"rows":[["1","2"]]}]}`
+	if _, err := ReadCatalogJSON(strings.NewReader(bad)); err == nil {
+		t.Error("ragged row accepted")
+	}
+	// Unparseable cell for the declared type.
+	bad2 := `{"tables":[{"name":"t","columns":[{"Name":"a","Type":1}],"rows":[["xyz"]]}]}`
+	if _, err := ReadCatalogJSON(strings.NewReader(bad2)); err == nil {
+		t.Error("bad cell accepted")
+	}
+}

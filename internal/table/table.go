@@ -1,0 +1,278 @@
+package table
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// ColIndex returns the index of the named column (case-insensitive),
+// or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Sentinel errors for table operations.
+var (
+	ErrSchemaMismatch = errors.New("table: row does not match schema")
+	ErrNoColumn       = errors.New("table: no such column")
+	ErrNoTable        = errors.New("table: no such table")
+)
+
+// Table is an in-memory relation.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   [][]Value
+}
+
+// New returns an empty table with the given schema.
+func New(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// Append adds a row after validating arity and types. NULLs of any
+// declared type are accepted in any column.
+func (t *Table) Append(row []Value) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("%w: got %d values, want %d", ErrSchemaMismatch, len(row), len(t.Schema))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != t.Schema[i].Type {
+			// Int is acceptable where float is declared.
+			if t.Schema[i].Type == TypeFloat && v.Kind() == TypeInt {
+				row[i] = F(v.Float())
+				continue
+			}
+			return fmt.Errorf("%w: column %s wants %v, got %v",
+				ErrSchemaMismatch, t.Schema[i].Name, t.Schema[i].Type, v.Kind())
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustAppend appends and panics on schema mismatch; for test fixtures
+// and generators whose rows are constructed to match.
+func (t *Table) MustAppend(row []Value) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Col returns the values of the named column.
+func (t *Table) Col(name string) ([]Value, error) {
+	idx := t.Schema.ColIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoColumn, name)
+	}
+	out := make([]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[idx]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy (rows are copied; values are immutable).
+func (t *Table) Clone() *Table {
+	nt := New(t.Name, append(Schema(nil), t.Schema...))
+	nt.Rows = make([][]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		nt.Rows[i] = append([]Value(nil), r...)
+	}
+	return nt
+}
+
+// String renders the table as an aligned ASCII grid (capped at 20 rows)
+// for CLI output and examples.
+func (t *Table) String() string {
+	var b strings.Builder
+	widths := make([]int, len(t.Schema))
+	for i, c := range t.Schema {
+		widths[i] = len(c.Name)
+	}
+	maxRows := len(t.Rows)
+	truncated := false
+	if maxRows > 20 {
+		maxRows = 20
+		truncated = true
+	}
+	for _, r := range t.Rows[:maxRows] {
+		for i, v := range r {
+			if l := len(v.String()); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Schema.Names())
+	sep := make([]string, len(t.Schema))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows[:maxRows] {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+		}
+		writeRow(cells)
+	}
+	if truncated {
+		fmt.Fprintf(&b, "... (%d rows total)\n", len(t.Rows))
+	}
+	return b.String()
+}
+
+// ReadCSV loads a table from CSV with a header row. Column types are
+// inferred from the first non-empty cell of each column unless schema
+// is non-nil, in which case it must match the header arity.
+func ReadCSV(name string, r io.Reader, schema Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: csv %s has no header", name)
+	}
+	header := records[0]
+	body := records[1:]
+	if schema == nil {
+		schema = make(Schema, len(header))
+		for i, h := range header {
+			typ := TypeString
+			for _, rec := range body {
+				if i < len(rec) && strings.TrimSpace(rec[i]) != "" {
+					typ = Infer(rec[i])
+					break
+				}
+			}
+			schema[i] = Column{Name: strings.TrimSpace(h), Type: typ}
+		}
+	} else if len(schema) != len(header) {
+		return nil, fmt.Errorf("%w: header has %d columns, schema %d",
+			ErrSchemaMismatch, len(header), len(schema))
+	}
+	t := New(name, schema)
+	for ln, rec := range body {
+		if len(rec) != len(schema) {
+			return nil, fmt.Errorf("table: csv %s line %d: %w", name, ln+2, ErrSchemaMismatch)
+		}
+		row := make([]Value, len(rec))
+		for i, cell := range rec {
+			v, err := Parse(schema[i].Type, cell)
+			if err != nil {
+				return nil, fmt.Errorf("table: csv %s line %d: %w", name, ln+2, err)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row); err != nil {
+			return nil, fmt.Errorf("table: csv %s line %d: %w", name, ln+2, err)
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return fmt.Errorf("table: write csv: %w", err)
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			if v.IsNull() {
+				cells[i] = ""
+			} else {
+				cells[i] = v.String()
+			}
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("table: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Catalog is a named collection of tables — the structured half of the
+// heterogeneous database.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Put registers a table, replacing any existing table of that name.
+func (c *Catalog) Put(t *Table) { c.tables[strings.ToLower(t.Name)] = t }
+
+// Get returns the named table or ErrNoTable.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Names returns registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of tables.
+func (c *Catalog) Len() int { return len(c.tables) }

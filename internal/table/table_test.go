@@ -1,0 +1,170 @@
+package table
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func salesTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := New("sales", Schema{
+		{Name: "product", Type: TypeString},
+		{Name: "quarter", Type: TypeString},
+		{Name: "revenue", Type: TypeFloat},
+		{Name: "units", Type: TypeInt},
+	})
+	rows := [][]Value{
+		{S("Alpha"), S("Q1"), F(100), I(10)},
+		{S("Alpha"), S("Q2"), F(120), I(12)},
+		{S("Beta"), S("Q1"), F(80), I(8)},
+		{S("Beta"), S("Q2"), F(60), I(6)},
+		{S("Gamma"), S("Q2"), F(200), I(20)},
+	}
+	for _, r := range rows {
+		if err := tbl.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestAppendSchemaValidation(t *testing.T) {
+	tbl := New("t", Schema{{Name: "a", Type: TypeInt}})
+	if err := tbl.Append([]Value{S("wrong")}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("type mismatch: %v", err)
+	}
+	if err := tbl.Append([]Value{I(1), I(2)}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("arity mismatch: %v", err)
+	}
+	if err := tbl.Append([]Value{Null(TypeString)}); err != nil {
+		t.Errorf("null of any declared type should be accepted: %v", err)
+	}
+}
+
+func TestAppendIntIntoFloat(t *testing.T) {
+	tbl := New("t", Schema{{Name: "x", Type: TypeFloat}})
+	if err := tbl.Append([]Value{I(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0].Kind() != TypeFloat || tbl.Rows[0][0].Float() != 3 {
+		t.Errorf("coercion: %+v", tbl.Rows[0][0])
+	}
+}
+
+func TestColAndClone(t *testing.T) {
+	tbl := salesTable(t)
+	col, err := tbl.Col("revenue")
+	if err != nil || len(col) != 5 || col[0].Float() != 100 {
+		t.Errorf("Col: %v %v", col, err)
+	}
+	if _, err := tbl.Col("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("missing col: %v", err)
+	}
+	cl := tbl.Clone()
+	cl.Rows[0][0] = S("Changed")
+	if tbl.Rows[0][0].Str() == "Changed" {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := salesTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("sales", &buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("rows: %d vs %d", back.Len(), tbl.Len())
+	}
+	// Types inferred: revenue should be numeric again.
+	if back.Schema[2].Type != TypeInt && back.Schema[2].Type != TypeFloat {
+		t.Errorf("revenue type = %v", back.Schema[2].Type)
+	}
+	if Compare(back.Rows[4][2], F(200)) != 0 {
+		t.Errorf("cell mismatch: %v", back.Rows[4][2])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader(""), nil); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a,b\n1"), nil); err == nil {
+		t.Error("ragged csv accepted")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a\nnotanint"), Schema{{Name: "a", Type: TypeInt}}); err == nil {
+		t.Error("unparseable cell accepted")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a,b\n1,2"), Schema{{Name: "a", Type: TypeInt}}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Error("schema arity mismatch accepted")
+	}
+}
+
+func TestReadCSVNullCells(t *testing.T) {
+	tbl, err := ReadCSV("x", strings.NewReader("a,b\n1,\n,2"), Schema{
+		{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Rows[0][1].IsNull() || !tbl.Rows[1][0].IsNull() {
+		t.Errorf("nulls not preserved: %v", tbl.Rows)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := salesTable(t).String()
+	if !strings.Contains(s, "product") || !strings.Contains(s, "Alpha") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestTableStringTruncates(t *testing.T) {
+	tbl := New("big", Schema{{Name: "n", Type: TypeInt}})
+	for i := 0; i < 50; i++ {
+		tbl.MustAppend([]Value{I(int64(i))})
+	}
+	if s := tbl.String(); !strings.Contains(s, "50 rows total") {
+		t.Errorf("truncation marker missing:\n%s", s)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	c.Put(salesTable(t))
+	got, err := c.Get("SALES") // case-insensitive
+	if err != nil || got.Name != "sales" {
+		t.Errorf("Get: %v %v", got, err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("missing: %v", err)
+	}
+	if c.Len() != 1 || c.Names()[0] != "sales" {
+		t.Errorf("catalog state: %d %v", c.Len(), c.Names())
+	}
+}
+
+func TestSchemaColIndexCaseInsensitive(t *testing.T) {
+	s := Schema{{Name: "Revenue", Type: TypeFloat}}
+	if s.ColIndex("revenue") != 0 || s.ColIndex("REVENUE") != 0 {
+		t.Error("case-insensitive lookup broken")
+	}
+	if s.ColIndex("other") != -1 {
+		t.Error("missing column found")
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on mismatch")
+		}
+	}()
+	New("t", Schema{{Name: "a", Type: TypeInt}}).MustAppend([]Value{S("x")})
+}

@@ -1,0 +1,273 @@
+// Package table implements the structured-data substrate: typed
+// relational tables, a logical-operator execution engine (filter,
+// project, join, group-by aggregation, sort, limit), and CSV
+// interchange. It is the "TableQA engine" that the paper's hybrid
+// pipeline feeds with SLM-generated tables (Section III.C).
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ColType is a column's data type.
+type ColType int
+
+// Supported column types.
+const (
+	TypeString ColType = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+	TypeDate // ISO-8601 string, compares lexically
+)
+
+// String names the type.
+func (t ColType) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	case TypeDate:
+		return "date"
+	default:
+		return "unknown"
+	}
+}
+
+// Value is a typed cell. The zero Value is a NULL: Null() reports true
+// and it compares less than every non-null value.
+type Value struct {
+	kind  ColType
+	valid bool
+	s     string
+	i     int64
+	f     float64
+	b     bool
+}
+
+// Constructors.
+
+// S returns a string value.
+func S(v string) Value { return Value{kind: TypeString, valid: true, s: v} }
+
+// I returns an int value.
+func I(v int64) Value { return Value{kind: TypeInt, valid: true, i: v} }
+
+// F returns a float value.
+func F(v float64) Value { return Value{kind: TypeFloat, valid: true, f: v} }
+
+// B returns a bool value.
+func B(v bool) Value { return Value{kind: TypeBool, valid: true, b: v} }
+
+// D returns a date value from an ISO-8601 string.
+func D(v string) Value { return Value{kind: TypeDate, valid: true, s: v} }
+
+// Null returns the NULL value of the given type.
+func Null(t ColType) Value { return Value{kind: t} }
+
+// Kind returns the value's type.
+func (v Value) Kind() ColType { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return !v.valid }
+
+// Str returns the string content (string/date values).
+func (v Value) Str() string { return v.s }
+
+// Int returns the int content.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the numeric content of int or float values.
+func (v Value) Float() float64 {
+	if v.kind == TypeInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Bool returns the bool content.
+func (v Value) Bool() bool { return v.b }
+
+// IsNumeric reports whether the value participates in arithmetic.
+func (v Value) IsNumeric() bool { return v.kind == TypeInt || v.kind == TypeFloat }
+
+// String renders the value for display; NULL renders as "NULL".
+func (v Value) String() string {
+	if !v.valid {
+		return "NULL"
+	}
+	switch v.kind {
+	case TypeString, TypeDate:
+		return v.s
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values: NULL < everything; numerics compare by
+// value across int/float; strings and dates lexically; bools false <
+// true. Cross-type non-numeric comparisons fall back to the rendered
+// string so sorting is total.
+func Compare(a, b Value) int {
+	switch {
+	case !a.valid && !b.valid:
+		return 0
+	case !a.valid:
+		return -1
+	case !b.valid:
+		return 1
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == b.kind {
+		switch a.kind {
+		case TypeString, TypeDate:
+			return strings.Compare(a.s, b.s)
+		case TypeBool:
+			switch {
+			case !a.b && b.b:
+				return -1
+			case a.b && !b.b:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Key returns a map-key form used by hash joins and group-by. Values
+// that compare equal have equal keys.
+func (v Value) Key() string {
+	if !v.valid {
+		return "\x00null"
+	}
+	if v.IsNumeric() {
+		return "n:" + strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	}
+	switch v.kind {
+	case TypeBool:
+		return "b:" + strconv.FormatBool(v.b)
+	default:
+		return "s:" + v.s
+	}
+}
+
+// Parse converts raw text to a value of type t. Empty text parses to
+// NULL. Parse errors are reported, not silently coerced.
+func Parse(t ColType, raw string) (Value, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return Null(t), nil
+	}
+	switch t {
+	case TypeString:
+		return S(raw), nil
+	case TypeDate:
+		return D(raw), nil
+	case TypeInt:
+		n, err := strconv.ParseInt(strings.ReplaceAll(raw, ",", ""), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("table: parse int %q: %w", raw, err)
+		}
+		return I(n), nil
+	case TypeFloat:
+		clean := strings.TrimSuffix(strings.ReplaceAll(raw, ",", ""), "%")
+		f, err := strconv.ParseFloat(clean, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("table: parse float %q: %w", raw, err)
+		}
+		return F(f), nil
+	case TypeBool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return Value{}, fmt.Errorf("table: parse bool %q: %w", raw, err)
+		}
+		return B(b), nil
+	default:
+		return Value{}, fmt.Errorf("table: unknown type %v", t)
+	}
+}
+
+// Infer guesses the tightest type for raw text: int, then float
+// (including "12%" and "1,200" forms), then bool, then date, then
+// string.
+func Infer(raw string) ColType {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return TypeString
+	}
+	if _, err := strconv.ParseInt(strings.ReplaceAll(raw, ",", ""), 10, 64); err == nil {
+		return TypeInt
+	}
+	clean := strings.TrimSuffix(strings.ReplaceAll(raw, ",", ""), "%")
+	if _, err := strconv.ParseFloat(clean, 64); err == nil {
+		return TypeFloat
+	}
+	if raw == "true" || raw == "false" {
+		return TypeBool
+	}
+	if looksISODate(raw) {
+		return TypeDate
+	}
+	return TypeString
+}
+
+// FormatNumber renders a numeric answer consistently across the
+// system: rounded to two decimals with trailing zeros stripped, so
+// pipeline answers and workload gold strings compare exactly.
+func FormatNumber(f float64) string {
+	r := math.Round(f*100) / 100
+	return strconv.FormatFloat(r, 'f', -1, 64)
+}
+
+// FormatValue renders a cell as an answer string: numerics through
+// FormatNumber, everything else through String.
+func FormatValue(v Value) string {
+	if !v.IsNull() && v.IsNumeric() {
+		return FormatNumber(v.Float())
+	}
+	return v.String()
+}
+
+func looksISODate(s string) bool {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return false
+	}
+	for i, c := range s {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

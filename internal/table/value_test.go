@@ -1,0 +1,168 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := S("hi"); v.Kind() != TypeString || v.Str() != "hi" || v.IsNull() {
+		t.Errorf("S: %+v", v)
+	}
+	if v := I(42); v.Int() != 42 || v.Float() != 42 {
+		t.Errorf("I: %+v", v)
+	}
+	if v := F(2.5); v.Float() != 2.5 || !v.IsNumeric() {
+		t.Errorf("F: %+v", v)
+	}
+	if v := B(true); !v.Bool() {
+		t.Errorf("B: %+v", v)
+	}
+	if v := D("2024-05-01"); v.Kind() != TypeDate || v.Str() != "2024-05-01" {
+		t.Errorf("D: %+v", v)
+	}
+	if v := Null(TypeInt); !v.IsNull() || v.String() != "NULL" {
+		t.Errorf("Null: %+v", v)
+	}
+}
+
+func TestCompareNumericCrossType(t *testing.T) {
+	if Compare(I(2), F(2.0)) != 0 {
+		t.Error("int 2 != float 2.0")
+	}
+	if Compare(I(1), F(1.5)) != -1 {
+		t.Error("1 should be < 1.5")
+	}
+	if Compare(F(3.5), I(3)) != 1 {
+		t.Error("3.5 should be > 3")
+	}
+}
+
+func TestCompareNulls(t *testing.T) {
+	if Compare(Null(TypeInt), I(0)) != -1 {
+		t.Error("NULL should sort before values")
+	}
+	if Compare(Null(TypeInt), Null(TypeString)) != 0 {
+		t.Error("NULLs should compare equal")
+	}
+	if Compare(S(""), Null(TypeString)) != 1 {
+		t.Error("empty string should sort after NULL")
+	}
+}
+
+func TestCompareStringsAndDates(t *testing.T) {
+	if Compare(S("apple"), S("banana")) >= 0 {
+		t.Error("string compare broken")
+	}
+	if Compare(D("2024-01-01"), D("2024-02-01")) >= 0 {
+		t.Error("date compare broken")
+	}
+	if Compare(B(false), B(true)) != -1 {
+		t.Error("bool compare broken")
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	// Values that compare equal must share a key (hash-join invariant).
+	if I(2).Key() != F(2.0).Key() {
+		t.Error("int/float key mismatch")
+	}
+	if S("x").Key() == Null(TypeString).Key() {
+		t.Error("null key collides with value key")
+	}
+}
+
+func TestKeyCompareConsistencyProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := I(a), I(b)
+		if Compare(va, vb) == 0 {
+			return va.Key() == vb.Key()
+		}
+		return va.Key() != vb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []struct {
+		typ  ColType
+		raw  string
+		want string
+	}{
+		{TypeInt, "42", "42"},
+		{TypeInt, "1,200", "1200"},
+		{TypeFloat, "2.5", "2.5"},
+		{TypeFloat, "15%", "15"},
+		{TypeBool, "true", "true"},
+		{TypeString, "hello", "hello"},
+		{TypeDate, "2024-05-01", "2024-05-01"},
+	}
+	for _, tc := range tests {
+		v, err := Parse(tc.typ, tc.raw)
+		if err != nil {
+			t.Errorf("Parse(%v, %q): %v", tc.typ, tc.raw, err)
+			continue
+		}
+		if v.String() != tc.want {
+			t.Errorf("Parse(%v, %q) = %q, want %q", tc.typ, tc.raw, v.String(), tc.want)
+		}
+	}
+}
+
+func TestParseEmptyIsNull(t *testing.T) {
+	v, err := Parse(TypeInt, "  ")
+	if err != nil || !v.IsNull() {
+		t.Errorf("empty parse: %v %v", v, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(TypeInt, "abc"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if _, err := Parse(TypeFloat, "xyz"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := Parse(TypeBool, "maybe"); err == nil {
+		t.Error("bad bool accepted")
+	}
+}
+
+func TestInfer(t *testing.T) {
+	tests := map[string]ColType{
+		"42":         TypeInt,
+		"3.14":       TypeFloat,
+		"12%":        TypeFloat,
+		"1,200":      TypeInt,
+		"true":       TypeBool,
+		"2024-05-01": TypeDate,
+		"hello":      TypeString,
+		"":           TypeString,
+		"2024-5-1":   TypeString,
+	}
+	for raw, want := range tests {
+		if got := Infer(raw); got != want {
+			t.Errorf("Infer(%q) = %v, want %v", raw, got, want)
+		}
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if TypeInt.String() != "int" || TypeDate.String() != "date" || ColType(99).String() != "unknown" {
+		t.Error("ColType.String broken")
+	}
+}
+
+func TestValueStringFormats(t *testing.T) {
+	if F(2.50).String() != "2.5" {
+		t.Errorf("float format: %q", F(2.50).String())
+	}
+	if I(-7).String() != "-7" {
+		t.Errorf("int format: %q", I(-7).String())
+	}
+	if B(false).String() != "false" {
+		t.Errorf("bool format: %q", B(false).String())
+	}
+}

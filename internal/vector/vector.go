@@ -1,0 +1,307 @@
+// Package vector implements the dense vector index substrate used by
+// the conventional-RAG baseline the paper compares against (Section I:
+// pipelines built on "dense vector retrieval, reranking, and context
+// augmentation" with "large-scale vector indexing").
+//
+// Two indexes are provided: Flat (exact brute-force scan) and IVF
+// (inverted file over k-means centroids, probing the nearest nProbe
+// partitions). IVF trades a small recall loss for sublinear probe cost,
+// matching production vector databases.
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/slm"
+)
+
+// Hit is one search result.
+type Hit struct {
+	ID    string
+	Score float64 // cosine similarity
+}
+
+// Index is the common search interface.
+type Index interface {
+	// Add inserts a vector under id. Dimensions must match the index.
+	Add(id string, vec []float32) error
+	// Search returns the k nearest ids by cosine similarity,
+	// best-first, ties broken by id.
+	Search(query []float32, k int) []Hit
+	// Len returns the number of stored vectors.
+	Len() int
+	// SizeBytes estimates resident index size.
+	SizeBytes() int64
+}
+
+// Sentinel errors.
+var (
+	ErrDimMismatch = errors.New("vector: dimension mismatch")
+	ErrDupID       = errors.New("vector: duplicate id")
+)
+
+type entry struct {
+	id  string
+	vec []float32
+}
+
+// Flat is an exact brute-force index.
+type Flat struct {
+	dim     int
+	entries []entry
+	ids     map[string]bool
+}
+
+// NewFlat returns an exact index for dim-dimensional vectors.
+func NewFlat(dim int) *Flat {
+	return &Flat{dim: dim, ids: make(map[string]bool)}
+}
+
+// Add implements Index.
+func (f *Flat) Add(id string, vec []float32) error {
+	if len(vec) != f.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vec), f.dim)
+	}
+	if f.ids[id] {
+		return fmt.Errorf("%w: %s", ErrDupID, id)
+	}
+	f.ids[id] = true
+	f.entries = append(f.entries, entry{id: id, vec: vec})
+	return nil
+}
+
+// Search implements Index.
+func (f *Flat) Search(query []float32, k int) []Hit {
+	hits := make([]Hit, 0, len(f.entries))
+	for _, e := range f.entries {
+		hits = append(hits, Hit{ID: e.id, Score: slm.Cosine(query, e.vec)})
+	}
+	return topK(hits, k)
+}
+
+// Len implements Index.
+func (f *Flat) Len() int { return len(f.entries) }
+
+// SizeBytes implements Index.
+func (f *Flat) SizeBytes() int64 {
+	var b int64
+	for _, e := range f.entries {
+		b += int64(len(e.id)) + int64(4*len(e.vec)) + 24
+	}
+	return b
+}
+
+// IVF is an inverted-file index: vectors are partitioned by nearest
+// k-means centroid and queries probe only the nProbe closest
+// partitions.
+type IVF struct {
+	dim       int
+	nlist     int
+	nprobe    int
+	trained   bool
+	centroids [][]float32
+	lists     [][]entry
+	pending   []entry // held until Train
+	ids       map[string]bool
+}
+
+// NewIVF returns an IVF index with nlist partitions probing nprobe of
+// them per query. Values are clamped to sane minimums.
+func NewIVF(dim, nlist, nprobe int) *IVF {
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+	return &IVF{dim: dim, nlist: nlist, nprobe: nprobe, ids: make(map[string]bool)}
+}
+
+// Add implements Index. Before Train, vectors accumulate in a pending
+// buffer; after Train they are routed to their nearest partition.
+func (ix *IVF) Add(id string, vec []float32) error {
+	if len(vec) != ix.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vec), ix.dim)
+	}
+	if ix.ids[id] {
+		return fmt.Errorf("%w: %s", ErrDupID, id)
+	}
+	ix.ids[id] = true
+	e := entry{id: id, vec: vec}
+	if !ix.trained {
+		ix.pending = append(ix.pending, e)
+		return nil
+	}
+	ix.lists[ix.nearestCentroid(vec)] = append(ix.lists[ix.nearestCentroid(vec)], e)
+	return nil
+}
+
+// Train runs k-means (k-means++ style seeding from a deterministic
+// stride, fixed iteration budget) over the pending vectors and
+// partitions them. Training with fewer vectors than partitions reduces
+// nlist to the vector count. rngSeed makes the seeding reproducible.
+func (ix *IVF) Train(rngSeed uint64) {
+	if ix.trained {
+		return
+	}
+	n := len(ix.pending)
+	if n == 0 {
+		ix.trained = true
+		ix.lists = make([][]entry, ix.nlist)
+		ix.centroids = make([][]float32, ix.nlist)
+		for i := range ix.centroids {
+			ix.centroids[i] = make([]float32, ix.dim)
+		}
+		return
+	}
+	if ix.nlist > n {
+		ix.nlist = n
+		if ix.nprobe > ix.nlist {
+			ix.nprobe = ix.nlist
+		}
+	}
+	rng := slm.NewRNG(rngSeed)
+	// Seed centroids from a random permutation of the data.
+	perm := rng.Perm(n)
+	ix.centroids = make([][]float32, ix.nlist)
+	for i := 0; i < ix.nlist; i++ {
+		src := ix.pending[perm[i]].vec
+		c := make([]float32, ix.dim)
+		copy(c, src)
+		ix.centroids[i] = c
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for i, e := range ix.pending {
+			c := ix.nearestCentroid(e.vec)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([][]float64, ix.nlist)
+		counts := make([]int, ix.nlist)
+		for i := range sums {
+			sums[i] = make([]float64, ix.dim)
+		}
+		for i, e := range ix.pending {
+			c := assign[i]
+			counts[c]++
+			for d, x := range e.vec {
+				sums[c][d] += float64(x)
+			}
+		}
+		for c := 0; c < ix.nlist; c++ {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			var norm float64
+			for d := range ix.centroids[c] {
+				m := sums[c][d] / float64(counts[c])
+				ix.centroids[c][d] = float32(m)
+				norm += m * m
+			}
+			if norm > 0 {
+				inv := float32(1 / math.Sqrt(norm))
+				for d := range ix.centroids[c] {
+					ix.centroids[c][d] *= inv
+				}
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	ix.lists = make([][]entry, ix.nlist)
+	for i, e := range ix.pending {
+		ix.lists[assign[i]] = append(ix.lists[assign[i]], e)
+	}
+	ix.pending = nil
+	ix.trained = true
+}
+
+func (ix *IVF) nearestCentroid(vec []float32) int {
+	best, bestScore := 0, math.Inf(-1)
+	for i, c := range ix.centroids {
+		if s := slm.Cosine(vec, c); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Search implements Index. An untrained index trains itself first with
+// a fixed seed.
+func (ix *IVF) Search(query []float32, k int) []Hit {
+	if !ix.trained {
+		ix.Train(1)
+	}
+	// Rank centroids, probe the closest nprobe lists.
+	type cs struct {
+		idx   int
+		score float64
+	}
+	order := make([]cs, len(ix.centroids))
+	for i, c := range ix.centroids {
+		order[i] = cs{idx: i, score: slm.Cosine(query, c)}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].idx < order[j].idx
+	})
+	var hits []Hit
+	for p := 0; p < ix.nprobe && p < len(order); p++ {
+		for _, e := range ix.lists[order[p].idx] {
+			hits = append(hits, Hit{ID: e.id, Score: slm.Cosine(query, e.vec)})
+		}
+	}
+	return topK(hits, k)
+}
+
+// Len implements Index.
+func (ix *IVF) Len() int {
+	n := len(ix.pending)
+	for _, l := range ix.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// SizeBytes implements Index.
+func (ix *IVF) SizeBytes() int64 {
+	var b int64
+	for _, l := range ix.lists {
+		for _, e := range l {
+			b += int64(len(e.id)) + int64(4*len(e.vec)) + 24
+		}
+	}
+	for _, e := range ix.pending {
+		b += int64(len(e.id)) + int64(4*len(e.vec)) + 24
+	}
+	b += int64(len(ix.centroids)) * int64(4*ix.dim)
+	return b
+}
+
+// topK sorts hits best-first (score desc, id asc) and truncates to k.
+func topK(hits []Hit, k int) []Hit {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if k >= 0 && k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}

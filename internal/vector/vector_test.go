@@ -1,0 +1,242 @@
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/slm"
+)
+
+func embed(texts ...string) [][]float32 {
+	e := slm.NewEmbedder(64)
+	out := make([][]float32, len(texts))
+	for i, t := range texts {
+		out[i] = e.Embed(t)
+	}
+	return out
+}
+
+func TestFlatSearchExact(t *testing.T) {
+	ix := NewFlat(64)
+	vecs := embed(
+		"sales increased for product alpha",
+		"patient reported severe headache",
+		"quarterly revenue grew strongly",
+	)
+	for i, v := range vecs {
+		if err := ix.Add(fmt.Sprintf("d%d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := embed("revenue grew this quarter")[0]
+	hits := ix.Search(q, 2)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].ID != "d2" {
+		t.Errorf("top hit = %v", hits[0])
+	}
+}
+
+func TestFlatErrors(t *testing.T) {
+	ix := NewFlat(4)
+	if err := ix.Add("a", make([]float32, 3)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("dim: %v", err)
+	}
+	ix.Add("a", make([]float32, 4))
+	if err := ix.Add("a", make([]float32, 4)); !errors.Is(err, ErrDupID) {
+		t.Errorf("dup: %v", err)
+	}
+}
+
+func TestFlatSearchKLargerThanIndex(t *testing.T) {
+	ix := NewFlat(64)
+	ix.Add("only", embed("one document")[0])
+	if hits := ix.Search(embed("query")[0], 10); len(hits) != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestFlatEmptySearch(t *testing.T) {
+	ix := NewFlat(8)
+	if hits := ix.Search(make([]float32, 8), 5); len(hits) != 0 {
+		t.Errorf("empty index returned %v", hits)
+	}
+}
+
+func TestIVFMatchesFlatOnTop1(t *testing.T) {
+	e := slm.NewEmbedder(64)
+	flat := NewFlat(64)
+	ivf := NewIVF(64, 4, 4) // probing all lists == exact
+	docs := []string{
+		"alpha sales rose in the second quarter",
+		"beta sales fell sharply in q2",
+		"patients on drug a reported nausea",
+		"drug b reduced fever in the trial",
+		"the widget was rated five stars",
+		"shipping delays hurt customer satisfaction",
+		"revenue reached two million dollars",
+		"the clinic enrolled forty patients",
+	}
+	for i, d := range docs {
+		v := e.Embed(d)
+		flat.Add(fmt.Sprintf("d%d", i), v)
+		ivf.Add(fmt.Sprintf("d%d", i), v)
+	}
+	ivf.Train(7)
+	for _, q := range []string{"how did beta sales do in q2", "what did patients report on drug a"} {
+		qv := e.Embed(q)
+		f := flat.Search(qv, 1)
+		v := ivf.Search(qv, 1)
+		if f[0].ID != v[0].ID {
+			t.Errorf("query %q: flat %v vs ivf %v", q, f[0], v[0])
+		}
+	}
+}
+
+func TestIVFRecallBoundProperty(t *testing.T) {
+	// With nprobe == nlist IVF is exhaustive, so its top-k set must
+	// equal Flat's for any corpus.
+	e := slm.NewEmbedder(32)
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%30) + 5
+		flat := NewFlat(32)
+		ivf := NewIVF(32, 5, 5)
+		rng := slm.NewRNG(seed)
+		for i := 0; i < count; i++ {
+			text := fmt.Sprintf("doc %d token%d token%d", i, rng.Intn(20), rng.Intn(20))
+			v := e.Embed(text)
+			id := fmt.Sprintf("d%d", i)
+			flat.Add(id, v)
+			ivf.Add(id, v)
+		}
+		ivf.Train(seed)
+		q := e.Embed(fmt.Sprintf("token%d token%d", rng.Intn(20), rng.Intn(20)))
+		fh := flat.Search(q, 3)
+		vh := ivf.Search(q, 3)
+		if len(fh) != len(vh) {
+			return false
+		}
+		fset := map[string]bool{}
+		for _, h := range fh {
+			fset[h.ID] = true
+		}
+		// Scores can tie; require IVF hits to score >= flat's worst.
+		worst := fh[len(fh)-1].Score
+		for _, h := range vh {
+			if !fset[h.ID] && h.Score < worst-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIVFPartialProbeStillFindsNeighbors(t *testing.T) {
+	e := slm.NewEmbedder(64)
+	ivf := NewIVF(64, 8, 2)
+	for i := 0; i < 100; i++ {
+		topic := "finance"
+		if i%2 == 0 {
+			topic = "medicine"
+		}
+		ivf.Add(fmt.Sprintf("d%d", i), e.Embed(fmt.Sprintf("%s document number %d with words", topic, i)))
+	}
+	ivf.Train(3)
+	hits := ivf.Search(e.Embed("finance document with words"), 10)
+	if len(hits) != 10 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+}
+
+func TestIVFUntrainedSearchAutotrains(t *testing.T) {
+	e := slm.NewEmbedder(32)
+	ivf := NewIVF(32, 2, 1)
+	ivf.Add("a", e.Embed("hello world"))
+	hits := ivf.Search(e.Embed("hello"), 1)
+	if len(hits) != 1 || hits[0].ID != "a" {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestIVFEmptyTrain(t *testing.T) {
+	ivf := NewIVF(8, 4, 2)
+	ivf.Train(1)
+	if hits := ivf.Search(make([]float32, 8), 3); len(hits) != 0 {
+		t.Errorf("empty ivf returned %v", hits)
+	}
+}
+
+func TestIVFFewerVectorsThanLists(t *testing.T) {
+	e := slm.NewEmbedder(32)
+	ivf := NewIVF(32, 16, 8)
+	ivf.Add("a", e.Embed("one"))
+	ivf.Add("b", e.Embed("two"))
+	ivf.Train(1)
+	if ivf.Len() != 2 {
+		t.Errorf("len = %d", ivf.Len())
+	}
+	hits := ivf.Search(e.Embed("one"), 2)
+	if len(hits) != 2 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestIVFDupAndDim(t *testing.T) {
+	ivf := NewIVF(4, 2, 1)
+	if err := ivf.Add("a", make([]float32, 3)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("dim: %v", err)
+	}
+	ivf.Add("a", make([]float32, 4))
+	if err := ivf.Add("a", make([]float32, 4)); !errors.Is(err, ErrDupID) {
+		t.Errorf("dup: %v", err)
+	}
+}
+
+func TestIVFAddAfterTrain(t *testing.T) {
+	e := slm.NewEmbedder(32)
+	ivf := NewIVF(32, 2, 2)
+	ivf.Add("a", e.Embed("alpha document"))
+	ivf.Train(1)
+	if err := ivf.Add("b", e.Embed("beta document")); err != nil {
+		t.Fatal(err)
+	}
+	if ivf.Len() != 2 {
+		t.Errorf("len = %d", ivf.Len())
+	}
+	hits := ivf.Search(e.Embed("beta document"), 1)
+	if hits[0].ID != "b" {
+		t.Errorf("post-train add not searchable: %v", hits)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	e := slm.NewEmbedder(32)
+	flat := NewFlat(32)
+	ivf := NewIVF(32, 2, 1)
+	if flat.SizeBytes() != 0 {
+		t.Error("empty flat size != 0")
+	}
+	flat.Add("a", e.Embed("text"))
+	ivf.Add("a", e.Embed("text"))
+	if flat.SizeBytes() <= 0 || ivf.SizeBytes() <= 0 {
+		t.Error("size must be positive after add")
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := NewFlat(8)
+	v := make([]float32, 8)
+	v[0] = 1
+	ix.Add("b", v)
+	ix.Add("a", v)
+	hits := ix.Search(v, 2)
+	if hits[0].ID != "a" || hits[1].ID != "b" {
+		t.Errorf("tie-break order: %v", hits)
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/slm"
+)
+
+// CalibrationItem is one question for the semantic-entropy calibration
+// experiment (E6): answer candidates with support weights, the gold
+// answer, and whether the question is intrinsically ambiguous (flat
+// support — the paper's "Can I be sued for sharing a photo?" case).
+type CalibrationItem struct {
+	ID         string
+	Question   string
+	Candidates []slm.Candidate
+	Gold       string
+	Ambiguous  bool
+}
+
+// CalibrationOptions sizes the calibration workload.
+type CalibrationOptions struct {
+	Items         int     // total questions
+	AmbiguousFrac float64 // fraction with flat candidate support
+	CandidatesPer int     // competing answers per question (>= 2)
+	Seed          uint64
+}
+
+// DefaultCalibrationOptions returns the standard setting.
+func DefaultCalibrationOptions() CalibrationOptions {
+	return CalibrationOptions{Items: 120, AmbiguousFrac: 0.4, CandidatesPer: 4, Seed: 99}
+}
+
+// Calibration generates questions whose difficulty is controlled: easy
+// items give the gold answer dominant support (a confident model),
+// ambiguous items spread support evenly (an uncertain model). Sampling
+// from these with a Generator produces exactly the low/high-entropy
+// regimes of paper Section III.D.
+func Calibration(opts CalibrationOptions) []CalibrationItem {
+	if opts.Items < 1 {
+		opts.Items = 1
+	}
+	if opts.CandidatesPer < 2 {
+		opts.CandidatesPer = 2
+	}
+	rng := slm.NewRNG(opts.Seed)
+	items := make([]CalibrationItem, 0, opts.Items)
+	for i := 0; i < opts.Items; i++ {
+		ambiguous := rng.Float64() < opts.AmbiguousFrac
+		gold := fmt.Sprintf("%d units", 10+rng.Intn(90))
+		cands := make([]slm.Candidate, 0, opts.CandidatesPer)
+		if ambiguous {
+			// Flat support: the model genuinely does not know.
+			for c := 0; c < opts.CandidatesPer; c++ {
+				text := gold
+				if c > 0 {
+					text = fmt.Sprintf("%d units", 10+rng.Intn(90))
+				}
+				cands = append(cands, slm.Candidate{Text: text, Weight: 1})
+			}
+		} else {
+			cands = append(cands, slm.Candidate{Text: gold, Weight: 6})
+			for c := 1; c < opts.CandidatesPer; c++ {
+				cands = append(cands, slm.Candidate{
+					Text:   fmt.Sprintf("%d units", 10+rng.Intn(90)),
+					Weight: 0.4,
+				})
+			}
+		}
+		items = append(items, CalibrationItem{
+			ID:         fmt.Sprintf("cal-%03d", i),
+			Question:   fmt.Sprintf("How many units did Product X%d sell?", i),
+			Candidates: cands,
+			Gold:       gold,
+			Ambiguous:  ambiguous,
+		})
+	}
+	return items
+}

@@ -1,0 +1,69 @@
+package workload
+
+import "fmt"
+
+// productNames is the deterministic pool of product names; beyond the
+// pool, names are synthesized as "Product X<n>".
+var productNames = []string{
+	"Product Alpha", "Product Beta", "Product Gamma", "Product Delta",
+	"Product Epsilon", "Product Zeta", "Product Eta", "Product Theta",
+	"Product Iota", "Product Kappa", "Product Lambda", "Product Sigma",
+	"Product Omega", "Product Orion", "Product Vega", "Product Nova",
+	"Product Atlas", "Product Titan", "Product Comet", "Product Zephyr",
+}
+
+var manufacturerNames = []string{
+	"Acme Corp", "Globex", "Initech", "Umbrella Labs", "Stark Industries",
+	"Wayne Enterprises", "Tyrell Systems", "Cyberdyne Works",
+}
+
+var drugNames = []string{
+	"Drug A", "Drug B", "Drug C", "Drug D", "Drug E", "Drug F",
+	"Drug G", "Drug H",
+}
+
+var sideEffectNames = []string{
+	"nausea", "headache", "fatigue", "dizziness", "insomnia",
+	"rash", "fever", "anxiety",
+}
+
+var reviewAspects = []string{
+	"The battery life was excellent",
+	"Shipping was slower than expected",
+	"Build quality felt premium",
+	"The setup process was confusing",
+	"Customer support resolved the issue quickly",
+	"The screen scratched within a week",
+	"Performance exceeded expectations",
+	"The manual was missing pages",
+}
+
+var noiseSentences = []string{
+	"The weather that week was unusually mild",
+	"Office renovations continued through the month",
+	"A local festival drew large crowds downtown",
+	"The cafeteria introduced a new lunch menu",
+	"Parking remained difficult near the warehouse",
+	"Several staff attended an industry conference",
+}
+
+func productName(i int) string {
+	if i < len(productNames) {
+		return productNames[i]
+	}
+	return fmt.Sprintf("Product X%d", i+1)
+}
+
+func manufacturerName(i int) string {
+	if i < len(manufacturerNames) {
+		return manufacturerNames[i]
+	}
+	return fmt.Sprintf("Vendor V%d", i+1)
+}
+
+func drugName(i int) string {
+	if i < len(drugNames) {
+		return drugNames[i]
+	}
+	return fmt.Sprintf("Drug Z%d", i+1)
+}

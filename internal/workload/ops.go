@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/slm"
+	"repro/internal/store"
+	"repro/internal/table"
+)
+
+// OpsOptions sizes the operations/observability corpus — the
+// "JSON logs, XML configurations" modality of the paper's introduction,
+// exercised as a first-class query target (logs materialize into typed
+// tables the semantic operators aggregate over).
+type OpsOptions struct {
+	Services     int // number of services (>= 2)
+	EventsPer    int // log events per service (>= 2)
+	IncidentDocs int // unstructured incident reports
+	Seed         uint64
+}
+
+// DefaultOpsOptions returns a laptop-scale corpus.
+func DefaultOpsOptions() OpsOptions {
+	return OpsOptions{Services: 4, EventsPer: 12, IncidentDocs: 3, Seed: 123}
+}
+
+// Ops generates the operations corpus: JSON log events with latencies
+// and levels, an XML deployment config, and unstructured incident
+// reports, plus a query workload with gold.
+func Ops(opts OpsOptions) *Corpus {
+	if opts.Services < 2 {
+		opts.Services = 2
+	}
+	if opts.EventsPer < 2 {
+		opts.EventsPer = 2
+	}
+	rng := slm.NewRNG(opts.Seed)
+	c := &Corpus{Name: "ops"}
+
+	logs := store.NewJSONStore("logs")
+	incidents := store.NewTextStore("incidents")
+
+	type service struct {
+		name       string
+		latencies  []int64
+		errorCount int64
+	}
+	services := make([]*service, opts.Services)
+	eventID := 0
+	for i := range services {
+		s := &service{name: fmt.Sprintf("SVC-%d", i+1)}
+		services[i] = s
+		for e := 0; e < opts.EventsPer; e++ {
+			eventID++
+			lat := int64(20 + rng.Intn(400))
+			s.latencies = append(s.latencies, lat)
+			level := "info"
+			if rng.Float64() < 0.25 {
+				level = "error"
+				s.errorCount++
+			}
+			logs.AddObject(map[string]interface{}{
+				"id":         fmt.Sprintf("e%d", eventID),
+				"service":    s.name,
+				"level":      level,
+				"latency_ms": float64(lat),
+			})
+		}
+	}
+
+	// XML deployment configuration.
+	xmlStore := store.NewXMLStore("deploy")
+	var xb strings.Builder
+	xb.WriteString("<deployments>")
+	for i, s := range services {
+		fmt.Fprintf(&xb, `<deployment id="%s"><replicas>%d</replicas><region>region-%d</region></deployment>`,
+			s.name, 2+i, i%2)
+	}
+	xb.WriteString("</deployments>")
+	if err := xmlStore.Load(strings.NewReader(xb.String())); err != nil {
+		panic(fmt.Sprintf("workload: ops xml fixture: %v", err)) // static fixture; cannot fail
+	}
+
+	// Unstructured incident reports.
+	for k := 0; k < opts.IncidentDocs; k++ {
+		s := services[k%len(services)]
+		incidents.Add(fmt.Sprintf("incident-%d", k),
+			fmt.Sprintf("An incident affected %s on 2024-0%d-15. Latency spiked during the deploy window.",
+				s.name, 1+k%9))
+	}
+
+	c.Sources = store.NewMulti().Add(logs).Add(xmlStore).Add(incidents)
+
+	// --- queries with gold ---
+	qn := 0
+	addQuery := func(class Class, text, gold string, evidence []string) {
+		qn++
+		c.Queries = append(c.Queries, Query{
+			ID: fmt.Sprintf("op-%02d", qn), Text: text, Class: class,
+			Gold: gold, GoldEvidence: evidence,
+		})
+	}
+
+	// Aggregate over materialized JSON: mean latency per service.
+	for i, s := range services {
+		if i >= 3 {
+			break
+		}
+		var sum int64
+		for _, l := range s.latencies {
+			sum += l
+		}
+		// Evidence: the service's log rows; event ids are sequential
+		// across services.
+		evidence := []string{}
+		for e := i*opts.EventsPer + 1; e <= (i+1)*opts.EventsPer; e++ {
+			evidence = append(evidence, fmt.Sprintf("logs/e%d", e))
+		}
+		avg := float64(sum) / float64(len(s.latencies))
+		addQuery(ClassAggregate,
+			fmt.Sprintf("What is the average latency of %s?", s.name),
+			table.FormatNumber(avg), evidence)
+
+		addQuery(ClassAggregate,
+			fmt.Sprintf("How many error events did %s have?", s.name),
+			fmt.Sprintf("%d", s.errorCount), evidence)
+	}
+
+	return c
+}

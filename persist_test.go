@@ -1,0 +1,98 @@
+package unisem
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := buildDemo(t)
+
+	// Reference answers before save.
+	questions := []string{
+		"What was the revenue of Product Alpha in Q3?",
+		"What is the average rating of Product Alpha?",
+		"Which side effects were reported for Drug A?",
+	}
+	want := map[string]string{}
+	for _, q := range questions {
+		ans, err := orig.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = ans.Text
+	}
+
+	if err := orig.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"graph.json", "catalog.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	loaded, err := Load(dir, func(s *System) {
+		s.Vocabulary(VocabProduct, "Product Alpha", "Product Beta")
+		s.Vocabulary(VocabDrug, "Drug A")
+		s.Vocabulary(VocabSideEffect, "nausea", "fatigue")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same stats shape.
+	if loaded.Stats().Nodes != orig.Stats().Nodes {
+		t.Errorf("nodes: %d vs %d", loaded.Stats().Nodes, orig.Stats().Nodes)
+	}
+	// Same answers.
+	for _, q := range questions {
+		ans, err := loaded.Ask(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if ans.Text != want[q] {
+			t.Errorf("%q: loaded %q, want %q", q, ans.Text, want[q])
+		}
+	}
+	// Loaded system supports live ingest too.
+	if err := loaded.Ingest("reviews", "r-after-load", "Customer C-8 rated Product Beta 4 stars."); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveBeforeBuild(t *testing.T) {
+	if err := New().Save(t.TempDir()); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope"), nil); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestLoadCorruptGraph(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "graph.json"), []byte("{bad"), 0o644)
+	os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{}"), 0o644)
+	if _, err := Load(dir, nil); err == nil {
+		t.Error("corrupt graph accepted")
+	}
+}
+
+func TestLoadCorruptCatalog(t *testing.T) {
+	dir := t.TempDir()
+	sys := buildDemo(t)
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{bad"), 0o644)
+	if _, err := Load(dir, nil); err == nil {
+		t.Error("corrupt catalog accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package unisem
+
+import (
+	"strings"
+	"testing"
+)
+
+// Adversarial and degenerate inputs must never panic and must degrade
+// to clean errors or low-confidence answers.
+
+func TestBuildEmptySystem(t *testing.T) {
+	sys := New()
+	if err := sys.Build(); err != nil {
+		t.Fatalf("empty build should succeed: %v", err)
+	}
+	ans, err := sys.Ask("anything at all?")
+	if err == nil && ans.Text != "" {
+		t.Errorf("empty system answered %q", ans.Text)
+	}
+}
+
+func TestAdversarialDocuments(t *testing.T) {
+	sys := New()
+	sys.Vocabulary(VocabProduct, "Product Alpha")
+	adversarial := map[string]string{
+		"quotes":  `Customer C-1 rated "Product Alpha" 5 stars. It's the 'best'.`,
+		"sqlish":  "SELECT * FROM users; DROP TABLE sales; -- rated 1 stars",
+		"unicode": "顧客 C-2 rated Product Alpha 4 stars. Ünïcödé résumé ω≈π.",
+		"long":    strings.Repeat("word ", 5000),
+		"empty":   "",
+		"newline": "line one\n\n\nline two.\r\nline three.",
+		"control": "null\x00byte and tab\there",
+	}
+	for id, text := range adversarial {
+		if err := sys.AddDocument("docs", id, text); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	if err := sys.AddCSV("sales", strings.NewReader("product,revenue\nProduct Alpha,100\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// The system must survive queries echoing the adversarial content.
+	for _, q := range []string{
+		"SELECT * FROM users",
+		"'; DROP TABLE sales; --",
+		"What is the average rating of Product Alpha?",
+		strings.Repeat("alpha ", 500),
+		"",
+	} {
+		ans, err := sys.Ask(q)
+		_ = ans
+		_ = err // any outcome is fine as long as it returns
+	}
+}
+
+func TestAskEmptyQuestion(t *testing.T) {
+	sys := buildDemo(t)
+	ans, err := sys.Ask("")
+	if err == nil && ans.Text != "" {
+		t.Logf("empty question answered %q — acceptable only with weak confidence", ans.Text)
+	}
+}
+
+func TestQuestionWithOnlyStopwords(t *testing.T) {
+	sys := buildDemo(t)
+	if _, err := sys.Ask("the of and to in"); err != nil {
+		t.Logf("stopword query: %v", err) // clean error is the expected path
+	}
+}
+
+func TestHugeVocabulary(t *testing.T) {
+	sys := New()
+	phrases := make([]string, 500)
+	for i := range phrases {
+		phrases[i] = strings.Repeat("x", i%7+1) + " product"
+	}
+	sys.Vocabulary(VocabProduct, phrases...)
+	sys.AddDocument("d", "1", "Some xx product was rated 3 stars.")
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySmallDocuments(t *testing.T) {
+	sys := New()
+	sys.Vocabulary(VocabProduct, "Product Alpha")
+	for i := 0; i < 300; i++ {
+		sys.AddDocument("docs", strings.Repeat("d", i%5+1)+string(rune('a'+i%26))+strings.Repeat("x", i/26), "Product Alpha appeared.")
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().Chunks == 0 {
+		t.Error("no chunks")
+	}
+}

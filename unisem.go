@@ -1,0 +1,373 @@
+// Package unisem is the public API of the SLM-driven unified semantic
+// query system (reproduction of "Simplifying Data Integration:
+// SLM-Driven Systems for Unified Semantic Queries Across Heterogeneous
+// Databases", Lin, ICDE 2025).
+//
+// A System ingests heterogeneous sources — unstructured text, JSON
+// logs, XML configs, and relational CSV tables — builds the
+// semantic-aware heterogeneous graph index, runs SLM-driven relational
+// table generation over the text, and then answers natural-language
+// questions through semantic operator synthesis with topology-guided
+// evidence and semantic-entropy confidence scoring.
+//
+// Quickstart:
+//
+//	sys := unisem.New()
+//	sys.Vocabulary(unisem.VocabProduct, "Product Alpha")
+//	sys.AddDocument("notes", "r1", "Customer C-1 rated Product Alpha 5 stars.")
+//	if err := sys.Build(); err != nil { ... }
+//	ans, err := sys.Ask("What is the average rating of Product Alpha?")
+package unisem
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/slm"
+	"repro/internal/store"
+	"repro/internal/table"
+)
+
+// VocabKind classifies domain vocabulary registered with Vocabulary.
+type VocabKind string
+
+// Vocabulary kinds, mapping to the recognizer's entity types.
+const (
+	VocabProduct      VocabKind = "product"
+	VocabDrug         VocabKind = "drug"
+	VocabSideEffect   VocabKind = "side_effect"
+	VocabManufacturer VocabKind = "manufacturer"
+	VocabPerson       VocabKind = "person"
+	VocabOrg          VocabKind = "org"
+)
+
+var vocabToEntity = map[VocabKind]slm.EntityType{
+	VocabProduct:      slm.EntProduct,
+	VocabDrug:         slm.EntDrug,
+	VocabSideEffect:   slm.EntSideEffect,
+	VocabManufacturer: slm.EntManufacturer,
+	VocabPerson:       slm.EntPerson,
+	VocabOrg:          slm.EntOrg,
+}
+
+// Evidence is one supporting item behind an answer.
+type Evidence struct {
+	ID    string  // record id
+	Text  string  // content
+	Score float64 // relevance
+	Kind  string  // "chunk" or "row"
+}
+
+// Answer is the response to one question.
+type Answer struct {
+	Text     string        // the answer ("" when unanswerable)
+	Plan     string        // synthesized operator pipeline, if any
+	Evidence []Evidence    // supporting context
+	Entropy  float64       // semantic entropy of sampled answers
+	Flagged  bool          // true when entropy exceeds the flag threshold
+	Latency  time.Duration // answer wall-clock time
+}
+
+// Sentinel errors.
+var (
+	ErrNotBuilt     = errors.New("unisem: call Build before Ask")
+	ErrAlreadyBuilt = errors.New("unisem: system already built")
+	ErrNoAnswer     = core.ErrNoAnswer
+)
+
+// Options configures a System.
+type Options struct {
+	// EvidenceK is the number of evidence items returned per answer.
+	EvidenceK int
+	// EntropySamples is the number of answer samples used for
+	// uncertainty scoring (the paper's M).
+	EntropySamples int
+	// FlagThreshold is the semantic-entropy level above which answers
+	// are flagged for review.
+	FlagThreshold float64
+	// Seed drives all stochastic components.
+	Seed uint64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{EvidenceK: 8, EntropySamples: 5, FlagThreshold: 0.7, Seed: 1}
+}
+
+// System is the unified query engine over heterogeneous sources.
+// Configure (Vocabulary, Add*), then Build once, then Ask from any
+// goroutine.
+type System struct {
+	opts    Options
+	ner     *slm.NER
+	texts   map[string]*store.TextStore
+	jsons   map[string]*store.JSONStore
+	xmls    map[string]*store.XMLStore
+	catalog *table.Catalog
+	built   bool
+	hybrid  *core.Hybrid
+}
+
+// New returns an empty system with default options.
+func New() *System { return NewWithOptions(DefaultOptions()) }
+
+// NewWithOptions returns an empty system with the given options.
+func NewWithOptions(opts Options) *System {
+	if opts.EvidenceK <= 0 {
+		opts.EvidenceK = 8
+	}
+	if opts.EntropySamples <= 0 {
+		opts.EntropySamples = 5
+	}
+	if opts.FlagThreshold <= 0 {
+		opts.FlagThreshold = 0.7
+	}
+	return &System{
+		opts:    opts,
+		ner:     slm.NewNER(),
+		texts:   make(map[string]*store.TextStore),
+		jsons:   make(map[string]*store.JSONStore),
+		xmls:    make(map[string]*store.XMLStore),
+		catalog: table.NewCatalog(),
+	}
+}
+
+// Vocabulary registers domain phrases so the tagger recognizes them
+// (e.g. product names, drug names). Unknown kinds register as generic
+// entities.
+func (s *System) Vocabulary(kind VocabKind, phrases ...string) {
+	et, ok := vocabToEntity[kind]
+	if !ok {
+		et = slm.EntMisc
+	}
+	s.ner.AddGazetteer(et, phrases...)
+}
+
+// AddDocument adds one unstructured document to the named text source.
+func (s *System) AddDocument(source, id, text string) error {
+	if s.built {
+		return ErrAlreadyBuilt
+	}
+	ts, ok := s.texts[source]
+	if !ok {
+		ts = store.NewTextStore(source)
+		s.texts[source] = ts
+	}
+	ts.Add(id, text)
+	return nil
+}
+
+// AddCSV loads a relational table from CSV (header row required; types
+// inferred).
+func (s *System) AddCSV(tableName string, r io.Reader) error {
+	if s.built {
+		return ErrAlreadyBuilt
+	}
+	t, err := table.ReadCSV(tableName, r, nil)
+	if err != nil {
+		return fmt.Errorf("unisem: %w", err)
+	}
+	s.catalog.Put(t)
+	return nil
+}
+
+// AddJSONLines loads semi-structured records from JSON-lines input.
+func (s *System) AddJSONLines(source string, r io.Reader) error {
+	if s.built {
+		return ErrAlreadyBuilt
+	}
+	js, ok := s.jsons[source]
+	if !ok {
+		js = store.NewJSONStore(source)
+		s.jsons[source] = js
+	}
+	if err := js.LoadLines(r); err != nil {
+		return fmt.Errorf("unisem: %w", err)
+	}
+	return nil
+}
+
+// AddXML loads semi-structured records from an XML document.
+func (s *System) AddXML(source string, r io.Reader) error {
+	if s.built {
+		return ErrAlreadyBuilt
+	}
+	xs, ok := s.xmls[source]
+	if !ok {
+		xs = store.NewXMLStore(source)
+		s.xmls[source] = xs
+	}
+	if err := xs.Load(r); err != nil {
+		return fmt.Errorf("unisem: %w", err)
+	}
+	return nil
+}
+
+// Build indexes everything added so far: graph construction, entity
+// tagging, cue inference, and relational table generation. It must be
+// called exactly once, after all sources are added.
+func (s *System) Build() error {
+	if s.built {
+		return ErrAlreadyBuilt
+	}
+	multi := store.NewMulti()
+	if s.catalog.Len() > 0 {
+		multi.Add(store.NewRelationalStore("db", s.catalog))
+	}
+	for _, ts := range s.texts {
+		multi.Add(ts)
+	}
+	for _, js := range s.jsons {
+		multi.Add(js)
+	}
+	for _, xs := range s.xmls {
+		multi.Add(xs)
+	}
+	opts := core.DefaultHybridOptions()
+	opts.EvidenceK = s.opts.EvidenceK
+	opts.EntropyM = s.opts.EntropySamples
+	opts.Seed = s.opts.Seed
+	h, err := core.NewHybrid(multi, s.ner, opts)
+	if err != nil {
+		return fmt.Errorf("unisem: build: %w", err)
+	}
+	s.hybrid = h
+	s.built = true
+	return nil
+}
+
+// Ask answers a natural-language question. The returned error is
+// non-nil only when no answer could be produced at all.
+func (s *System) Ask(question string) (Answer, error) {
+	if !s.built {
+		return Answer{}, ErrNotBuilt
+	}
+	raw := s.hybrid.Answer(question)
+	ans := Answer{
+		Text:    raw.Text,
+		Plan:    raw.Plan,
+		Entropy: raw.Uncertainty.SemanticH,
+		Flagged: raw.Uncertainty.Flagged(s.opts.FlagThreshold),
+		Latency: raw.Latency,
+	}
+	for _, e := range raw.Evidence {
+		ans.Evidence = append(ans.Evidence, Evidence{ID: e.NodeID, Text: e.Text, Score: e.Score, Kind: e.Kind})
+	}
+	if raw.Err != nil {
+		return ans, raw.Err
+	}
+	return ans, nil
+}
+
+// Stats summarizes the built index.
+type Stats struct {
+	Nodes, Edges     int
+	Chunks, Entities int
+	Cues, Rows       int
+	ExtractedRows    int
+	IndexBytes       int64
+	BuildTime        time.Duration
+}
+
+// Stats returns index statistics; zero before Build.
+func (s *System) Stats() Stats {
+	if !s.built {
+		return Stats{}
+	}
+	is := s.hybrid.IndexStats
+	return Stats{
+		Nodes: is.Nodes, Edges: is.Edges,
+		Chunks: is.Chunks, Entities: is.Entities,
+		Cues: is.Cues, Rows: is.Rows,
+		ExtractedRows: s.hybrid.ExtractCount,
+		IndexBytes:    is.SizeBytes,
+		BuildTime:     is.BuildTime,
+	}
+}
+
+// Tables lists the catalog tables available to semantic operators —
+// native tables plus SLM-generated ones.
+func (s *System) Tables() []string {
+	if !s.built {
+		return nil
+	}
+	return s.hybrid.Catalog().Names()
+}
+
+// Table returns a rendered preview of a catalog table.
+func (s *System) Table(name string) (string, error) {
+	if !s.built {
+		return "", ErrNotBuilt
+	}
+	t, err := s.hybrid.Catalog().Get(name)
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+// Ingest adds one unstructured document to a *built* system without a
+// rebuild: the graph index, extracted tables and retrieval priors all
+// update incrementally (the paper's real-time analytics direction).
+// Re-ingesting an existing document id is an error.
+func (s *System) Ingest(source, id, text string) error {
+	if !s.built {
+		return ErrNotBuilt
+	}
+	return s.hybrid.Ingest(source, id, text)
+}
+
+// KnowledgeFormat selects the ExportKnowledge encoding.
+type KnowledgeFormat string
+
+// Knowledge export formats.
+const (
+	KnowledgeTSV  KnowledgeFormat = "tsv"
+	KnowledgeJSON KnowledgeFormat = "json"
+)
+
+// ExportKnowledge writes the system's inferred knowledge facts —
+// verb-mediated entity relations with source provenance — as TSV or
+// JSON (the paper's "knowledge database construction" output).
+func (s *System) ExportKnowledge(w io.Writer, format KnowledgeFormat) error {
+	if !s.built {
+		return ErrNotBuilt
+	}
+	triples := s.hybrid.Triples()
+	switch format {
+	case KnowledgeJSON:
+		return index.WriteTriplesJSON(w, triples)
+	case KnowledgeTSV, "":
+		return index.WriteTriplesTSV(w, triples)
+	default:
+		return fmt.Errorf("unisem: unknown knowledge format %q", format)
+	}
+}
+
+// ExplainEvidence returns the graph path connecting the question's
+// entities to an evidence item, for provenance display.
+func (s *System) ExplainEvidence(question, evidenceID string) []string {
+	if !s.built {
+		return nil
+	}
+	return s.hybrid.Retriever().ExplainPath(question, evidenceID)
+}
+
+// GraphComponents returns the sizes of the index's weakly connected
+// components, largest first — a quick health check of cross-modal
+// linking.
+func (s *System) GraphComponents() []int {
+	if !s.built {
+		return nil
+	}
+	comps := s.hybrid.Graph().ConnectedComponents()
+	out := make([]int, len(comps))
+	for i, c := range comps {
+		out[i] = len(c)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package unisem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildDemo assembles a small heterogeneous system across all four
+// source kinds.
+func buildDemo(t *testing.T) *System {
+	t.Helper()
+	sys := New()
+	sys.Vocabulary(VocabProduct, "Product Alpha", "Product Beta")
+	sys.Vocabulary(VocabDrug, "Drug A")
+	sys.Vocabulary(VocabSideEffect, "nausea", "fatigue")
+
+	if err := sys.AddDocument("reviews", "r1", "Customer C-1 rated Product Alpha 5 stars. Battery life was great."); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocument("reviews", "r2", "Customer C-2 rated Product Alpha 3 stars."); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocument("reviews", "r3", "Customer C-3 rated Product Beta 2 stars."); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddDocument("notes", "n1", "Patient P-1 received Drug A on 2024-02-02. Patient P-1 reported nausea."); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddCSV("sales", strings.NewReader(
+		"product,quarter,revenue\nProduct Alpha,Q2,1200\nProduct Beta,Q2,800\nProduct Alpha,Q3,1500\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddJSONLines("events", strings.NewReader(`{"id":"e1","product":"Product Alpha","event":"return"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddXML("conf", strings.NewReader(`<cfg><svc id="s1"><host>db1</host></svc></cfg>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAskBeforeBuild(t *testing.T) {
+	sys := New()
+	if _, err := sys.Ask("anything"); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoubleBuild(t *testing.T) {
+	sys := buildDemo(t)
+	if err := sys.Build(); !errors.Is(err, ErrAlreadyBuilt) {
+		t.Errorf("err = %v", err)
+	}
+	if err := sys.AddDocument("x", "y", "z"); !errors.Is(err, ErrAlreadyBuilt) {
+		t.Errorf("add after build: %v", err)
+	}
+}
+
+func TestAskStructured(t *testing.T) {
+	sys := buildDemo(t)
+	ans, err := sys.Ask("What was the revenue of Product Alpha in Q3?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "1500" {
+		t.Errorf("answer = %q (plan %s)", ans.Text, ans.Plan)
+	}
+	if len(ans.Evidence) == 0 {
+		t.Error("no evidence")
+	}
+	if ans.Latency <= 0 {
+		t.Error("no latency")
+	}
+}
+
+func TestAskCrossModal(t *testing.T) {
+	sys := buildDemo(t)
+	ans, err := sys.Ask("What is the average rating of Product Alpha?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "4" {
+		t.Errorf("answer = %q (plan %s)", ans.Text, ans.Plan)
+	}
+}
+
+func TestAskComparison(t *testing.T) {
+	sys := buildDemo(t)
+	ans, err := sys.Ask("Compare total revenue for Product Alpha and Product Beta in Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "Product Alpha: 1200, Product Beta: 800" {
+		t.Errorf("answer = %q", ans.Text)
+	}
+}
+
+func TestAskHealthcare(t *testing.T) {
+	sys := buildDemo(t)
+	ans, err := sys.Ask("Which side effects were reported for Drug A?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "nausea" {
+		t.Errorf("answer = %q (plan %s)", ans.Text, ans.Plan)
+	}
+}
+
+func TestStatsAndTables(t *testing.T) {
+	sys := buildDemo(t)
+	st := sys.Stats()
+	if st.Nodes == 0 || st.Chunks == 0 || st.ExtractedRows == 0 || st.IndexBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	names := sys.Tables()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"sales", "ratings", "treatments"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("tables = %v missing %s", names, want)
+		}
+	}
+	preview, err := sys.Table("ratings")
+	if err != nil || !strings.Contains(preview, "stars") {
+		t.Errorf("preview: %v %q", err, preview)
+	}
+	if _, err := sys.Table("ghost"); err == nil {
+		t.Error("ghost table found")
+	}
+}
+
+func TestExplainEvidence(t *testing.T) {
+	sys := buildDemo(t)
+	ans, err := sys.Ask("What is the average rating of Product Alpha?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := sys.ExplainEvidence("What is the average rating of Product Alpha?", ans.Evidence[0].ID)
+	if len(path) < 2 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestGraphComponents(t *testing.T) {
+	sys := buildDemo(t)
+	comps := sys.GraphComponents()
+	if len(comps) == 0 || comps[0] < 5 {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestEntropyFlagging(t *testing.T) {
+	sys := buildDemo(t)
+	// A well-supported structured answer should not be flagged.
+	ans, err := sys.Ask("What was the revenue of Product Alpha in Q3?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Flagged {
+		t.Errorf("confident answer flagged (entropy %v)", ans.Entropy)
+	}
+}
+
+func TestStatsBeforeBuild(t *testing.T) {
+	sys := New()
+	if sys.Stats() != (Stats{}) {
+		t.Error("stats before build should be zero")
+	}
+	if sys.Tables() != nil || sys.GraphComponents() != nil {
+		t.Error("accessors before build should be nil")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	sys := NewWithOptions(Options{})
+	if sys.opts.EvidenceK <= 0 || sys.opts.EntropySamples <= 0 || sys.opts.FlagThreshold <= 0 {
+		t.Errorf("options not normalized: %+v", sys.opts)
+	}
+}
+
+func TestAddCSVErrors(t *testing.T) {
+	sys := New()
+	if err := sys.AddCSV("bad", strings.NewReader("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if err := sys.AddJSONLines("bad", strings.NewReader("{broken")); err == nil {
+		t.Error("broken json accepted")
+	}
+	if err := sys.AddXML("bad", strings.NewReader("<unclosed>")); err == nil {
+		t.Error("broken xml accepted")
+	}
+}
