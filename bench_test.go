@@ -184,6 +184,119 @@ func BenchmarkTableS2VectorIndex(b *testing.B) {
 	}
 }
 
+// ingestCorpus is the corpus used by the ingest-throughput benchmarks:
+// large enough that the per-record SLM analysis dominates setup noise.
+func ingestCorpus() *workload.Corpus {
+	opts := workload.DefaultECommerceOptions()
+	opts.Products = 48
+	opts.ReviewsPerProduct = 12
+	opts.Noise = 0.6
+	return workload.ECommerce(opts)
+}
+
+// benchIngest builds the full hybrid system (graph index + relational
+// table generation) at the given worker count and reports docs/sec.
+func benchIngest(b *testing.B, workers int) {
+	c := ingestCorpus()
+	ner := slm.NewNER()
+	c.Register(ner)
+	opts := core.DefaultHybridOptions()
+	opts.Workers = workers
+	docs := c.Sources.Len()
+	var stats index.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := core.NewHybrid(c.Sources, ner, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = h.IndexStats
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(docs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+	if stats.Nodes == 0 {
+		b.Fatal("empty index")
+	}
+}
+
+// BenchmarkSequentialIngest is the single-threaded baseline.
+func BenchmarkSequentialIngest(b *testing.B) { benchIngest(b, 1) }
+
+// BenchmarkParallelIngest fans the per-record SLM analysis and the
+// per-document table generation across all cores; the graph/catalog
+// merge stays sequential so IndexStats and answers are identical to
+// BenchmarkSequentialIngest (asserted by TestParallelBuildDeterminism
+// and verified again here on the first iteration).
+func BenchmarkParallelIngest(b *testing.B) {
+	c := ingestCorpus()
+	ner := slm.NewNER()
+	c.Register(ner)
+	seqOpts := core.DefaultHybridOptions()
+	seqOpts.Workers = 1
+	seq, err := core.NewHybrid(c.Sources, ner, seqOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parOpts := core.DefaultHybridOptions()
+	par, err := core.NewHybrid(c.Sources, ner, parOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, pp := seq.IndexStats, par.IndexStats
+	ss.BuildTime, pp.BuildTime = 0, 0
+	if ss != pp {
+		b.Fatalf("parallel IndexStats diverge from sequential:\n  seq %+v\n  par %+v", ss, pp)
+	}
+	benchIngest(b, 0)
+}
+
+// BenchmarkAnswerAll measures batch query throughput with bounded
+// parallelism over the full e-commerce query workload.
+func BenchmarkAnswerAll(b *testing.B) {
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	questions := make([]string, 0, len(c.Queries))
+	for _, q := range c.Queries {
+		questions = append(questions, q.Text)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans := h.AnswerAll(questions, 0)
+		if len(ans) != len(questions) {
+			b.Fatal("short batch")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// BenchmarkAnswerAllSequential is the single-worker baseline for
+// BenchmarkAnswerAll.
+func BenchmarkAnswerAllSequential(b *testing.B) {
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	questions := make([]string, 0, len(c.Queries))
+	for _, q := range c.Queries {
+		questions = append(questions, q.Text)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AnswerAll(questions, 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
 // BenchmarkAskEndToEnd times the public API answer path.
 func BenchmarkAskEndToEnd(b *testing.B) {
 	sys := New()

@@ -9,9 +9,12 @@
 //	uniquery -demo ecommerce -q "Find the total revenue of all products in Q4"
 //	uniquery -demo healthcare              # interactive loop on stdin
 //	uniquery -dir ./data -vocab vocab.txt -q "..."
+//	uniquery -demo ecommerce -batch questions.txt -parallel 8
 //
 // The optional vocab file registers domain entities, one per line:
 // "product: Product Alpha" / "drug: Drug A" / "side_effect: nausea".
+// Batch mode reads one question per line (blank lines and #-comments
+// skipped) and answers them concurrently via AskAll.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/store"
@@ -34,12 +38,18 @@ func main() {
 	demo := flag.String("demo", "", "built-in demo corpus: ecommerce | healthcare | ops")
 	vocab := flag.String("vocab", "", "vocabulary file: 'kind: phrase' per line")
 	question := flag.String("q", "", "one-shot question (otherwise interactive)")
+	batch := flag.String("batch", "", "file of questions, one per line, answered concurrently")
+	parallel := flag.Int("parallel", 0, "worker bound for build and batch answering (0 = all cores, 1 = sequential)")
+	cacheSize := flag.Int("cache", 0, "LRU answer cache entries, invalidated on ingest (0 = off)")
 	showTables := flag.Bool("tables", false, "list catalog tables after build")
 	saveDir := flag.String("save", "", "persist the built index+catalog to this directory")
 	exportKB := flag.String("export-knowledge", "", "write inferred knowledge triples (TSV) to this file")
 	flag.Parse()
 
-	sys, err := buildSystem(*dir, *demo, *vocab)
+	opts := unisem.DefaultOptions()
+	opts.Workers = *parallel
+	opts.AnswerCache = *cacheSize
+	sys, err := buildSystem(*dir, *demo, *vocab, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uniquery: %v\n", err)
 		os.Exit(1)
@@ -71,6 +81,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("exported knowledge triples to %s\n", *exportKB)
+	}
+
+	if *batch != "" {
+		if err := answerBatch(sys, *batch, *parallel, *cacheSize > 0); err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: batch: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *question != "" {
@@ -124,8 +142,56 @@ func answer(sys *unisem.System, q string) {
 	}
 }
 
-func buildSystem(dir, demo, vocabPath string) (*unisem.System, error) {
-	sys := unisem.New()
+// answerBatch reads one question per line and answers them all through
+// AskAll, reporting per-question results and batch throughput.
+func answerBatch(sys *unisem.System, path string, parallel int, cacheOn bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var questions []string
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		questions = append(questions, line)
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	answers, err := sys.AskAll(questions, parallel)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	answered := 0
+	for i, ans := range answers {
+		if ans.Err != nil {
+			fmt.Printf("[%d] %s\n    no answer: %v\n", i+1, questions[i], ans.Err)
+			continue
+		}
+		answered++
+		flag := ""
+		if ans.Flagged {
+			flag = "  [FLAGGED]"
+		}
+		fmt.Printf("[%d] %s\n    answer: %s  (entropy %.3f)%s\n", i+1, questions[i], ans.Text, ans.Entropy, flag)
+	}
+	qps := float64(len(questions)) / elapsed.Seconds()
+	fmt.Printf("batch: %d/%d answered in %v (%.1f q/s)\n", answered, len(questions), elapsed, qps)
+	if cacheOn {
+		hits, misses, size := sys.CacheStats()
+		fmt.Printf("cache: %d hits, %d misses, %d entries\n", hits, misses, size)
+	}
+	return nil
+}
+
+func buildSystem(dir, demo, vocabPath string, opts unisem.Options) (*unisem.System, error) {
+	sys := unisem.NewWithOptions(opts)
 
 	switch demo {
 	case "ecommerce":

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro"
 )
 
 // writeFixture creates a mixed-source data directory.
@@ -31,7 +33,7 @@ func writeFixture(t *testing.T) string {
 
 func TestBuildSystemFromDir(t *testing.T) {
 	dir := writeFixture(t)
-	sys, err := buildSystem(dir, "", filepath.Join(dir, "vocab.txt"))
+	sys, err := buildSystem(dir, "", filepath.Join(dir, "vocab.txt"), unisem.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestBuildSystemFromDir(t *testing.T) {
 
 func TestBuildSystemDemos(t *testing.T) {
 	for _, demo := range []string{"ecommerce", "healthcare", "ops"} {
-		sys, err := buildSystem("", demo, "")
+		sys, err := buildSystem("", demo, "", unisem.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s: %v", demo, err)
 		}
@@ -64,13 +66,13 @@ func TestBuildSystemDemos(t *testing.T) {
 }
 
 func TestBuildSystemErrors(t *testing.T) {
-	if _, err := buildSystem("", "", ""); err == nil {
+	if _, err := buildSystem("", "", "", unisem.DefaultOptions()); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := buildSystem("", "nonsense", ""); err == nil {
+	if _, err := buildSystem("", "nonsense", "", unisem.DefaultOptions()); err == nil {
 		t.Error("unknown demo accepted")
 	}
-	if _, err := buildSystem("/nonexistent-dir-xyz", "", ""); err == nil {
+	if _, err := buildSystem("/nonexistent-dir-xyz", "", "", unisem.DefaultOptions()); err == nil {
 		t.Error("missing dir accepted")
 	}
 }
@@ -79,7 +81,7 @@ func TestLoadVocabSkipsComments(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "v.txt")
 	os.WriteFile(path, []byte("# comment\n\nbadline\nproduct: Widget\n"), 0o644)
-	sys, err := buildSystem(writeFixture(t), "", path)
+	sys, err := buildSystem(writeFixture(t), "", path, unisem.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

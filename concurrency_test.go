@@ -1,6 +1,9 @@
 package unisem
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -57,6 +60,127 @@ func TestConcurrentAskDeterministicAnswers(t *testing.T) {
 	for i, a := range answers {
 		if a != "1500" {
 			t.Errorf("answer[%d] = %q", i, a)
+		}
+	}
+}
+
+// Ingest and Ask must interleave safely from concurrent goroutines (run
+// with -race): writers extend the live index while readers answer.
+func TestConcurrentIngestAndAsk(t *testing.T) {
+	sys := buildDemo(t)
+	questions := []string{
+		"What was the revenue of Product Alpha in Q3?",
+		"What is the average rating of Product Alpha?",
+		"Which side effects were reported for Drug A?",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				id := fmt.Sprintf("live-%d-%d", w, i)
+				doc := fmt.Sprintf("Customer C-%d%d rated Product Beta %d stars.", w, i, i%5+1)
+				if err := sys.Ingest("live", id, doc); err != nil {
+					errs <- fmt.Errorf("ingest %s: %w", id, err)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				q := questions[(w+i)%len(questions)]
+				if _, err := sys.Ask(q); err != nil && !errors.Is(err, ErrNoAnswer) {
+					errs <- fmt.Errorf("ask %q: %w", q, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The writers' documents must all have landed.
+	if st := sys.Stats(); st.Nodes == 0 {
+		t.Errorf("stats after concurrent ingest: %+v", st)
+	}
+	if ans, err := sys.Ask("What was the revenue of Product Alpha in Q3?"); err != nil || ans.Text != "1500" {
+		t.Errorf("post-ingest ask = (%q, %v)", ans.Text, err)
+	}
+}
+
+// AskAll must return per-question answers in order, identical across
+// worker counts.
+func TestAskAllDeterministic(t *testing.T) {
+	sysA := buildDemo(t)
+	sysB := buildDemo(t)
+	questions := []string{
+		"What was the revenue of Product Alpha in Q3?",
+		"What is the average rating of Product Alpha?",
+		"What was the revenue of Product Beta in Q2?",
+	}
+	seq, err := sysA.AskAll(questions, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sysB.AskAll(questions, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range questions {
+		if seq[i].Text != par[i].Text || seq[i].Entropy != par[i].Entropy {
+			t.Errorf("[%d] %q: seq (%q, %v) vs par (%q, %v)",
+				i, questions[i], seq[i].Text, seq[i].Entropy, par[i].Text, par[i].Entropy)
+		}
+	}
+	if seq[0].Text != "1500" {
+		t.Errorf("batch answer[0] = %q", seq[0].Text)
+	}
+}
+
+// Workers must not change what Build produces: public stats and answers
+// are identical between a sequential and a parallel build.
+func TestParallelBuildSameAsSequentialPublic(t *testing.T) {
+	build := func(workers int) *System {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		sys := NewWithOptions(opts)
+		sys.Vocabulary(VocabProduct, "Product Alpha", "Product Beta")
+		for i := 0; i < 16; i++ {
+			doc := fmt.Sprintf("Customer C-%d rated Product Alpha %d stars. Customer C-%d returned Product Beta.", i, i%5+1, i+100)
+			if err := sys.AddDocument("reviews", fmt.Sprintf("r%d", i), doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.AddCSV("sales", strings.NewReader(
+			"product,quarter,revenue\nProduct Alpha,Q2,1200\nProduct Beta,Q2,800\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Build(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	seq, par := build(1), build(8)
+	ss, sp := seq.Stats(), par.Stats()
+	ss.BuildTime, sp.BuildTime = 0, 0
+	if ss != sp {
+		t.Errorf("stats diverge:\n  seq %+v\n  par %+v", ss, sp)
+	}
+	for _, q := range []string{
+		"What was the revenue of Product Alpha in Q2?",
+		"What is the average rating of Product Alpha?",
+	} {
+		a, errA := seq.Ask(q)
+		b, errB := par.Ask(q)
+		if (errA == nil) != (errB == nil) || a.Text != b.Text {
+			t.Errorf("%q: seq (%q, %v) vs par (%q, %v)", q, a.Text, errA, b.Text, errB)
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/par"
+	"repro/internal/slm"
+)
+
+// AnswerAll answers every question with up to workers goroutines
+// (<= 0 means GOMAXPROCS) and returns the answers in question order.
+//
+// Generator streams are forked per question in input order before any
+// worker starts, so the i-th answer is identical to what the i-th
+// sequential Answer call would have produced — batch results do not
+// depend on goroutine scheduling. With the answer cache enabled,
+// duplicate questions within the batch are computed once and the
+// remaining slots filled from the first occurrence, exactly what a
+// sequential loop's cache hits would return. AnswerAll may interleave
+// with Ingest; each answer sees either the pre- or post-ingest index,
+// never a partial mutation.
+func (h *Hybrid) AnswerAll(questions []string, workers int) []Answer {
+	out := make([]Answer, len(questions))
+	if len(questions) == 0 {
+		return out
+	}
+	rngs := make([]*slm.RNG, len(questions))
+	h.rngMu.Lock()
+	for i := range rngs {
+		rngs[i] = h.rng.Fork()
+	}
+	h.rngMu.Unlock()
+
+	// With caching on, concurrent workers could otherwise race to fill
+	// the same key and hand duplicate questions scheduling-dependent
+	// samples; dedup restores the sequential cache-hit semantics.
+	dupOf := make([]int, len(questions))
+	compute := make([]int, 0, len(questions))
+	if h.cache != nil {
+		firstIdx := make(map[string]int, len(questions))
+		for i, q := range questions {
+			key := normalizeQuestion(q)
+			if j, ok := firstIdx[key]; ok {
+				dupOf[i] = j
+				continue
+			}
+			firstIdx[key] = i
+			dupOf[i] = -1
+			compute = append(compute, i)
+		}
+	} else {
+		for i := range questions {
+			dupOf[i] = -1
+			compute = append(compute, i)
+		}
+	}
+
+	par.ForEach(len(compute), workers, func(k int) {
+		i := compute[k]
+		out[i] = h.answerWith(questions[i], rngs[i])
+	})
+	for i, j := range dupOf {
+		if j >= 0 {
+			out[i] = out[j]
+		}
+	}
+	return out
+}
+
+// CacheStats reports the answer cache's hit/miss counters and current
+// size; all zeros when caching is disabled.
+func (h *Hybrid) CacheStats() (hits, misses int64, size int) {
+	if h.cache == nil {
+		return 0, 0, 0
+	}
+	return h.cache.stats()
+}

@@ -24,6 +24,16 @@ type HybridOptions struct {
 	EntropyM          int    // samples for uncertainty scoring (default 5)
 	Seed              uint64 // generator sampling seed
 	DisableExtraction bool   // ablation: no Relational Table Generation
+
+	// Workers bounds ingest parallelism: the graph build's analysis pool
+	// and the Relational Table Generation pass both fan out per record /
+	// per document and merge deterministically, so results are identical
+	// to a sequential run. 0 means GOMAXPROCS; 1 forces sequential.
+	Workers int
+
+	// CacheSize enables an LRU answer cache of that many entries, keyed
+	// by normalized question and purged on Ingest. 0 disables caching.
+	CacheSize int
 }
 
 // DefaultHybridOptions returns the standard configuration.
@@ -42,6 +52,12 @@ func DefaultHybridOptions() HybridOptions {
 // every unstructured document; at query time it synthesizes semantic
 // operators over the combined catalog, retrieves topology-guided
 // evidence, and scores semantic entropy.
+//
+// After construction a Hybrid is safe for concurrent use: Answer and
+// AnswerAll may run from any number of goroutines, interleaved with
+// Ingest calls. Ingest takes the write half of an RWMutex guarding the
+// graph, catalog, retriever and stats; answering takes the read half.
+// WithCost is setup-time only and must happen before concurrent use.
 type Hybrid struct {
 	ner       *slm.NER
 	graph     *graph.Graph
@@ -50,11 +66,18 @@ type Hybrid struct {
 	retriever *retrieval.Topology
 	catalog   *table.Catalog // native + extracted tables
 	gen       *slm.Generator
+	greedy    *slm.Generator // temperature-0 fallback decoder, cost-instrumented
 	clusterer *entropy.Clusterer
 	opts      HybridOptions
 	rngMu     sync.Mutex
 	rng       *slm.RNG
 	cost      *slm.CostModel
+	cache     *answerCache // nil when disabled
+
+	// mu guards graph/catalog/retriever/IndexStats/ExtractCount against
+	// Ingest-vs-Answer races. Reading the exported fields directly is
+	// safe only when no Ingest can run concurrently; use Stats otherwise.
+	mu sync.RWMutex
 
 	IndexStats   index.Stats
 	ExtractCount int // extracted rows merged into the catalog
@@ -69,12 +92,52 @@ func NewHybrid(sources *store.Multi, ner *slm.NER, opts HybridOptions) (*Hybrid,
 	if opts.EntropyM <= 0 {
 		opts.EntropyM = 5
 	}
+	if opts.Workers != 0 {
+		if opts.Index.Workers == 0 {
+			opts.Index.Workers = opts.Workers
+		}
+		if opts.Topology.Workers == 0 {
+			opts.Topology.Workers = opts.Workers
+		}
+	}
 	h := &Hybrid{
 		ner:       ner,
 		gen:       slm.NewGenerator(),
+		greedy:    &slm.Generator{Temperature: 0},
 		clusterer: entropy.NewClusterer(slm.NewEmbedder(slm.DefaultEmbeddingDim)),
 		opts:      opts,
 		rng:       slm.NewRNG(opts.Seed),
+	}
+	if opts.CacheSize > 0 {
+		h.cache = newAnswerCache(opts.CacheSize)
+	}
+
+	// Relational Table Generation reads only the source text, so it can
+	// run concurrently with the graph build and the centrality prior;
+	// the merge below joins on it. Workers == 1 keeps everything on the
+	// calling goroutine. Either way the merged catalog is identical.
+	var extractions []extract.Extraction
+	var extractDone chan struct{}
+	if !opts.DisableExtraction {
+		h.extractor = extract.NewEngine(ner, extract.Rules()...)
+		var docs []extract.Doc
+		for _, s := range sources.Sources() {
+			if s.Kind() != store.KindText {
+				continue
+			}
+			for _, rec := range s.Records() {
+				docs = append(docs, extract.Doc{ID: rec.ID, Text: rec.Text})
+			}
+		}
+		if opts.Workers == 1 {
+			extractions = h.extractor.ExtractDocs(docs, 1)
+		} else {
+			extractDone = make(chan struct{})
+			go func() {
+				defer close(extractDone)
+				extractions = h.extractor.ExtractDocs(docs, opts.Workers)
+			}()
+		}
 	}
 
 	// 1. Graph index over every source.
@@ -112,15 +175,8 @@ func NewHybrid(sources *store.Multi, ner *slm.NER, opts HybridOptions) (*Hybrid,
 		}
 	}
 	if !opts.DisableExtraction {
-		h.extractor = extract.NewEngine(ner, extract.Rules()...)
-		var extractions []extract.Extraction
-		for _, s := range sources.Sources() {
-			if s.Kind() != store.KindText {
-				continue
-			}
-			for _, rec := range s.Records() {
-				extractions = append(extractions, h.extractor.ExtractDoc(rec.ID, rec.Text)...)
-			}
+		if extractDone != nil {
+			<-extractDone
 		}
 		if err := extract.Merge(h.catalog, extractions); err != nil {
 			return nil, fmt.Errorf("core: hybrid extraction: %w", err)
@@ -141,15 +197,27 @@ func NewHybridFromState(g *graph.Graph, catalog *table.Catalog, ner *slm.NER, op
 	if opts.EntropyM <= 0 {
 		opts.EntropyM = 5
 	}
+	if opts.Workers != 0 {
+		if opts.Index.Workers == 0 {
+			opts.Index.Workers = opts.Workers
+		}
+		if opts.Topology.Workers == 0 {
+			opts.Topology.Workers = opts.Workers
+		}
+	}
 	h := &Hybrid{
 		ner:       ner,
 		graph:     g,
 		builder:   index.NewBuilder(ner, opts.Index),
 		catalog:   catalog,
 		gen:       slm.NewGenerator(),
+		greedy:    &slm.Generator{Temperature: 0},
 		clusterer: entropy.NewClusterer(slm.NewEmbedder(slm.DefaultEmbeddingDim)),
 		opts:      opts,
 		rng:       slm.NewRNG(opts.Seed),
+	}
+	if opts.CacheSize > 0 {
+		h.cache = newAnswerCache(opts.CacheSize)
 	}
 	if !opts.DisableExtraction {
 		h.extractor = extract.NewEngine(ner, extract.Rules()...)
@@ -168,10 +236,13 @@ func NewHybridFromState(g *graph.Graph, catalog *table.Catalog, ner *slm.NER, op
 	return h
 }
 
-// WithCost attaches a cost model to the answer path. It returns h.
+// WithCost attaches a cost model to the answer path — both the sampling
+// generator and the greedy fallback decoder, so fallback generations
+// are visible to cost accounting. It returns h.
 func (h *Hybrid) WithCost(c *slm.CostModel) *Hybrid {
 	h.cost = c
 	h.gen.WithCost(c)
+	h.greedy.WithCost(c)
 	return h
 }
 
@@ -193,7 +264,18 @@ func (h *Hybrid) Retriever() *retrieval.Topology { return h.retriever }
 // the graph gains its chunks/entities/cues, extraction adds its rows
 // to the catalog, and the retriever's centrality prior refreshes. This
 // is the paper's "real-time data analytics" path — no rebuild.
+//
+// Ingest may be called concurrently with Answer/AnswerAll: it holds the
+// write lock for the duration of the mutation and purges the answer
+// cache so no stale answer survives the new evidence.
 func (h *Hybrid) Ingest(source, id, text string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cache != nil {
+		// Purge even on a failed ingest: a partial mutation (graph
+		// indexed, merge failed) must not leave stale answers behind.
+		defer h.cache.purge()
+	}
 	rec := store.Record{ID: id, Source: source, Kind: store.KindText, Text: text}
 	stats, err := h.builder.IndexRecord(h.graph, rec)
 	if err != nil {
@@ -218,23 +300,61 @@ func (h *Hybrid) Ingest(source, id, text string) error {
 }
 
 // Triples exports the graph's cue layer as knowledge facts — the
-// "knowledge database construction" output.
-func (h *Hybrid) Triples() []index.Triple { return index.Triples(h.graph) }
+// "knowledge database construction" output. Safe to call concurrently
+// with Ingest.
+func (h *Hybrid) Triples() []index.Triple {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return index.Triples(h.graph)
+}
+
+// Stats returns a consistent snapshot of the index statistics and the
+// extracted-row count. Unlike reading the exported fields directly,
+// Stats is safe to call concurrently with Ingest.
+func (h *Hybrid) Stats() (index.Stats, int) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.IndexStats, h.ExtractCount
+}
 
 // Answer implements Pipeline: parse → bind → execute → synthesize,
 // with graph-retrieved evidence and a generative fallback when no
-// table can answer.
+// table can answer. Safe to call from any goroutine, including
+// concurrently with Ingest.
 func (h *Hybrid) Answer(question string) Answer {
-	start := time.Now()
-	ans := Answer{}
-
 	// Fork a per-call generator stream so concurrent Answers do not
 	// race on shared RNG state; the fork point is serialized, keeping
 	// single-threaded runs deterministic.
 	h.rngMu.Lock()
 	rng := h.rng.Fork()
 	h.rngMu.Unlock()
+	return h.answerWith(question, rng)
+}
 
+// answerWith is Answer with an explicit generator stream; AnswerAll
+// pre-forks one stream per question in input order so batch results are
+// deterministic regardless of goroutine scheduling.
+func (h *Hybrid) answerWith(question string, rng *slm.RNG) Answer {
+	start := time.Now()
+	ans := Answer{}
+
+	key := normalizeQuestion(question)
+	if h.cache != nil {
+		if cached, ok := h.cache.get(key); ok {
+			cached.Latency = time.Since(start)
+			return cached
+		}
+	}
+
+	// The read lock covers every structure Ingest mutates: retriever
+	// (centrality prior), graph (traversal), and catalog (bind/exec).
+	h.mu.RLock()
+	var epoch uint64
+	if h.cache != nil {
+		// Under the read lock no purge can run, so this epoch is the
+		// one the evidence below is computed against.
+		epoch = h.cache.snapshotEpoch()
+	}
 	ans.Evidence = h.retriever.Retrieve(question, h.opts.EvidenceK)
 
 	var conflicts []slm.Candidate
@@ -255,12 +375,15 @@ func (h *Hybrid) Answer(question string) Answer {
 			err = execErr
 		}
 	}
+	h.mu.RUnlock()
+
 	if ans.Text == "" {
-		// Generative fallback over retrieved evidence.
+		// Generative fallback over retrieved evidence, decoded through
+		// the cost-instrumented greedy generator so fallback answers
+		// show up in cost accounting like every other generation.
 		cands := slm.DeriveCandidates(question, retrieval.Texts(ans.Evidence), h.ner)
 		if len(cands) > 0 {
-			greedy := &slm.Generator{Temperature: 0}
-			ans.Text = greedy.Generate(cands, rng).Canonical
+			ans.Text = h.greedy.Generate(cands, rng).Canonical
 		} else if err != nil {
 			ans.Err = err
 		} else {
@@ -271,5 +394,8 @@ func (h *Hybrid) Answer(question string) Answer {
 	ans.Uncertainty = assessUncertainty(ans.Text, conflicts, ans.Evidence, question,
 		h.ner, h.gen, h.clusterer, h.opts.EntropyM, rng)
 	ans.Latency = time.Since(start)
+	if h.cache != nil {
+		h.cache.put(key, ans, epoch)
+	}
 	return ans
 }

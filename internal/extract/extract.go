@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/slm"
 	"repro/internal/table"
 )
@@ -57,7 +58,9 @@ func (e *Engine) WithCost(c *slm.CostModel) *Engine {
 	return e
 }
 
-// ExtractDoc runs every rule over every sentence of the document.
+// ExtractDoc runs every rule over every sentence of the document. It is
+// safe to call from multiple goroutines: the engine's recognizer, rules
+// and cost model are all read-only or internally synchronized.
 func (e *Engine) ExtractDoc(docID, text string) []Extraction {
 	var out []Extraction
 	for _, sent := range slm.SplitSentences(text) {
@@ -68,6 +71,28 @@ func (e *Engine) ExtractDoc(docID, text string) []Extraction {
 		for _, r := range e.rules {
 			out = append(out, r.Apply(docID, sent.Text, ents)...)
 		}
+	}
+	return out
+}
+
+// Doc is one unstructured document queued for batch extraction.
+type Doc struct {
+	ID   string
+	Text string
+}
+
+// ExtractDocs runs ExtractDoc over every document with up to workers
+// goroutines (<= 0 means GOMAXPROCS) and concatenates the results in
+// document order, so the output is identical to a sequential loop over
+// ExtractDoc regardless of scheduling.
+func (e *Engine) ExtractDocs(docs []Doc, workers int) []Extraction {
+	perDoc := make([][]Extraction, len(docs))
+	par.ForEach(len(docs), workers, func(i int) {
+		perDoc[i] = e.ExtractDoc(docs[i].ID, docs[i].Text)
+	})
+	var out []Extraction
+	for _, xs := range perDoc {
+		out = append(out, xs...)
 	}
 	return out
 }

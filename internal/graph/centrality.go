@@ -3,22 +3,24 @@ package graph
 import (
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // DegreeCentrality returns normalized out-degree per node: degree
 // divided by (n-1). For n <= 1 all values are 0.
 func (g *Graph) DegreeCentrality() map[string]float64 {
-	n := len(g.nodes)
+	n := len(g.vs)
 	out := make(map[string]float64, n)
 	if n <= 1 {
-		for id := range g.nodes {
+		for id := range g.vs {
 			out[id] = 0
 		}
 		return out
 	}
 	denom := float64(n - 1)
-	for id := range g.nodes {
-		out[id] = float64(len(g.out[id])) / denom
+	for id, v := range g.vs {
+		out[id] = float64(len(v.out)) / denom
 	}
 	return out
 }
@@ -28,6 +30,7 @@ type PageRankOptions struct {
 	Damping    float64 // typically 0.85
 	Iterations int     // fixed iteration cap
 	Tolerance  float64 // early-exit L1 threshold
+	Workers    int     // gather workers per iteration; 0 = GOMAXPROCS, 1 = sequential
 }
 
 // DefaultPageRankOptions returns the standard setting.
@@ -39,11 +42,16 @@ func DefaultPageRankOptions() PageRankOptions {
 // weights bias the random walk; dangling mass is redistributed
 // uniformly. Scores sum to 1 over all nodes. This is the "centrality
 // measure[] to identify influential nodes" of Section III.B.
+//
+// The iteration runs pull-style over a dense index-space copy of the
+// graph: each node gathers from its in-edges in list order, so every
+// node's score is independent of how nodes are partitioned across
+// workers — results are bit-identical at any worker count.
 func (g *Graph) PageRank(opts PageRankOptions) map[string]float64 {
-	n := len(g.nodes)
-	ranks := make(map[string]float64, n)
+	n := len(g.vs)
+	out := make(map[string]float64, n)
 	if n == 0 {
-		return ranks
+		return out
 	}
 	if opts.Damping <= 0 || opts.Damping >= 1 {
 		opts.Damping = 0.85
@@ -52,50 +60,78 @@ func (g *Graph) PageRank(opts PageRankOptions) map[string]float64 {
 		opts.Iterations = 40
 	}
 	ids := g.NodeIDs()
-	init := 1.0 / float64(n)
-	for _, id := range ids {
-		ranks[id] = init
+	idx := make(map[string]int, n)
+	for i, id := range ids {
+		idx[id] = i
 	}
-	// Precompute total outgoing weight per node.
-	outWeight := make(map[string]float64, n)
-	for id, es := range g.out {
-		var w float64
-		for _, e := range es {
-			w += e.Weight
+
+	// CSR-style reverse adjacency plus per-node total outgoing weight:
+	// the hot loop then touches only flat slices, no string hashing.
+	outWeight := make([]float64, n)
+	offs := make([]int, n+1)
+	for i, id := range ids {
+		v := g.vs[id]
+		for _, e := range v.out {
+			outWeight[i] += e.Weight
 		}
-		outWeight[id] = w
+		offs[i+1] = offs[i] + len(v.in)
 	}
-	next := make(map[string]float64, n)
+	srcs := make([]int32, offs[n])
+	ws := make([]float64, offs[n])
+	for i, id := range ids {
+		base := offs[i]
+		for j, e := range g.vs[id].in {
+			srcs[base+j] = int32(idx[e.From])
+			ws[base+j] = e.Weight
+		}
+	}
+
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+	init := 1.0 / float64(n)
+	for i := range ranks {
+		ranks[i] = init
+	}
+
+	d := opts.Damping
 	for iter := 0; iter < opts.Iterations; iter++ {
 		var dangling float64
-		for _, id := range ids {
-			if outWeight[id] == 0 {
-				dangling += ranks[id]
-			}
-			next[id] = 0
-		}
-		for _, id := range ids {
-			w := outWeight[id]
-			if w == 0 {
-				continue
-			}
-			share := ranks[id] / w
-			for _, e := range g.out[id] {
-				next[e.To] += share * e.Weight
+		for i := 0; i < n; i++ {
+			if outWeight[i] == 0 {
+				dangling += ranks[i]
+				contrib[i] = 0
+			} else {
+				contrib[i] = ranks[i] / outWeight[i]
 			}
 		}
-		base := (1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n)
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+
+		par.ForRange(n, opts.Workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				var s float64
+				for k := offs[v]; k < offs[v+1]; k++ {
+					s += contrib[srcs[k]] * ws[k]
+				}
+				next[v] = base + d*s
+			}
+		})
+
+		// Convergence delta sums sequentially in index order so the
+		// early-exit decision is also worker-count independent.
 		var delta float64
-		for _, id := range ids {
-			v := base + opts.Damping*next[id]
-			delta += math.Abs(v - ranks[id])
-			ranks[id] = v
+		for i := 0; i < n; i++ {
+			delta += math.Abs(next[i] - ranks[i])
 		}
+		ranks, next = next, ranks
 		if delta < opts.Tolerance {
 			break
 		}
 	}
-	return ranks
+	for i, id := range ids {
+		out[id] = ranks[i]
+	}
+	return out
 }
 
 // ClosenessSample estimates closeness centrality by running BFS from a

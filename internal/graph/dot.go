@@ -23,7 +23,7 @@ func (g *Graph) WriteDOT(w io.Writer, maxNodes int) error {
 		if maxNodes > 0 && count >= maxNodes {
 			break
 		}
-		n := g.nodes[id]
+		n := g.vs[id].node
 		shape := "ellipse"
 		switch n.Type {
 		case NodeChunk:
@@ -47,7 +47,7 @@ func (g *Graph) WriteDOT(w io.Writer, maxNodes int) error {
 		if !included[id] {
 			continue
 		}
-		for _, e := range g.out[id] {
+		for _, e := range g.vs[id].out {
 			if !included[e.To] {
 				continue
 			}

@@ -68,22 +68,25 @@ var (
 	ErrBadEdge      = errors.New("graph: edge endpoint missing")
 )
 
+// vertex packs a node with its adjacency so one map lookup reaches
+// both; edge insertion — the hottest build operation — touches exactly
+// two vertices instead of six map slots.
+type vertex struct {
+	node *Node
+	out  []Edge // adjacency by source
+	in   []Edge // reverse adjacency by target
+}
+
 // Graph is an in-memory heterogeneous property graph. It is not safe
 // for concurrent mutation; build once, then read from any goroutine.
 type Graph struct {
-	nodes map[string]*Node
-	out   map[string][]Edge // adjacency by source
-	in    map[string][]Edge // reverse adjacency by target
+	vs    map[string]*vertex
 	edges int
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		nodes: make(map[string]*Node),
-		out:   make(map[string][]Edge),
-		in:    make(map[string][]Edge),
-	}
+	return &Graph{vs: make(map[string]*vertex)}
 }
 
 // AddNode inserts a node. It returns ErrNodeExists if the id is taken.
@@ -91,10 +94,10 @@ func (g *Graph) AddNode(n Node) error {
 	if n.ID == "" {
 		return fmt.Errorf("graph: empty node id: %w", ErrNodeNotFound)
 	}
-	if _, ok := g.nodes[n.ID]; ok {
+	if _, ok := g.vs[n.ID]; ok {
 		return fmt.Errorf("%w: %s", ErrNodeExists, n.ID)
 	}
-	g.nodes[n.ID] = &n
+	g.vs[n.ID] = &vertex{node: &n}
 	return nil
 }
 
@@ -102,47 +105,114 @@ func (g *Graph) AddNode(n Node) error {
 // Existing nodes are returned unchanged (first write wins), which is
 // the behaviour the index builder needs for entity unification.
 func (g *Graph) EnsureNode(n Node) *Node {
-	if existing, ok := g.nodes[n.ID]; ok {
-		return existing
+	if existing, ok := g.vs[n.ID]; ok {
+		return existing.node
 	}
-	g.nodes[n.ID] = &n
+	g.vs[n.ID] = &vertex{node: &n}
 	return &n
 }
 
 // Node returns the node with id, or nil if absent.
-func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+func (g *Graph) Node(id string) *Node {
+	v, ok := g.vs[id]
+	if !ok {
+		return nil
+	}
+	return v.node
+}
 
 // HasNode reports whether id is present.
-func (g *Graph) HasNode(id string) bool { _, ok := g.nodes[id]; return ok }
+func (g *Graph) HasNode(id string) bool { _, ok := g.vs[id]; return ok }
 
 // AddEdge inserts a directed edge. Both endpoints must exist.
 func (g *Graph) AddEdge(e Edge) error {
-	if !g.HasNode(e.From) || !g.HasNode(e.To) {
+	from, ok := g.vs[e.From]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrBadEdge, e.From, e.To)
+	}
+	to, ok := g.vs[e.To]
+	if !ok {
 		return fmt.Errorf("%w: %s -> %s", ErrBadEdge, e.From, e.To)
 	}
 	if e.Weight == 0 {
 		e.Weight = 1
 	}
-	g.out[e.From] = append(g.out[e.From], e)
-	g.in[e.To] = append(g.in[e.To], e)
+	from.out = appendEdge(from.out, e)
+	to.in = appendEdge(to.in, e)
 	g.edges++
 	return nil
 }
 
-// AddUndirected inserts the edge and its reverse twin.
+// AddUndirected inserts the edge and its reverse twin. It resolves each
+// endpoint once, not once per direction — this is the hottest write in
+// index construction.
 func (g *Graph) AddUndirected(e Edge) error {
-	if err := g.AddEdge(e); err != nil {
-		return err
+	from, ok := g.vs[e.From]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrBadEdge, e.From, e.To)
+	}
+	to, ok := g.vs[e.To]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrBadEdge, e.From, e.To)
+	}
+	if e.Weight == 0 {
+		e.Weight = 1
 	}
 	rev := Edge{From: e.To, To: e.From, Type: e.Type, Weight: e.Weight}
-	return g.AddEdge(rev)
+	from.out = appendEdge(from.out, e)
+	to.in = appendEdge(to.in, e)
+	to.out = appendEdge(to.out, rev)
+	from.in = appendEdge(from.in, rev)
+	g.edges += 2
+	return nil
+}
+
+// appendEdge grows an adjacency list, seeding fresh lists with room for
+// a typical node's degree so the first few inserts do not reallocate.
+func appendEdge(es []Edge, e Edge) []Edge {
+	if es == nil {
+		es = make([]Edge, 0, 4)
+	}
+	return append(es, e)
+}
+
+// Reserve grows id's adjacency capacity ahead of a known burst of edge
+// insertions, avoiding repeated reallocation for high-degree nodes. It
+// is a no-op for unknown ids.
+func (g *Graph) Reserve(id string, out, in int) {
+	v, ok := g.vs[id]
+	if !ok {
+		return
+	}
+	if need := len(v.out) + out; need > cap(v.out) {
+		ns := make([]Edge, len(v.out), need)
+		copy(ns, v.out)
+		v.out = ns
+	}
+	if need := len(v.in) + in; need > cap(v.in) {
+		ns := make([]Edge, len(v.in), need)
+		copy(ns, v.in)
+		v.in = ns
+	}
 }
 
 // Out returns the outgoing edges of id (shared slice; do not mutate).
-func (g *Graph) Out(id string) []Edge { return g.out[id] }
+func (g *Graph) Out(id string) []Edge {
+	v, ok := g.vs[id]
+	if !ok {
+		return nil
+	}
+	return v.out
+}
 
 // In returns the incoming edges of id (shared slice; do not mutate).
-func (g *Graph) In(id string) []Edge { return g.in[id] }
+func (g *Graph) In(id string) []Edge {
+	v, ok := g.vs[id]
+	if !ok {
+		return nil
+	}
+	return v.in
+}
 
 // Neighbors returns the distinct node ids reachable over one outgoing
 // edge, optionally filtered to the given edge types (nil = all).
@@ -156,7 +226,7 @@ func (g *Graph) Neighbors(id string, types ...EdgeType) []string {
 	}
 	seen := make(map[string]bool)
 	var out []string
-	for _, e := range g.out[id] {
+	for _, e := range g.Out(id) {
 		if filter != nil && !filter[e.Type] {
 			continue
 		}
@@ -170,10 +240,10 @@ func (g *Graph) Neighbors(id string, types ...EdgeType) []string {
 }
 
 // Degree returns the out-degree of id.
-func (g *Graph) Degree(id string) int { return len(g.out[id]) }
+func (g *Graph) Degree(id string) int { return len(g.Out(id)) }
 
 // NodeCount returns the number of nodes.
-func (g *Graph) NodeCount() int { return len(g.nodes) }
+func (g *Graph) NodeCount() int { return len(g.vs) }
 
 // EdgeCount returns the number of directed edges (an undirected edge
 // counts twice).
@@ -181,8 +251,8 @@ func (g *Graph) EdgeCount() int { return g.edges }
 
 // NodeIDs returns all node ids in sorted order.
 func (g *Graph) NodeIDs() []string {
-	ids := make([]string, 0, len(g.nodes))
-	for id := range g.nodes {
+	ids := make([]string, 0, len(g.vs))
+	for id := range g.vs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -192,9 +262,9 @@ func (g *Graph) NodeIDs() []string {
 // NodesOfType returns all nodes of the given type, sorted by id.
 func (g *Graph) NodesOfType(t NodeType) []*Node {
 	var out []*Node
-	for _, n := range g.nodes {
-		if n.Type == t {
-			out = append(out, n)
+	for _, v := range g.vs {
+		if v.node.Type == t {
+			out = append(out, v.node)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -204,8 +274,8 @@ func (g *Graph) NodesOfType(t NodeType) []*Node {
 // CountByType returns node counts per type, for index statistics.
 func (g *Graph) CountByType() map[NodeType]int {
 	m := make(map[NodeType]int)
-	for _, n := range g.nodes {
-		m[n.Type]++
+	for _, v := range g.vs {
+		m[v.node.Type]++
 	}
 	return m
 }
@@ -214,14 +284,13 @@ func (g *Graph) CountByType() map[NodeType]int {
 // attrs plus edge records. Used by experiment E1 (index size).
 func (g *Graph) SizeBytes() int64 {
 	var b int64
-	for _, n := range g.nodes {
+	for _, v := range g.vs {
+		n := v.node
 		b += int64(len(n.ID) + len(n.Label) + 16)
-		for k, v := range n.Attrs {
-			b += int64(len(k) + len(v) + 16)
+		for k, av := range n.Attrs {
+			b += int64(len(k) + len(av) + 16)
 		}
-	}
-	for _, es := range g.out {
-		for _, e := range es {
+		for _, e := range v.out {
 			b += int64(len(e.From) + len(e.To) + len(e.Type) + 8)
 		}
 	}

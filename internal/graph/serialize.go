@@ -16,12 +16,12 @@ type serialized struct {
 // WriteJSON serializes the graph as deterministic JSON (nodes and edges
 // sorted), suitable for persistence and for diffing index builds.
 func (g *Graph) WriteJSON(w io.Writer) error {
-	s := serialized{Nodes: make([]Node, 0, len(g.nodes))}
+	s := serialized{Nodes: make([]Node, 0, len(g.vs))}
 	for _, id := range g.NodeIDs() {
-		s.Nodes = append(s.Nodes, *g.nodes[id])
+		s.Nodes = append(s.Nodes, *g.vs[id].node)
 	}
 	for _, id := range g.NodeIDs() {
-		s.Edges = append(s.Edges, g.out[id]...)
+		s.Edges = append(s.Edges, g.vs[id].out...)
 	}
 	sort.Slice(s.Edges, func(i, j int) bool {
 		a, b := s.Edges[i], s.Edges[j]

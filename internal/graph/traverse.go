@@ -40,7 +40,7 @@ func (g *Graph) BFS(anchors []string, maxDepth int, types ...EdgeType) []Visit {
 	for len(frontier) > 0 && d < maxDepth {
 		var next []string
 		for _, id := range frontier {
-			for _, e := range g.out[id] {
+			for _, e := range g.Out(id) {
 				if filter != nil && !filter[e.Type] {
 					continue
 				}
@@ -150,12 +150,12 @@ func (g *Graph) WeightedExpand(anchors []string, opts ExpandOptions) []Visit {
 		if it.depth >= opts.MaxDepth {
 			continue
 		}
-		for _, e := range g.out[it.id] {
+		for _, e := range g.Out(it.id) {
 			mult := edgeMult(e.Type)
 			if mult == 0 {
 				continue
 			}
-			n := g.nodes[e.To]
+			n := g.Node(e.To)
 			s := it.score * opts.Decay * e.Weight * mult * nodePrior(n)
 			if s <= best[e.To] {
 				continue
@@ -193,7 +193,7 @@ func (g *Graph) ShortestPath(from, to string) []string {
 		var next []string
 		for _, id := range frontier {
 			// Deterministic neighbor order.
-			edges := g.out[id]
+			edges := g.Out(id)
 			for _, e := range edges {
 				if _, seen := prev[e.To]; seen {
 					continue
@@ -241,13 +241,13 @@ func (g *Graph) ConnectedComponents() [][]string {
 			id := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, id)
-			for _, e := range g.out[id] {
+			for _, e := range g.Out(id) {
 				if !seen[e.To] {
 					seen[e.To] = true
 					stack = append(stack, e.To)
 				}
 			}
-			for _, e := range g.in[id] {
+			for _, e := range g.In(id) {
 				if !seen[e.From] {
 					seen[e.From] = true
 					stack = append(stack, e.From)

@@ -1,0 +1,79 @@
+package index
+
+import (
+	"repro/internal/chunk"
+	"repro/internal/par"
+	"repro/internal/slm"
+	"repro/internal/store"
+)
+
+// recordAnalysis is the SLM-computed view of one record: everything the
+// builder needs that does not touch the graph. Producing it is pure
+// (chunking, sentence splitting, entity tagging, cue-verb detection),
+// so analyses for different records can be computed concurrently and
+// replayed in record order for a deterministic build.
+type recordAnalysis struct {
+	chunks []chunkAnalysis // text records: chunk windows with tagged sentences
+	ents   []slm.Entity    // structured records: entities of the rendered text
+}
+
+// chunkAnalysis is one chunk window plus its per-sentence tagging.
+type chunkAnalysis struct {
+	chunk chunk.Chunk
+	sents []sentAnalysis
+}
+
+// sentAnalysis is the tagging of one sentence: its entities and, when
+// cue inference is on and the sentence has at least two entities, its
+// relation-bearing verb.
+type sentAnalysis struct {
+	ents []slm.Entity
+	verb string
+}
+
+// analyzeRecord computes the analysis for one record. It performs no
+// graph mutation and is safe to call from multiple goroutines.
+func (b *Builder) analyzeRecord(rec store.Record) recordAnalysis {
+	if rec.Kind == store.KindText {
+		return b.analyzeDocument(rec)
+	}
+	var an recordAnalysis
+	if !b.opts.DisableEntityNodes {
+		an.ents = b.ner.Recognize(rec.Text)
+	}
+	return an
+}
+
+// analyzeDocument chunks an unstructured document and tags each chunk
+// sentence by sentence, mirroring the work the sequential builder did
+// inline.
+func (b *Builder) analyzeDocument(rec store.Record) recordAnalysis {
+	chunks := b.chunker.Split(rec.ID, rec.Text)
+	an := recordAnalysis{chunks: make([]chunkAnalysis, len(chunks))}
+	for i, ch := range chunks {
+		ca := chunkAnalysis{chunk: ch}
+		if !b.opts.DisableEntityNodes {
+			for _, sent := range slm.SplitSentences(ch.Text) {
+				sa := sentAnalysis{ents: b.ner.Recognize(sent.Text)}
+				if !b.opts.DisableCues && len(sa.ents) >= 2 {
+					sa.verb = cueVerb(sent.Text)
+				}
+				ca.sents = append(ca.sents, sa)
+			}
+		}
+		an.chunks[i] = ca
+	}
+	return an
+}
+
+// analyzeAll analyzes every record, using up to Options.Workers
+// goroutines (0 = GOMAXPROCS). Output order matches input order
+// regardless of scheduling, which is what keeps parallel builds
+// byte-identical to sequential ones.
+func (b *Builder) analyzeAll(records []store.Record) []recordAnalysis {
+	out := make([]recordAnalysis, len(records))
+	par.ForEach(len(records), b.opts.Workers, func(i int) {
+		out[i] = b.analyzeRecord(records[i])
+	})
+	return out
+}

@@ -28,16 +28,17 @@ func (b *Builder) IndexRecord(g *graph.Graph, rec store.Record) (Stats, error) {
 	if rec.Kind != store.KindText && g.HasNode("row:"+rec.ID) {
 		return stats, fmt.Errorf("%w: %s", ErrDocExists, rec.ID)
 	}
+	an := b.analyzeRecord(rec)
 	if rec.Kind == store.KindText {
 		cueCounts := make(map[string]int)
-		if err := b.indexDocument(g, rec, cueCounts, &stats); err != nil {
+		if err := b.applyDocument(g, rec, an, cueCounts, &stats); err != nil {
 			return stats, fmt.Errorf("index: incremental: %w", err)
 		}
 		if !b.opts.DisableCues && !b.opts.DisableEntityNodes {
 			b.materializeCues(g, cueCounts, &stats)
 		}
 	} else {
-		if err := b.indexRecord(g, rec, &stats); err != nil {
+		if err := b.applyRecord(g, rec, an, &stats); err != nil {
 			return stats, fmt.Errorf("index: incremental: %w", err)
 		}
 	}

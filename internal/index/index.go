@@ -10,11 +10,13 @@ package index
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/slm"
 	"repro/internal/store"
 )
@@ -25,6 +27,13 @@ type Options struct {
 	DisableCues        bool // ablation: skip relational-cue inference
 	DisableEntityNodes bool // ablation: chunk-only graph
 	MinCueCooccur      int  // min co-occurrences for a relates edge (default 1)
+
+	// Workers bounds the analysis worker pool used by Build: the
+	// per-record chunking and SLM tagging run concurrently, while graph
+	// mutation replays sequentially in record order so the result is
+	// byte-identical to a sequential build. 0 means GOMAXPROCS; 1 forces
+	// the fully sequential path.
+	Workers int
 }
 
 // DefaultOptions returns the standard build configuration.
@@ -78,6 +87,11 @@ func (b *Builder) WithCost(c *slm.CostModel) *Builder {
 func EntityNodeID(canonical string) string { return "ent:" + canonical }
 
 // Build indexes all records of the source group into a fresh graph.
+//
+// The expensive per-record work — chunking and SLM entity tagging — runs
+// on a bounded worker pool (Options.Workers); graph mutation then
+// replays sequentially in record order, so the built graph is identical
+// to a Workers=1 build.
 func (b *Builder) Build(m *store.Multi) (*graph.Graph, Stats, error) {
 	start := time.Now()
 	g := graph.New()
@@ -89,14 +103,16 @@ func (b *Builder) Build(m *store.Multi) (*graph.Graph, Stats, error) {
 
 	cueCounts := make(map[string]int) // "e1\x1fverb\x1fe2" -> count
 
-	for _, rec := range m.Records() {
+	records := m.Records()
+	analyses := b.analyzeAll(records)
+	for i, rec := range records {
 		switch rec.Kind {
 		case store.KindText:
-			if err := b.indexDocument(g, rec, cueCounts, &stats); err != nil {
+			if err := b.applyDocument(g, rec, analyses[i], cueCounts, &stats); err != nil {
 				return nil, stats, err
 			}
 		default:
-			if err := b.indexRecord(g, rec, &stats); err != nil {
+			if err := b.applyRecord(g, rec, analyses[i], &stats); err != nil {
 				return nil, stats, err
 			}
 		}
@@ -117,21 +133,22 @@ func (b *Builder) Build(m *store.Multi) (*graph.Graph, Stats, error) {
 	return g, stats, nil
 }
 
-// indexDocument chunks an unstructured document, tags each chunk, and
-// links chunks, entities, and intra-sentence cue candidates.
-func (b *Builder) indexDocument(g *graph.Graph, rec store.Record, cueCounts map[string]int, stats *Stats) error {
+// applyDocument replays an analyzed unstructured document into the
+// graph: chunk nodes, entity links, and intra-sentence cue candidates.
+// All SLM work already happened in analyzeRecord; this function only
+// mutates the graph and must run single-threaded in record order.
+func (b *Builder) applyDocument(g *graph.Graph, rec store.Record, an recordAnalysis, cueCounts map[string]int, stats *Stats) error {
 	docNode := graph.Node{ID: "doc:" + rec.ID, Type: graph.NodeDoc, Label: rec.ID,
 		Attrs: map[string]string{"source": rec.Source}}
 	g.EnsureNode(docNode)
 	stats.Docs++
 
-	chunks := b.chunker.Split(rec.ID, rec.Text)
 	var prevChunkID string
-	for _, ch := range chunks {
-		chunkID := "chunk:" + ch.ID
+	for _, ca := range an.chunks {
+		chunkID := "chunk:" + ca.chunk.ID
 		g.EnsureNode(graph.Node{
-			ID: chunkID, Type: graph.NodeChunk, Label: ch.ID,
-			Attrs: map[string]string{"text": ch.Text, "doc": rec.ID, "source": rec.Source},
+			ID: chunkID, Type: graph.NodeChunk, Label: ca.chunk.ID,
+			Attrs: map[string]string{"text": ca.chunk.Text, "doc": rec.ID, "source": rec.Source},
 		})
 		stats.Chunks++
 		if err := g.AddEdge(graph.Edge{From: chunkID, To: docNode.ID, Type: graph.EdgePartOf}); err != nil {
@@ -147,32 +164,34 @@ func (b *Builder) indexDocument(g *graph.Graph, rec store.Record, cueCounts map[
 		if b.opts.DisableEntityNodes {
 			continue
 		}
-		// Tag per sentence so cue inference sees sentence scope.
-		for _, sent := range slm.SplitSentences(ch.Text) {
-			ents := b.ner.Recognize(sent.Text)
-			for _, e := range ents {
+		// The chunk node is always created by this call, so mentions
+		// dedup needs only a local set, not an adjacency scan.
+		mentioned := make(map[string]bool)
+		for _, sa := range ca.sents {
+			for _, e := range sa.ents {
 				entID := EntityNodeID(e.Canonical)
 				g.EnsureNode(graph.Node{
 					ID: entID, Type: graph.NodeEntity, Label: e.Canonical,
 					Attrs: map[string]string{"etype": string(e.Type)},
 				})
-				if !hasEdge(g, chunkID, entID, graph.EdgeMentions) {
+				if !mentioned[entID] {
+					mentioned[entID] = true
 					if err := g.AddUndirected(graph.Edge{From: chunkID, To: entID, Type: graph.EdgeMentions}); err != nil {
 						return fmt.Errorf("index: %w", err)
 					}
 				}
 			}
 			if !b.opts.DisableCues {
-				collectCues(sent.Text, ents, chunkID, cueCounts)
+				collectCues(sa.verb, sa.ents, chunkID, cueCounts)
 			}
 		}
 	}
 	return nil
 }
 
-// indexRecord indexes one structured/semi-structured record as a row
-// node linked to entity nodes matching its field values.
-func (b *Builder) indexRecord(g *graph.Graph, rec store.Record, stats *Stats) error {
+// applyRecord replays one analyzed structured/semi-structured record as
+// a row node linked to entity nodes matching its field values.
+func (b *Builder) applyRecord(g *graph.Graph, rec store.Record, an recordAnalysis, stats *Stats) error {
 	rowID := "row:" + rec.ID
 	attrs := map[string]string{"source": rec.Source, "kind": string(rec.Kind), "text": rec.Text}
 	for k, v := range rec.Fields {
@@ -186,9 +205,8 @@ func (b *Builder) indexRecord(g *graph.Graph, rec store.Record, stats *Stats) er
 	}
 	// Link the row to entities recognized in its rendered text and to
 	// value nodes for its fields, giving cross-modal connectivity.
-	ents := b.ner.Recognize(rec.Text)
 	seen := map[string]bool{}
-	for _, e := range ents {
+	for _, e := range an.ents {
 		entID := EntityNodeID(e.Canonical)
 		if seen[entID] {
 			continue
@@ -216,21 +234,23 @@ var cueVerbs = map[string]bool{
 	"increased": true, "decreased": true, "launched": true,
 }
 
-// collectCues finds verb-mediated entity pairs inside one sentence and
-// accumulates their co-occurrence counts.
-func collectCues(sentence string, ents []slm.Entity, chunkID string, cueCounts map[string]int) {
-	if len(ents) < 2 {
-		return
-	}
-	verb := ""
+// cueVerb returns the first relation-bearing verb of the sentence, or
+// "cooccurs" when none matches. It is pure analysis (tokenization only)
+// and safe to run concurrently.
+func cueVerb(sentence string) string {
 	for _, w := range slm.Words(slm.Tokenize(sentence)) {
 		if cueVerbs[w] {
-			verb = w
-			break
+			return w
 		}
 	}
-	if verb == "" {
-		verb = "cooccurs"
+	return "cooccurs"
+}
+
+// collectCues accumulates co-occurrence counts for verb-mediated entity
+// pairs inside one sentence, using the verb found at analysis time.
+func collectCues(verb string, ents []slm.Entity, chunkID string, cueCounts map[string]int) {
+	if len(ents) < 2 || verb == "" {
+		return
 	}
 	for i := 0; i < len(ents); i++ {
 		for j := i + 1; j < len(ents); j++ {
@@ -247,46 +267,83 @@ func collectCues(sentence string, ents []slm.Entity, chunkID string, cueCounts m
 	}
 }
 
+// cueRef is one parsed cue-count key.
+type cueRef struct {
+	key                 string
+	e1, verb, e2, chunk string
+	count               int
+}
+
 // materializeCues converts accumulated cue counts into cue nodes and
-// relates edges. Pairs below MinCueCooccur are dropped.
+// relates edges. Pairs below MinCueCooccur are dropped. Keys are
+// visited in sorted order so adjacency-list order — and therefore the
+// floating-point summation order of everything downstream (PageRank,
+// traversal scores) — is identical across runs and worker counts.
+//
+// Sorting makes each (e1, verb, e2) pair a contiguous group, so pair
+// totals and one-time cue-node creation fall out of a single linear
+// scan with no side maps; key parsing fans out across the worker pool.
 func (b *Builder) materializeCues(g *graph.Graph, cueCounts map[string]int, stats *Stats) {
-	pairTotals := make(map[string]int)
-	for key, n := range cueCounts {
-		parts := strings.SplitN(key, "\x1f", 4)
-		pairKey := parts[0] + "\x1f" + parts[1] + "\x1f" + parts[2]
-		pairTotals[pairKey] += n
-	}
-	made := make(map[string]bool)
+	keys := make([]string, 0, len(cueCounts))
 	for key := range cueCounts {
-		parts := strings.SplitN(key, "\x1f", 4)
-		e1, verb, e2, chunkID := parts[0], parts[1], parts[2], parts[3]
-		pairKey := e1 + "\x1f" + verb + "\x1f" + e2
-		if pairTotals[pairKey] < b.opts.MinCueCooccur {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	refs := make([]cueRef, len(keys))
+	parseWorkers := b.opts.Workers
+	if len(keys) < 1024 {
+		parseWorkers = 1 // not worth the fan-out
+	}
+	par.ForRange(len(keys), parseWorkers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parts := strings.SplitN(keys[i], "\x1f", 4)
+			refs[i] = cueRef{key: keys[i], e1: parts[0], verb: parts[1], e2: parts[2], chunk: parts[3],
+				count: cueCounts[keys[i]]}
+		}
+	})
+
+	samePair := func(a, b cueRef) bool { return a.e1 == b.e1 && a.verb == b.verb && a.e2 == b.e2 }
+	for start := 0; start < len(refs); {
+		end, total := start, 0
+		for end < len(refs) && samePair(refs[end], refs[start]) {
+			total += refs[end].count
+			end++
+		}
+		group := refs[start:end]
+		r := group[0]
+		start = end
+		if total < b.opts.MinCueCooccur {
 			continue
 		}
-		cueID := "cue:" + e1 + "|" + verb + "|" + e2
-		if !made[cueID] {
-			made[cueID] = true
-			// The cue may already exist from an earlier incremental
-			// ingest; only create the node and its entity edges once.
-			if !g.HasNode(cueID) {
-				g.EnsureNode(graph.Node{
-					ID: cueID, Type: graph.NodeCue, Label: verb,
-					Attrs: map[string]string{"arg1": e1, "arg2": e2, "verb": verb},
-				})
-				stats.Cues++
-				w := 1.0 + float64(pairTotals[pairKey])*0.1
-				id1, id2 := EntityNodeID(e1), EntityNodeID(e2)
-				if g.HasNode(id1) && g.HasNode(id2) {
-					g.AddUndirected(graph.Edge{From: id1, To: id2, Type: graph.EdgeRelates, Weight: w})
-					g.AddUndirected(graph.Edge{From: cueID, To: id1, Type: graph.EdgeCueArg})
-					g.AddUndirected(graph.Edge{From: cueID, To: id2, Type: graph.EdgeCueArg})
-				}
+		cueID := "cue:" + r.e1 + "|" + r.verb + "|" + r.e2
+		// The cue may already exist from an earlier incremental ingest;
+		// only create the node and its entity edges once.
+		fresh := !g.HasNode(cueID)
+		if fresh {
+			g.EnsureNode(graph.Node{
+				ID: cueID, Type: graph.NodeCue, Label: r.verb,
+				Attrs: map[string]string{"arg1": r.e1, "arg2": r.e2, "verb": r.verb},
+			})
+			stats.Cues++
+			g.Reserve(cueID, 2+len(group), 2+len(group))
+			w := 1.0 + float64(total)*0.1
+			id1, id2 := EntityNodeID(r.e1), EntityNodeID(r.e2)
+			if g.HasNode(id1) && g.HasNode(id2) {
+				g.AddUndirected(graph.Edge{From: id1, To: id2, Type: graph.EdgeRelates, Weight: w})
+				g.AddUndirected(graph.Edge{From: cueID, To: id1, Type: graph.EdgeCueArg})
+				g.AddUndirected(graph.Edge{From: cueID, To: id2, Type: graph.EdgeCueArg})
 			}
 		}
-		if g.HasNode(chunkID) {
-			if !hasEdge(g, cueID, chunkID, graph.EdgeCueIn) {
-				g.AddUndirected(graph.Edge{From: cueID, To: chunkID, Type: graph.EdgeCueIn})
+		for _, gr := range group {
+			if !g.HasNode(gr.chunk) {
+				continue
+			}
+			// Keys are unique per (pair, chunk), so a cue created by
+			// this call cannot see the same chunk twice — the linear
+			// duplicate scan is only needed for cues that predate the
+			// call (incremental re-ingest of a related document).
+			if fresh || !hasEdge(g, cueID, gr.chunk, graph.EdgeCueIn) {
+				g.AddUndirected(graph.Edge{From: cueID, To: gr.chunk, Type: graph.EdgeCueIn})
 			}
 		}
 	}

@@ -1,0 +1,86 @@
+// Package par holds the repository's bounded-parallelism primitives so
+// every fan-out site shares one worker-count convention and one pool
+// implementation: 0 means GOMAXPROCS, 1 means run on the calling
+// goroutine, n > 1 bounds the pool at n.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values <= 0 mean
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (normalized via Workers). Work is handed out through an atomic
+// counter, so callers get load balancing without partition skew. fn
+// must write only to its own index's state; ForEach returns after all
+// calls complete.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForRange splits [0, n) into up to workers contiguous ranges and runs
+// fn(lo, hi) for each. Use it when per-item dispatch would dominate the
+// work (tight numeric loops); the fixed partitioning also keeps any
+// per-range accumulation order independent of scheduling.
+func ForRange(n, workers int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	stride := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += stride {
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -41,6 +41,7 @@ type TopologyOptions struct {
 	DisableCueEdges  bool    // ablation: skip relates/cue edges
 	LexicalFallback  bool    // fall back to lexical scan when no anchors (default true)
 	AnchorsPerEntity int     // unused entities beyond this are ignored
+	Workers          int     // PageRank workers; 0 = GOMAXPROCS, 1 = sequential
 }
 
 // DefaultTopologyOptions returns the standard configuration.
@@ -70,7 +71,7 @@ func NewTopology(g *graph.Graph, ner *slm.NER, opts TopologyOptions) *Topology {
 	}
 	t := &Topology{g: g, ner: ner, opts: opts}
 	if !opts.DisableCentral {
-		t.rank = g.PageRank(graph.DefaultPageRankOptions())
+		t.rank = g.PageRank(t.pageRankOptions())
 		for _, v := range t.rank {
 			if v > t.norm {
 				t.norm = v
@@ -78,6 +79,13 @@ func NewTopology(g *graph.Graph, ner *slm.NER, opts TopologyOptions) *Topology {
 		}
 	}
 	return t
+}
+
+// pageRankOptions forwards the retriever's worker bound to PageRank.
+func (t *Topology) pageRankOptions() graph.PageRankOptions {
+	opts := graph.DefaultPageRankOptions()
+	opts.Workers = t.opts.Workers
+	return opts
 }
 
 // Name implements Retriever.
@@ -90,7 +98,7 @@ func (t *Topology) Refresh() {
 	if t.opts.DisableCentral {
 		return
 	}
-	t.rank = t.g.PageRank(graph.DefaultPageRankOptions())
+	t.rank = t.g.PageRank(t.pageRankOptions())
 	t.norm = 0
 	for _, v := range t.rank {
 		if v > t.norm {

@@ -80,6 +80,8 @@ func LoadWithOptions(dir string, opts Options, configure func(*System)) (*System
 	hopts.EvidenceK = sys.opts.EvidenceK
 	hopts.EntropyM = sys.opts.EntropySamples
 	hopts.Seed = sys.opts.Seed
+	hopts.Workers = sys.opts.Workers
+	hopts.CacheSize = sys.opts.AnswerCache
 	sys.hybrid = core.NewHybridFromState(g, catalog, sys.ner, hopts)
 	sys.built = true
 	return sys, nil

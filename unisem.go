@@ -70,6 +70,7 @@ type Answer struct {
 	Entropy  float64       // semantic entropy of sampled answers
 	Flagged  bool          // true when entropy exceeds the flag threshold
 	Latency  time.Duration // answer wall-clock time
+	Err      error         // per-question failure; Ask also returns it
 }
 
 // Sentinel errors.
@@ -91,6 +92,15 @@ type Options struct {
 	FlagThreshold float64
 	// Seed drives all stochastic components.
 	Seed uint64
+	// Workers bounds build/ingest parallelism. Build fans out the
+	// per-record SLM analysis and per-document table generation and
+	// merges deterministically, so results are identical at any worker
+	// count. 0 means all cores; 1 forces the sequential path.
+	Workers int
+	// AnswerCache enables an LRU answer cache of that many entries,
+	// keyed by normalized question and invalidated on Ingest. 0
+	// disables caching.
+	AnswerCache int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -231,6 +241,8 @@ func (s *System) Build() error {
 	opts.EvidenceK = s.opts.EvidenceK
 	opts.EntropyM = s.opts.EntropySamples
 	opts.Seed = s.opts.Seed
+	opts.Workers = s.opts.Workers
+	opts.CacheSize = s.opts.AnswerCache
 	h, err := core.NewHybrid(multi, s.ner, opts)
 	if err != nil {
 		return fmt.Errorf("unisem: build: %w", err)
@@ -241,26 +253,47 @@ func (s *System) Build() error {
 }
 
 // Ask answers a natural-language question. The returned error is
-// non-nil only when no answer could be produced at all.
+// non-nil only when no answer could be produced at all. Ask is safe
+// from any goroutine, including concurrently with Ingest.
 func (s *System) Ask(question string) (Answer, error) {
 	if !s.built {
 		return Answer{}, ErrNotBuilt
 	}
-	raw := s.hybrid.Answer(question)
+	ans := s.fromCore(s.hybrid.Answer(question))
+	return ans, ans.Err
+}
+
+// AskAll answers a batch of questions with up to parallel goroutines
+// (0 means all cores) and returns the answers in question order, each
+// carrying its own Err. Batch results are deterministic: answer i
+// matches what the i-th sequential Ask would have produced. AskAll is
+// safe concurrently with Ingest.
+func (s *System) AskAll(questions []string, parallel int) ([]Answer, error) {
+	if !s.built {
+		return nil, ErrNotBuilt
+	}
+	raws := s.hybrid.AnswerAll(questions, parallel)
+	out := make([]Answer, len(raws))
+	for i, raw := range raws {
+		out[i] = s.fromCore(raw)
+	}
+	return out, nil
+}
+
+// fromCore converts an internal answer to the public shape.
+func (s *System) fromCore(raw core.Answer) Answer {
 	ans := Answer{
 		Text:    raw.Text,
 		Plan:    raw.Plan,
 		Entropy: raw.Uncertainty.SemanticH,
 		Flagged: raw.Uncertainty.Flagged(s.opts.FlagThreshold),
 		Latency: raw.Latency,
+		Err:     raw.Err,
 	}
 	for _, e := range raw.Evidence {
 		ans.Evidence = append(ans.Evidence, Evidence{ID: e.NodeID, Text: e.Text, Score: e.Score, Kind: e.Kind})
 	}
-	if raw.Err != nil {
-		return ans, raw.Err
-	}
-	return ans, nil
+	return ans
 }
 
 // Stats summarizes the built index.
@@ -273,20 +306,30 @@ type Stats struct {
 	BuildTime        time.Duration
 }
 
-// Stats returns index statistics; zero before Build.
+// Stats returns index statistics; zero before Build. The snapshot is
+// consistent even while Ingest calls are in flight.
 func (s *System) Stats() Stats {
 	if !s.built {
 		return Stats{}
 	}
-	is := s.hybrid.IndexStats
+	is, extracted := s.hybrid.Stats()
 	return Stats{
 		Nodes: is.Nodes, Edges: is.Edges,
 		Chunks: is.Chunks, Entities: is.Entities,
 		Cues: is.Cues, Rows: is.Rows,
-		ExtractedRows: s.hybrid.ExtractCount,
+		ExtractedRows: extracted,
 		IndexBytes:    is.SizeBytes,
 		BuildTime:     is.BuildTime,
 	}
+}
+
+// CacheStats reports answer-cache hits, misses and current size; all
+// zeros when the cache is disabled (Options.AnswerCache == 0).
+func (s *System) CacheStats() (hits, misses int64, size int) {
+	if !s.built {
+		return 0, 0, 0
+	}
+	return s.hybrid.CacheStats()
 }
 
 // Tables lists the catalog tables available to semantic operators —
