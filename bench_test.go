@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/retrieval"
+	"repro/internal/semop"
 	"repro/internal/slm"
 	"repro/internal/vector"
 	"repro/internal/workload"
@@ -295,6 +296,77 @@ func BenchmarkAnswerAllSequential(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(questions))*float64(b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// filteredAggPlan binds the benchmark's filtered-aggregate question —
+// equality filters plus a SUM — against the benchmark-size e-commerce
+// corpus (same corpus as the ingest benchmarks), where scan cost
+// dominates planner overhead.
+func filteredAggPlan(b *testing.B) (*core.Hybrid, *semop.Plan) {
+	b.Helper()
+	c := ingestCorpus()
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := semop.Parse("How many units of Product Alpha were sold in Q4?", ner)
+	plan, err := semop.Bind(q, h.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(plan.Filters) == 0 || len(plan.Aggs) == 0 {
+		b.Fatalf("not a filtered aggregate: %s", plan)
+	}
+	return h, plan
+}
+
+// BenchmarkFederatedFilteredAggregate executes a filtered aggregate
+// through the cost-based planner: the equality predicates push into
+// the memory backend's hash index, so only the matching bucket is
+// scanned. Compare rows_scanned/op (and ns/op) against
+// BenchmarkPreFederationFilteredAggregate.
+func BenchmarkFederatedFilteredAggregate(b *testing.B) {
+	h, plan := filteredAggPlan(b)
+	prepared := h.Federation().Prepare(plan)
+	want, err := semop.Exec(plan, h.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scanned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, run, err := prepared.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = 0
+		for _, fr := range run.Fragments {
+			scanned += fr.ActScanned
+		}
+		if res.Len() != want.Len() {
+			b.Fatalf("federated result diverges: %d rows vs %d", res.Len(), want.Len())
+		}
+	}
+	b.ReportMetric(float64(scanned), "rows_scanned/op")
+}
+
+// BenchmarkPreFederationFilteredAggregate is the pre-federation
+// baseline: semop.Exec filters by scanning the whole base table.
+func BenchmarkPreFederationFilteredAggregate(b *testing.B) {
+	h, plan := filteredAggPlan(b)
+	base, err := h.Catalog().Get(plan.Table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := semop.Exec(plan, h.Catalog()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(base.Len()), "rows_scanned/op")
 }
 
 // BenchmarkAskEndToEnd times the public API answer path.

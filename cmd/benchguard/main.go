@@ -1,0 +1,227 @@
+// Command benchguard turns `go test -bench` output into a committed
+// JSON artifact and gates CI on benchmark regressions.
+//
+// Parse mode — read bench output, write ns/op per benchmark as JSON:
+//
+//	go test -run xxx -bench . -benchtime 3x . | benchguard -parse - -out BENCH_ci.json
+//
+// Compare mode — fail (exit 1) when any benchmark present in both
+// files regressed by more than -tolerance (fraction, default 0.25):
+//
+//	benchguard -baseline BENCH_baseline.json -current BENCH_ci.json
+//
+// With -normalize, every current/baseline ratio is divided by the
+// geometric mean ratio across all shared benchmarks before gating, so
+// a uniformly slower (or faster) machine — a different CI runner
+// generation than the one that produced the committed baseline — does
+// not move any benchmark, while a single benchmark regressing relative
+// to its peers still trips the gate.
+//
+// Benchmarks only in the baseline are reported as missing (fatal, so a
+// silently deleted benchmark cannot hide a regression); benchmarks
+// only in the current run are reported and pass — commit a refreshed
+// baseline to start tracking them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON artifact: benchmark name (suffix -N stripped) to
+// nanoseconds per operation.
+type Report map[string]float64
+
+func main() {
+	parse := flag.String("parse", "", "bench output file to parse ('-' for stdin)")
+	out := flag.String("out", "BENCH_ci.json", "JSON report path for -parse")
+	baseline := flag.String("baseline", "", "baseline JSON for compare mode")
+	current := flag.String("current", "", "current JSON for compare mode")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed ns/op regression fraction")
+	normalize := flag.Bool("normalize", false, "divide ratios by their geometric mean (cancels uniform machine-speed differences)")
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		if err := runParse(*parse, *out); err != nil {
+			fatal(err)
+		}
+	case *baseline != "" && *current != "":
+		ok, err := runCompare(*baseline, *current, *tolerance, *normalize)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchguard: need -parse FILE or -baseline FILE -current FILE")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	os.Exit(2)
+}
+
+func runParse(path, out string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := ParseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(report) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(report), out)
+	return nil
+}
+
+// ParseBench extracts ns/op per benchmark from `go test -bench` text
+// output. Lines look like:
+//
+//	BenchmarkAnswerAll-8   100   1234567 ns/op   790 q/s
+//
+// The goroutine-count suffix is stripped so reports compare across
+// machines.
+func ParseBench(r io.Reader) (Report, error) {
+	report := Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				ns, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				report[name] = ns
+				break
+			}
+		}
+	}
+	return report, sc.Err()
+}
+
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Compare evaluates current against baseline, returning per-benchmark
+// verdict lines and overall pass/fail. With normalize, each ratio is
+// divided by the geometric mean ratio over shared benchmarks, so only
+// relative movement gates.
+func Compare(baseline, current Report, tolerance float64, normalize bool) (lines []string, ok bool) {
+	ok = true
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	scale := 1.0
+	if normalize {
+		logSum, n := 0.0, 0
+		for _, name := range names {
+			if cur, found := current[name]; found && baseline[name] > 0 && cur > 0 {
+				logSum += math.Log(cur / baseline[name])
+				n++
+			}
+		}
+		if n > 0 {
+			scale = math.Exp(logSum / float64(n))
+			lines = append(lines, fmt.Sprintf("normalizing by geomean machine factor %.3fx", scale))
+		}
+	}
+
+	for _, name := range names {
+		base := baseline[name]
+		cur, found := current[name]
+		if !found {
+			lines = append(lines, fmt.Sprintf("MISSING  %-44s baseline %.0f ns/op, absent from current run", name, base))
+			ok = false
+			continue
+		}
+		delta := (cur/scale - base) / base
+		verdict := "ok      "
+		if delta > tolerance {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s %-44s %12.0f -> %12.0f ns/op (%+.1f%%)", verdict, name, base, cur, delta*100))
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, found := baseline[name]; !found {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		lines = append(lines, fmt.Sprintf("NEW      %-44s %12.0f ns/op (no baseline)", name, current[name]))
+	}
+	return lines, ok
+}
+
+func runCompare(basePath, curPath string, tolerance float64, normalize bool) (bool, error) {
+	baseline, err := readReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	current, err := readReport(curPath)
+	if err != nil {
+		return false, err
+	}
+	lines, ok := Compare(baseline, current, tolerance, normalize)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !ok {
+		fmt.Printf("benchguard: FAIL (tolerance %.0f%%)\n", tolerance*100)
+	} else {
+		fmt.Printf("benchguard: PASS (tolerance %.0f%%)\n", tolerance*100)
+	}
+	return ok, nil
+}

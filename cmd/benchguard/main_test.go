@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSequentialIngest-8     	      18	  63000000 ns/op	       761.9 docs/s
+BenchmarkParallelIngest         	      20	  55000000 ns/op	       870.0 docs/s
+BenchmarkAnswerAll-8            	     100	   1265000 ns/op	       790.0 q/s
+BenchmarkFederatedFilteredAggregate-8   	  500000	      2700 ns/op	         3.000 rows_scanned/op
+PASS
+ok  	repro	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	r, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSequentialIngest":           63000000,
+		"BenchmarkParallelIngest":             55000000,
+		"BenchmarkAnswerAll":                  1265000,
+		"BenchmarkFederatedFilteredAggregate": 2700,
+	}
+	if len(r) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(r), len(want), r)
+	}
+	for name, ns := range want {
+		if r[name] != ns {
+			t.Errorf("%s = %v, want %v", name, r[name], ns)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	baseline := Report{"A": 100, "B": 100, "C": 100}
+	current := Report{"A": 120, "B": 200, "D": 50}
+
+	lines, ok := Compare(baseline, current, 0.25, false)
+	if ok {
+		t.Error("expected failure: B regressed and C is missing")
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"ok       A", "REGRESSED B", "MISSING  C", "NEW      D"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("verdicts missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Within tolerance passes.
+	if _, ok := Compare(Report{"A": 100}, Report{"A": 124}, 0.25, false); !ok {
+		t.Error("24%% slower should pass at 25%% tolerance")
+	}
+	if _, ok := Compare(Report{"A": 100}, Report{"A": 126}, 0.25, false); ok {
+		t.Error("26%% slower should fail at 25%% tolerance")
+	}
+}
+
+func TestCompareNormalized(t *testing.T) {
+	baseline := Report{"A": 100, "B": 1000, "C": 10000}
+
+	// A uniformly 2x-slower machine must pass under -normalize...
+	slower := Report{"A": 200, "B": 2000, "C": 20000}
+	if _, ok := Compare(baseline, slower, 0.25, true); !ok {
+		t.Error("uniform 2x slowdown should pass with normalization")
+	}
+	// ...and fail without it.
+	if _, ok := Compare(baseline, slower, 0.25, false); ok {
+		t.Error("uniform 2x slowdown should fail without normalization")
+	}
+
+	// One benchmark regressing relative to its peers still trips the
+	// gate even on a uniformly faster machine.
+	skewed := Report{"A": 90, "B": 900, "C": 19000}
+	lines, ok := Compare(baseline, skewed, 0.25, true)
+	if ok {
+		t.Errorf("relative regression of C should fail:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "REGRESSED C") {
+		t.Errorf("C not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -10,6 +10,7 @@
 //	uniquery -demo healthcare              # interactive loop on stdin
 //	uniquery -dir ./data -vocab vocab.txt -q "..."
 //	uniquery -demo ecommerce -batch questions.txt -parallel 8
+//	uniquery -demo ecommerce -explain -q "..."   # show the federated physical plan
 //
 // The optional vocab file registers domain entities, one per line:
 // "product: Product Alpha" / "drug: Drug A" / "side_effect: nausea".
@@ -41,6 +42,7 @@ func main() {
 	batch := flag.String("batch", "", "file of questions, one per line, answered concurrently")
 	parallel := flag.Int("parallel", 0, "worker bound for build and batch answering (0 = all cores, 1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "LRU answer cache entries, invalidated on ingest (0 = off)")
+	explain := flag.Bool("explain", false, "print the federated EXPLAIN (logical → physical plan, backend choice, est vs actual rows) with each answer")
 	showTables := flag.Bool("tables", false, "list catalog tables after build")
 	saveDir := flag.String("save", "", "persist the built index+catalog to this directory")
 	exportKB := flag.String("export-knowledge", "", "write inferred knowledge triples (TSV) to this file")
@@ -92,7 +94,7 @@ func main() {
 	}
 
 	if *question != "" {
-		answer(sys, *question)
+		answer(sys, *question, *explain)
 		return
 	}
 
@@ -110,11 +112,11 @@ func main() {
 		if line == "exit" || line == "quit" {
 			break
 		}
-		answer(sys, line)
+		answer(sys, line, *explain)
 	}
 }
 
-func answer(sys *unisem.System, q string) {
+func answer(sys *unisem.System, q string, explain bool) {
 	ans, err := sys.Ask(q)
 	if err != nil {
 		fmt.Printf("no answer: %v\n", err)
@@ -123,6 +125,9 @@ func answer(sys *unisem.System, q string) {
 	fmt.Printf("answer: %s\n", ans.Text)
 	if ans.Plan != "" {
 		fmt.Printf("plan:   %s\n", ans.Plan)
+	}
+	if explain && ans.Explain != "" {
+		fmt.Println(ans.Explain)
 	}
 	fmt.Printf("entropy: %.3f", ans.Entropy)
 	if ans.Flagged {

@@ -33,6 +33,7 @@ import (
 type Answer struct {
 	Text        string               // final answer string ("" when unanswerable)
 	Plan        string               // synthesized operator plan, if any
+	Explain     string               // federated logical→physical EXPLAIN, if executed
 	Evidence    []retrieval.Evidence // supporting context items
 	Uncertainty entropy.Report       // semantic-entropy assessment
 	Latency     time.Duration        // wall-clock answer time

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/slm"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite EXPLAIN golden files")
+
+// explainShapes covers one question per plan shape the planner lowers:
+// filter, group-by, join, compare, list. Each golden file snapshots
+// the full logical → physical EXPLAIN, so any change to routing,
+// pushdown or cost estimates shows up as a diff.
+var explainShapes = []struct {
+	name     string
+	question string
+}{
+	{"filter", "What was the total units of Product Alpha in Q4?"},
+	{"groupby", "What is the average rating by product?"},
+	{"join", "What is the average rating of products with a sales increase of more than 15%?"},
+	{"compare", "Compare sales of Product Alpha vs Product Beta"},
+	{"list", "Which products had a sales increase of more than 15%?"},
+}
+
+func explainHybrid(t *testing.T, workers int) *Hybrid {
+	t.Helper()
+	c := workload.ECommerce(workload.DefaultECommerceOptions())
+	ner := slm.NewNER()
+	c.Register(ner)
+	opts := DefaultHybridOptions()
+	opts.Workers = workers
+	h, err := NewHybrid(c.Sources, ner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestExplainGolden proves plan rendering is deterministic at any
+// Workers count and pins the exact EXPLAIN text per question shape.
+// Regenerate with: go test ./internal/core -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	seq := explainHybrid(t, 1)
+	par := explainHybrid(t, 0)
+
+	for _, shape := range explainShapes {
+		t.Run(shape.name, func(t *testing.T) {
+			ansSeq := seq.Answer(shape.question)
+			if ansSeq.Explain == "" {
+				t.Fatalf("no EXPLAIN produced (plan %q, err %v)", ansSeq.Plan, ansSeq.Err)
+			}
+			if ansPar := par.Answer(shape.question); ansPar.Explain != ansSeq.Explain {
+				t.Errorf("EXPLAIN differs between Workers=1 and Workers=0:\n%s\nvs\n%s",
+					ansSeq.Explain, ansPar.Explain)
+			}
+			// Replanning the same question must render identically (plan
+			// cache hit path included).
+			if again := seq.Answer(shape.question); again.Explain != ansSeq.Explain {
+				t.Errorf("EXPLAIN not stable across repeated answers:\n%s\nvs\n%s",
+					ansSeq.Explain, again.Explain)
+			}
+
+			golden := filepath.Join("testdata", "explain", shape.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(ansSeq.Explain+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to regenerate): %v", err)
+			}
+			if got := ansSeq.Explain + "\n"; got != string(want) {
+				t.Errorf("EXPLAIN drifted from %s:\ngot:\n%swant:\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestExplainBatchMatchesSequential pins batch answering to the same
+// EXPLAIN output as sequential answering at any parallelism.
+func TestExplainBatchMatchesSequential(t *testing.T) {
+	h := explainHybrid(t, 0)
+	questions := make([]string, 0, len(explainShapes))
+	for _, s := range explainShapes {
+		questions = append(questions, s.question)
+	}
+	batch := h.AnswerAll(questions, 8)
+	for i, q := range questions {
+		seq := h.Answer(q)
+		if batch[i].Explain != seq.Explain {
+			t.Errorf("%s: batch EXPLAIN differs from sequential:\n%s\nvs\n%s",
+				q, batch[i].Explain, seq.Explain)
+		}
+	}
+}

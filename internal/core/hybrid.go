@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/entropy"
 	"repro/internal/extract"
+	"repro/internal/federate"
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/retrieval"
@@ -65,6 +67,7 @@ type Hybrid struct {
 	extractor *extract.Engine
 	retriever *retrieval.Topology
 	catalog   *table.Catalog // native + extracted tables
+	fed       *federate.Executor
 	gen       *slm.Generator
 	greedy    *slm.Generator // temperature-0 fallback decoder, cost-instrumented
 	clusterer *entropy.Clusterer
@@ -183,7 +186,42 @@ func NewHybrid(sources *store.Multi, ner *slm.NER, opts HybridOptions) (*Hybrid,
 		}
 		h.ExtractCount = len(extractions)
 	}
+	h.initFederation()
 	return h, nil
+}
+
+// fedEpoch versions everything the federated backends read. All three
+// terms are monotone nondecreasing and every Ingest advances at least
+// one, so cached physical plans, scan indexes and materialized graph
+// views invalidate on any mutation. Callers hold h.mu.
+func (h *Hybrid) fedEpoch() uint64 {
+	return h.catalog.Epoch() + uint64(h.graph.NodeCount()) + uint64(h.graph.EdgeCount())
+}
+
+// initFederation assembles the default backend set: the in-memory
+// catalog (indexed scans), the SQL dialect driver over the same
+// catalog, and the graph-evidence views.
+func (h *Hybrid) initFederation() {
+	h.fed = federate.New(h.fedEpoch, federate.Options{Workers: h.opts.Workers},
+		federate.NewMemory(h.catalog),
+		federate.NewSQL(h.catalog),
+		federate.NewGraphEvidence(h.graph, h.fedEpoch))
+}
+
+// Federation exposes the federated executor (EXPLAIN, plan-cache
+// stats, direct execution in benchmarks).
+func (h *Hybrid) Federation() *federate.Executor { return h.fed }
+
+// RegisterBackend adds a federated execution backend to the live
+// system, replacing any backend with the same name. Cached plans and
+// answers are invalidated; safe to call concurrently with Answer.
+func (h *Hybrid) RegisterBackend(b federate.Backend) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fed.Register(b)
+	if h.cache != nil {
+		h.cache.purge()
+	}
 }
 
 // NewHybridFromState reconstructs a hybrid system from a previously
@@ -223,6 +261,7 @@ func NewHybridFromState(g *graph.Graph, catalog *table.Catalog, ner *slm.NER, op
 		h.extractor = extract.NewEngine(ner, extract.Rules()...)
 	}
 	h.retriever = retrieval.NewTopology(g, ner, opts.Topology)
+	h.initFederation()
 	h.IndexStats = index.Stats{
 		Nodes:     g.NodeCount(),
 		Edges:     g.EdgeCount(),
@@ -360,10 +399,19 @@ func (h *Hybrid) answerWith(question string, rng *slm.RNG) Answer {
 	var conflicts []slm.Candidate
 	q := semop.Parse(question, h.ner)
 	plan, err := semop.Bind(q, h.catalog)
+	if errors.Is(err, semop.ErrNoBinding) {
+		// Fall back to the federated schema surface: backends beyond the
+		// catalog (graph-evidence views, registered external stores) may
+		// still bind the query structurally.
+		if fedPlan, fedErr := semop.Bind(q, h.fed.BindingCatalog()); fedErr == nil {
+			plan, err = fedPlan, nil
+		}
+	}
 	if err == nil {
 		ans.Plan = plan.String()
-		res, execErr := semop.Exec(plan, h.catalog)
+		res, run, execErr := h.fed.Execute(plan)
 		if execErr == nil {
+			ans.Explain = federate.Explain(run)
 			text, synthErr := synthesize(plan, q, res)
 			if synthErr == nil {
 				ans.Text = text

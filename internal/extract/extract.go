@@ -155,6 +155,9 @@ func Merge(c *table.Catalog, extractions []Extraction) error {
 				return fmt.Errorf("extract: merge into %s: %w", name, err)
 			}
 		}
+		// Re-register even when mutated in place so the catalog epoch
+		// advances and epoch-keyed plan/index caches invalidate.
+		c.Put(tbl)
 	}
 	return nil
 }

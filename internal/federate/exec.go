@@ -1,0 +1,165 @@
+package federate
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/semop"
+	"repro/internal/table"
+)
+
+// FragmentRun pairs a planned fragment with its actual execution
+// counts for the estimated-vs-actual EXPLAIN report.
+type FragmentRun struct {
+	Fragment
+	ActScanned int // base-table rows the backend actually read
+	ActOut     int // rows that actually crossed the boundary
+}
+
+// Run records one federated execution: the physical plan, per-fragment
+// actuals, and the final result size. Everything in a Run is
+// deterministic for a fixed corpus and epoch — it is the unit the
+// golden EXPLAIN tests snapshot.
+type Run struct {
+	Plan      *PhysicalPlan
+	Fragments []FragmentRun
+	RowsOut   int // rows in the final result table
+}
+
+// Execute lowers, routes and runs the logical plan: fragments scan
+// their backends with bounded parallelism, then the federation layer
+// applies the remaining operators (join, comparison, residual filters,
+// aggregation, sort, limit, projection) in exactly the order the
+// unfederated executor used, so results are identical to semop.Exec
+// over a single catalog.
+func (e *Executor) Execute(p *semop.Plan) (*table.Table, *Run, error) {
+	if p == nil {
+		return nil, nil, semop.ErrEmptyPlan
+	}
+	return e.executeKeyed(p, fingerprint(p))
+}
+
+// Prepared is a reusable execution handle: the plan fingerprint is
+// computed once, so repeated executions pay only the epoch-checked
+// cache lookup before scanning. The underlying logical plan must not
+// be mutated after Prepare. Re-planning still happens automatically
+// whenever the data epoch moves.
+type Prepared struct {
+	e   *Executor
+	p   *semop.Plan
+	key string
+}
+
+// Prepare returns a reusable handle for the plan.
+func (e *Executor) Prepare(p *semop.Plan) *Prepared {
+	return &Prepared{e: e, p: p, key: fingerprint(p)}
+}
+
+// Execute runs the prepared plan against the current epoch.
+func (pr *Prepared) Execute() (*table.Table, *Run, error) {
+	if pr.p == nil {
+		return nil, nil, semop.ErrEmptyPlan
+	}
+	return pr.e.executeKeyed(pr.p, pr.key)
+}
+
+func (e *Executor) executeKeyed(p *semop.Plan, key string) (*table.Table, *Run, error) {
+	pp, _, err := e.plan(p, key)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	frags := []Fragment{pp.Main}
+	if pp.Join != nil {
+		frags = append(frags, *pp.Join)
+	}
+	results := make([]Result, len(frags))
+	errs := make([]error, len(frags))
+	par.ForEach(len(frags), e.opts.Workers, func(i int) {
+		b := e.backend(frags[i].Backend)
+		if b == nil {
+			errs[i] = fmt.Errorf("%w: %s", ErrNoBackend, frags[i].Table)
+			return
+		}
+		results[i], errs[i] = b.Scan(frags[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	run := &Run{Plan: pp, Fragments: make([]FragmentRun, len(frags))}
+	for i, f := range frags {
+		run.Fragments[i] = FragmentRun{
+			Fragment:   f,
+			ActScanned: results[i].Scanned,
+			ActOut:     results[i].Table.Len(),
+		}
+	}
+
+	cur := results[0].Table
+
+	if pp.Join != nil {
+		keys := results[1].Table
+		if len(pp.JoinRes) > 0 {
+			keys, err = table.Filter(keys, pp.JoinRes...)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(pp.Join.Columns) == 0 {
+			// Projection was not pushed; take the key column here.
+			keys, err = table.Project(keys, p.JoinRightCol)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		keys = table.Distinct(keys)
+		cur, err = table.HashJoin(cur, keys, p.JoinLeftCol, p.JoinRightCol)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if len(p.Comparison) > 0 && p.CompareCol != "" {
+		// The comparison tail is shared with the single-store executor;
+		// the common predicates are whatever pushdown left behind.
+		out, err := semop.ExecCompare(p, cur, pp.PostFilters)
+		if err != nil {
+			return nil, nil, err
+		}
+		run.RowsOut = out.Len()
+		return out, run, nil
+	}
+
+	if len(pp.PostFilters) > 0 {
+		cur, err = table.Filter(cur, pp.PostFilters...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(p.Aggs) > 0 && !pp.AggPushed {
+		cur, err = table.Aggregate(cur, p.GroupBy, p.Aggs)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(p.OrderBy) > 0 {
+		cur, err = table.Sort(cur, p.OrderBy...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if p.LimitRows > 0 {
+		cur = table.Limit(cur, p.LimitRows)
+	}
+	if len(p.Columns) > 0 {
+		cur, err = table.Project(cur, p.Columns...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	run.RowsOut = cur.Len()
+	return cur, run, nil
+}

@@ -1,0 +1,81 @@
+package federate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the run as a deterministic logical → physical
+// report. Every number in it is reproducible for a fixed corpus and
+// epoch at any worker count: estimates come from the cost model,
+// actuals from deterministic scans, and nothing scheduling-dependent
+// (timings, cache hits) is included.
+//
+//	logical:  Scan(ratings) -> Join(metric_changes on product=product) -> ...
+//	physical:
+//	  scan[0]: backend=memory table=ratings push=[] est: scan 96/96 out 96; actual: scan 96 out 96
+//	  scan[1]: backend=memory table=metric_changes push=[change_pct > 15] project=[product] est: scan 12/48 out 12; actual: scan 12 out 12
+//	  join: hash(product = product)
+//	  post: Filter(quarter = Q4) -> Aggregate(group=[] AVG(stars))
+//	  result: 1 rows
+func Explain(run *Run) string {
+	if run == nil || run.Plan == nil {
+		return ""
+	}
+	pp := run.Plan
+	p := pp.Logical
+	var b strings.Builder
+	fmt.Fprintf(&b, "logical:  %s\n", p.String())
+	b.WriteString("physical:\n")
+	for i, fr := range run.Fragments {
+		fmt.Fprintf(&b, "  scan[%d]: backend=%s table=%s push=%s",
+			i, fr.Backend, fr.Table, predsString(fr.Preds))
+		if len(fr.Columns) > 0 {
+			fmt.Fprintf(&b, " project=[%s]", strings.Join(fr.Columns, ","))
+		}
+		if len(fr.Aggs) > 0 {
+			fmt.Fprintf(&b, " agg=(%s)", aggsString(fr.GroupBy, fr.Aggs))
+		}
+		fmt.Fprintf(&b, " est: scan %d/%d out %d; actual: scan %d out %d\n",
+			fr.Est.Scanned, fr.Est.Total, fr.Est.Out, fr.ActScanned, fr.ActOut)
+	}
+	if pp.Join != nil {
+		fmt.Fprintf(&b, "  join: hash(%s = %s)", p.JoinLeftCol, p.JoinRightCol)
+		if len(pp.JoinRes) > 0 {
+			fmt.Fprintf(&b, " residual=%s", predsString(pp.JoinRes))
+		}
+		b.WriteByte('\n')
+	}
+	var post []string
+	if len(p.Comparison) > 0 && p.CompareCol != "" {
+		items := append([]string(nil), p.Comparison...)
+		sort.Strings(items)
+		if len(pp.PostFilters) > 0 {
+			post = append(post, fmt.Sprintf("Filter%s", predsString(pp.PostFilters)))
+		}
+		post = append(post, fmt.Sprintf("Compare(%s in [%s] -> %s)",
+			p.CompareCol, strings.Join(items, ","), aggsString([]string{p.CompareCol}, p.Aggs)))
+	} else {
+		if len(pp.PostFilters) > 0 {
+			post = append(post, fmt.Sprintf("Filter%s", predsString(pp.PostFilters)))
+		}
+		if len(p.Aggs) > 0 && !pp.AggPushed {
+			post = append(post, fmt.Sprintf("Aggregate(%s)", aggsString(p.GroupBy, p.Aggs)))
+		}
+		if len(p.OrderBy) > 0 {
+			post = append(post, fmt.Sprintf("Sort(%s)", p.OrderBy[0].Col))
+		}
+		if p.LimitRows > 0 {
+			post = append(post, fmt.Sprintf("Limit(%d)", p.LimitRows))
+		}
+		if len(p.Columns) > 0 {
+			post = append(post, fmt.Sprintf("Project(%s)", strings.Join(p.Columns, ",")))
+		}
+	}
+	if len(post) > 0 {
+		fmt.Fprintf(&b, "  post: %s\n", strings.Join(post, " -> "))
+	}
+	fmt.Fprintf(&b, "  result: %d rows", run.RowsOut)
+	return b.String()
+}

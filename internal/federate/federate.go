@@ -1,0 +1,167 @@
+// Package federate is the multi-backend execution layer of the unified
+// query system. It lowers a bound logical plan (semop.Plan) into
+// per-backend scan fragments with predicate and projection pushdown,
+// routes every fragment to the cheapest capable Backend through a
+// cost-based physical planner, executes cross-backend joins with
+// bounded parallelism (internal/par), and renders a deterministic
+// EXPLAIN of the logical → physical lowering with estimated vs actual
+// row counts.
+//
+// Three backends ship with the system: the in-memory catalog (with
+// lazy per-column equality indexes), a SQL backend that round-trips
+// fragments through internal/sql's dialect as text — the template for
+// federating an external SQL store — and a graph-evidence backend that
+// exposes the heterogeneous graph index as relational tables. New
+// stores implement Backend and register through unisem.RegisterBackend.
+package federate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// ErrNoBackend is returned when no registered backend serves a table
+// the plan scans.
+var ErrNoBackend = errors.New("federate: no backend serves table")
+
+// Caps is the capability bitmask a backend advertises. The planner
+// pushes an operation down only when the serving backend has the
+// capability; everything else executes in the federation layer.
+type Caps uint32
+
+// Backend capabilities.
+const (
+	CapFilter    Caps = 1 << iota // applies pushed predicates during the scan
+	CapProject                    // applies pushed column projections
+	CapAggregate                  // computes pushed group-by/aggregates
+)
+
+// Has reports whether all capabilities in x are present.
+func (c Caps) Has(x Caps) bool { return c&x == x }
+
+// String renders the capability set, e.g. "filter+project+aggregate".
+func (c Caps) String() string {
+	var parts []string
+	if c.Has(CapFilter) {
+		parts = append(parts, "filter")
+	}
+	if c.Has(CapProject) {
+		parts = append(parts, "project")
+	}
+	if c.Has(CapAggregate) {
+		parts = append(parts, "aggregate")
+	}
+	if len(parts) == 0 {
+		return "scan-only"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Estimate is a backend's deterministic cost guess for one fragment.
+// Cost is the scalar the planner minimizes across candidate backends;
+// the row counts feed EXPLAIN's estimated-vs-actual report.
+type Estimate struct {
+	Total   int     // rows in the base table
+	Scanned int     // rows the backend expects to read
+	Out     int     // rows expected to cross the federation boundary
+	Cost    float64 // fixed overhead + per-row scan cost
+}
+
+// Fragment is the unit of work the planner hands to one backend: a
+// scan of a single table carrying whatever predicates, projection and
+// aggregation the backend advertised it can absorb.
+type Fragment struct {
+	Backend string       // chosen backend name (filled by the planner)
+	Table   string       // base table to scan
+	Preds   []table.Pred // pushed-down filters (conjunction)
+	Columns []string     // pushed-down projection (nil = all columns)
+	GroupBy []string     // pushed-down aggregation group keys
+	Aggs    []table.Agg  // pushed-down aggregates
+	Est     Estimate     // planning-time estimate for this fragment
+}
+
+// Result is a fragment's output plus scan accounting: Scanned counts
+// the base-table rows the backend actually read (the number pushdown
+// exists to minimize), Table holds the rows that crossed the boundary.
+type Result struct {
+	Table   *table.Table
+	Scanned int
+}
+
+// Backend is one executor in the federation: a store that can scan its
+// tables and absorb whatever plan operations it has capabilities for.
+// Implementations must be safe for concurrent Scan/Estimate calls and
+// must produce deterministic results — same fragment, same rows, same
+// row order — regardless of how many fragments run in parallel.
+type Backend interface {
+	// Name identifies the backend in plans and EXPLAIN output.
+	Name() string
+	// Tables lists the tables this backend serves, sorted.
+	Tables() []string
+	// Caps advertises which plan operations the backend absorbs.
+	Caps() Caps
+	// CanPush reports whether one specific predicate on tbl can be
+	// pushed down (dialects may not support every operator).
+	CanPush(tbl string, p table.Pred) bool
+	// Estimate returns deterministic row/cost estimates for scanning
+	// tbl under the pushed preds; ok is false when tbl is not served.
+	Estimate(tbl string, preds []table.Pred) (est Estimate, ok bool)
+	// Scan executes the fragment.
+	Scan(f Fragment) (Result, error)
+}
+
+// Selectivity is the deterministic per-predicate row-fraction
+// heuristic shared by backends without per-column statistics.
+func Selectivity(p table.Pred) float64 {
+	switch p.Op {
+	case table.OpEq:
+		return 0.1
+	case table.OpNe:
+		return 0.9
+	case table.OpContains:
+		return 0.5
+	default: // range comparisons
+		return 1.0 / 3
+	}
+}
+
+// estOut applies the selectivity heuristic of preds to n rows, keeping
+// at least one expected row for any non-empty input.
+func estOut(n int, preds []table.Pred) int {
+	if n == 0 {
+		return 0
+	}
+	f := float64(n)
+	for _, p := range preds {
+		f *= Selectivity(p)
+	}
+	out := int(f)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// predsString renders a predicate conjunction for EXPLAIN.
+func predsString(preds []table.Pred) string {
+	if len(preds) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return "[" + strings.Join(parts, " AND ") + "]"
+}
+
+// aggsString renders pushed aggregates for EXPLAIN.
+func aggsString(groupBy []string, aggs []table.Agg) string {
+	names := make([]string, len(aggs))
+	for i, a := range aggs {
+		names[i] = fmt.Sprintf("%s(%s)", a.Func, a.Col)
+	}
+	return fmt.Sprintf("group=%v %s", groupBy, strings.Join(names, ","))
+}

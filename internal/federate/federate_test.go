@@ -1,0 +1,444 @@
+package federate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/semop"
+	"repro/internal/table"
+)
+
+// testCatalog builds a two-table catalog with enough rows that index
+// scans are distinguishable from full scans.
+func testCatalog() *table.Catalog {
+	c := table.NewCatalog()
+	sales := table.New("sales", table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "quarter", Type: table.TypeString},
+		{Name: "units", Type: table.TypeInt},
+	})
+	products := []string{"Alpha", "Beta", "Gamma", "Delta"}
+	for i := 0; i < 48; i++ {
+		sales.MustAppend([]table.Value{
+			table.S(products[i%len(products)]),
+			table.S(fmt.Sprintf("Q%d", i%4+1)),
+			table.I(int64(10 + i)),
+		})
+	}
+	c.Put(sales)
+	changes := table.New("metric_changes", table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "change_pct", Type: table.TypeFloat},
+	})
+	for i := 0; i < 16; i++ {
+		changes.MustAppend([]table.Value{
+			table.S(products[i%len(products)]),
+			table.F(float64(i*5 - 20)),
+		})
+	}
+	c.Put(changes)
+	return c
+}
+
+// render flattens a table to a comparable string (schema + all rows).
+func render(t *table.Table) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Schema.Names(), ","))
+	for _, row := range t.Rows {
+		b.WriteByte('\n')
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(table.FormatValue(v))
+		}
+	}
+	return b.String()
+}
+
+func newTestExecutor(c *table.Catalog, workers int) *Executor {
+	return New(c.Epoch, Options{Workers: workers}, NewMemory(c), NewSQL(c))
+}
+
+func TestMemoryIndexScanMatchesFilter(t *testing.T) {
+	c := testCatalog()
+	m := NewMemory(c)
+	tbl, _ := c.Get("sales")
+	preds := []table.Pred{
+		{Col: "product", Op: table.OpEq, Val: table.S("Beta")},
+		{Col: "units", Op: table.OpGt, Val: table.I(20)},
+	}
+	res, err := m.Scan(Fragment{Table: "sales", Preds: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := table.Filter(tbl, preds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(res.Table) != render(want) {
+		t.Errorf("index scan diverges from filter:\n%s\nvs\n%s", render(res.Table), render(want))
+	}
+	if res.Scanned >= tbl.Len() {
+		t.Errorf("scanned %d rows, want fewer than %d (index not used)", res.Scanned, tbl.Len())
+	}
+	if res.Scanned != 12 { // 48 rows / 4 products
+		t.Errorf("scanned = %d, want the 12-row Beta bucket", res.Scanned)
+	}
+}
+
+func TestMemoryIndexInvalidatesOnEpoch(t *testing.T) {
+	c := testCatalog()
+	m := NewMemory(c)
+	pred := []table.Pred{{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}}
+	res, err := m.Scan(Fragment{Table: "sales", Preds: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Table.Len()
+
+	tbl, _ := c.Get("sales")
+	tbl.MustAppend([]table.Value{table.S("Alpha"), table.S("Q1"), table.I(99)})
+	c.Put(tbl) // epoch bump: index must rebuild
+
+	res, err = m.Scan(Fragment{Table: "sales", Preds: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != before+1 {
+		t.Errorf("post-mutation rows = %d, want %d (stale index)", res.Table.Len(), before+1)
+	}
+}
+
+func TestExecuteMatchesSemopExec(t *testing.T) {
+	c := testCatalog()
+	e := newTestExecutor(c, 0)
+	plans := map[string]*semop.Plan{
+		"filtered aggregate": {
+			Table: "sales", MetricCol: "units",
+			Filters: []table.Pred{{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}},
+			Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+		},
+		"group by": {
+			Table: "sales", MetricCol: "units",
+			GroupBy: []string{"product"},
+			Aggs:    []table.Agg{{Func: table.AggAvg, Col: "units", As: "result"}},
+		},
+		"join": {
+			Table: "sales", MetricCol: "units",
+			Filters:   []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q2")}},
+			Aggs:      []table.Agg{{Func: table.AggAvg, Col: "units", As: "result"}},
+			JoinTable: "metric_changes", JoinLeftCol: "product", JoinRightCol: "product",
+			JoinFilters: []table.Pred{{Col: "change_pct", Op: table.OpGt, Val: table.F(15)}},
+		},
+		"compare": {
+			Table: "sales", MetricCol: "units",
+			Comparison: []string{"Alpha", "Beta"}, CompareCol: "product",
+			GroupBy: []string{"product"},
+			Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+		},
+		"list": {
+			Table: "sales", MetricCol: "units",
+			Filters:   []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q3")}},
+			LimitRows: 50,
+		},
+	}
+	for name, p := range plans {
+		got, run, err := e.Execute(p)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", name, err)
+		}
+		want, err := semop.Exec(p, c)
+		if err != nil {
+			t.Fatalf("%s: semop exec: %v", name, err)
+		}
+		if render(got) != render(want) {
+			t.Errorf("%s: federated result diverges:\n%s\nvs\n%s", name, render(got), render(want))
+		}
+		if run.RowsOut != got.Len() {
+			t.Errorf("%s: run.RowsOut = %d, want %d", name, run.RowsOut, got.Len())
+		}
+	}
+}
+
+func TestAggregatePushdownScansBucketOnly(t *testing.T) {
+	c := testCatalog()
+	e := newTestExecutor(c, 1)
+	p := &semop.Plan{
+		Table: "sales", MetricCol: "units",
+		Filters: []table.Pred{{Col: "product", Op: table.OpEq, Val: table.S("Gamma")}},
+		Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+	}
+	_, run, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := run.Fragments[0]
+	if fr.Backend != "memory" {
+		t.Errorf("backend = %s, want memory (cheapest)", fr.Backend)
+	}
+	if len(fr.Aggs) == 0 || !run.Plan.AggPushed {
+		t.Error("aggregate was not pushed down")
+	}
+	if fr.ActScanned != 12 {
+		t.Errorf("scanned %d rows, want the 12-row Gamma bucket", fr.ActScanned)
+	}
+	if fr.Est.Scanned != fr.ActScanned {
+		t.Errorf("est scan %d != actual %d (index estimate should be exact)", fr.Est.Scanned, fr.ActScanned)
+	}
+}
+
+// costBackend wraps another backend under a new name with a fixed
+// planner cost, to steer routing in tests.
+type costBackend struct {
+	Backend
+	name string
+	cost float64
+}
+
+func (cb costBackend) Name() string { return cb.name }
+func (cb costBackend) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
+	est, ok := cb.Backend.Estimate(tbl, preds)
+	est.Cost = cb.cost
+	return est, ok
+}
+
+func TestPlannerRoutesToCheapestBackend(t *testing.T) {
+	c := testCatalog()
+	e := New(c.Epoch, Options{},
+		costBackend{Backend: NewMemory(c), name: "pricey", cost: 1e6},
+		costBackend{Backend: NewSQL(c), name: "bargain", cost: 1},
+	)
+	p := &semop.Plan{Table: "sales", MetricCol: "units", LimitRows: 10}
+	_, run, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Fragments[0].Backend; got != "bargain" {
+		t.Errorf("planner chose %s, want bargain", got)
+	}
+
+	// Re-registering the expensive backend as cheap must flush cached
+	// plans and flip the routing.
+	e.Register(costBackend{Backend: NewMemory(c), name: "pricey", cost: 0.5})
+	_, run, err = e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Fragments[0].Backend; got != "pricey" {
+		t.Errorf("after re-registration planner chose %s, want pricey", got)
+	}
+}
+
+func TestPlanCacheHitsAndEpochInvalidation(t *testing.T) {
+	c := testCatalog()
+	e := newTestExecutor(c, 1)
+	p := &semop.Plan{
+		Table: "sales", MetricCol: "units",
+		Filters: []table.Pred{{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}},
+		Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+	}
+	if _, _, err := e.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, size := e.PlanCacheStats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Errorf("cache stats = %d hits %d misses %d entries, want 1/1/1", hits, misses, size)
+	}
+
+	tbl, _ := c.Get("sales")
+	c.Put(tbl) // epoch bump invalidates the cached physical plan
+	if _, _, err := e.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ = e.PlanCacheStats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("post-epoch stats = %d hits %d misses, want 1 hit 2 misses", hits, misses)
+	}
+}
+
+func TestSQLBackendParityWithMemory(t *testing.T) {
+	c := testCatalog()
+	s := NewSQL(c)
+	m := NewMemory(c)
+	frags := []Fragment{
+		{Table: "sales", Preds: []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q1")}}},
+		{Table: "sales",
+			Preds:   []table.Pred{{Col: "units", Op: table.OpGe, Val: table.I(30)}},
+			GroupBy: []string{"product"},
+			Aggs:    []table.Agg{{Func: table.AggAvg, Col: "units", As: "result"}}},
+		{Table: "metric_changes", Columns: []string{"product"}},
+	}
+	for i, f := range frags {
+		sr, err := s.Scan(f)
+		if err != nil {
+			t.Fatalf("frag %d: sql scan: %v (stmt %q)", i, err, s.Render(f))
+		}
+		mr, err := m.Scan(f)
+		if err != nil {
+			t.Fatalf("frag %d: memory scan: %v", i, err)
+		}
+		if render(sr.Table) != render(mr.Table) {
+			t.Errorf("frag %d: sql and memory disagree:\n%s\nvs\n%s", i, render(sr.Table), render(mr.Table))
+		}
+	}
+}
+
+func TestSQLCanPushRejectsUnlexableLiterals(t *testing.T) {
+	s := NewSQL(testCatalog())
+	reject := []table.Pred{
+		{Col: "units", Op: table.OpGt, Val: table.F(1e6)},    // renders "1e+06"
+		{Col: "units", Op: table.OpGt, Val: table.F(2.5e-7)}, // exponent form
+		{Col: "bad col", Op: table.OpEq, Val: table.I(1)},    // non-identifier column
+		{Col: "product", Op: table.OpEq, Val: table.S("a\nb")},
+		{Col: "units", Op: table.OpEq, Val: table.Null(table.TypeInt)},
+	}
+	for _, p := range reject {
+		if s.CanPush("sales", p) {
+			t.Errorf("CanPush accepted unlexable predicate %v", p)
+		}
+	}
+	accept := []table.Pred{
+		{Col: "units", Op: table.OpGt, Val: table.F(15.5)},
+		{Col: "units", Op: table.OpLt, Val: table.F(-3)},
+		{Col: "product", Op: table.OpContains, Val: table.S("Al'pha")},
+	}
+	for _, p := range accept {
+		if !s.CanPush("sales", p) {
+			t.Errorf("CanPush rejected lexable predicate %v", p)
+		}
+	}
+	// The planner must fall back to federation-side filtering, not fail.
+	e := New(nil, Options{}, NewSQL(testCatalog()))
+	p := &semop.Plan{
+		Table: "sales", MetricCol: "units",
+		Filters:   []table.Pred{{Col: "units", Op: table.OpLt, Val: table.F(1e6)}},
+		LimitRows: 50,
+	}
+	res, run, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 48 {
+		t.Errorf("rows = %d, want all 48 under the huge threshold", res.Len())
+	}
+	if len(run.Fragments[0].Preds) != 0 || len(run.Plan.PostFilters) != 1 {
+		t.Errorf("unpushable predicate not kept federation-side: push=%v post=%v",
+			run.Fragments[0].Preds, run.Plan.PostFilters)
+	}
+}
+
+func TestGraphEvidenceBackend(t *testing.T) {
+	g := graph.New()
+	for i, name := range []string{"Drug A", "Drug B", "nausea"} {
+		id := fmt.Sprintf("entity:%d", i)
+		if err := g.AddNode(graph.Node{ID: id, Type: graph.NodeEntity, Label: name,
+			Attrs: map[string]string{"etype": "drug"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch := uint64(1)
+	ge := NewGraphEvidence(g, func() uint64 { return epoch })
+	e := New(func() uint64 { return epoch }, Options{}, ge)
+
+	p := &semop.Plan{
+		Table: GraphEntitiesTable, MetricCol: "degree",
+		Filters: []table.Pred{{Col: "etype", Op: table.OpEq, Val: table.S("drug")}},
+		Aggs:    []table.Agg{{Func: table.AggCount, Col: "", As: "result"}},
+	}
+	res, run, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || table.FormatValue(res.Rows[0][0]) != "3" {
+		t.Errorf("count over graph_entities = %s, want 3", render(res))
+	}
+	// The graph backend is scan+filter only: the planner must keep the
+	// aggregate in the federation layer.
+	if run.Plan.AggPushed {
+		t.Error("aggregate pushed to a CapFilter-only backend")
+	}
+	if len(run.Fragments[0].Preds) == 0 {
+		t.Error("filter was not pushed down to the graph backend")
+	}
+
+	// Epoch move re-materializes the views.
+	if err := g.AddNode(graph.Node{ID: "entity:3", Type: graph.NodeEntity, Label: "Drug C",
+		Attrs: map[string]string{"etype": "drug"}}); err != nil {
+		t.Fatal(err)
+	}
+	epoch++
+	res, _, err = e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.FormatValue(res.Rows[0][0]) != "4" {
+		t.Errorf("post-ingest count = %s, want 4", table.FormatValue(res.Rows[0][0]))
+	}
+}
+
+func TestBindingCatalogSpansBackends(t *testing.T) {
+	c := testCatalog()
+	g := graph.New()
+	e := New(c.Epoch, Options{}, NewMemory(c), NewGraphEvidence(g, c.Epoch))
+	bc := e.BindingCatalog()
+	for _, want := range []string{"sales", "metric_changes", GraphEntitiesTable, GraphTriplesTable} {
+		if _, err := bc.Get(want); err != nil {
+			t.Errorf("binding catalog misses %s: %v", want, err)
+		}
+	}
+	// Cached per epoch: same pointer until the epoch moves.
+	if e.BindingCatalog() != bc {
+		t.Error("binding catalog rebuilt without an epoch move")
+	}
+	tbl, _ := c.Get("sales")
+	c.Put(tbl)
+	if e.BindingCatalog() == bc {
+		t.Error("binding catalog not rebuilt after epoch move")
+	}
+}
+
+func TestNoBackendServesTable(t *testing.T) {
+	e := New(nil, Options{}, NewMemory(table.NewCatalog()))
+	_, _, err := e.Execute(&semop.Plan{Table: "missing"})
+	if !errors.Is(err, ErrNoBackend) {
+		t.Errorf("err = %v, want ErrNoBackend", err)
+	}
+	if _, _, err := e.Execute(nil); !errors.Is(err, semop.ErrEmptyPlan) {
+		t.Errorf("nil plan err = %v, want ErrEmptyPlan", err)
+	}
+}
+
+func TestExplainDeterministicAcrossWorkers(t *testing.T) {
+	p := &semop.Plan{
+		Table: "sales", MetricCol: "units",
+		Filters:   []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q2")}},
+		Aggs:      []table.Agg{{Func: table.AggAvg, Col: "units", As: "result"}},
+		JoinTable: "metric_changes", JoinLeftCol: "product", JoinRightCol: "product",
+		JoinFilters: []table.Pred{{Col: "change_pct", Op: table.OpGt, Val: table.F(0)}},
+	}
+	var explains []string
+	for _, workers := range []int{1, 2, 8} {
+		c := testCatalog()
+		e := newTestExecutor(c, workers)
+		_, run, err := e.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		explains = append(explains, Explain(run))
+	}
+	for i := 1; i < len(explains); i++ {
+		if explains[i] != explains[0] {
+			t.Errorf("explain differs at workers set %d:\n%s\nvs\n%s", i, explains[i], explains[0])
+		}
+	}
+	if !strings.Contains(explains[0], "backend=memory") || !strings.Contains(explains[0], "est: scan") {
+		t.Errorf("explain missing physical details:\n%s", explains[0])
+	}
+}

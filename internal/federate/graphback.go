@@ -1,0 +1,152 @@
+package federate
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/table"
+)
+
+// Graph-evidence table names.
+const (
+	GraphEntitiesTable = "graph_entities"
+	GraphTriplesTable  = "graph_triples"
+)
+
+// GraphEvidence exposes the heterogeneous graph index as relational
+// evidence tables, so questions that bind to no catalog table can
+// still execute structurally:
+//
+//	graph_entities(entity, etype, degree)   one row per entity node
+//	graph_triples(subject, verb, object, sources)   the cue layer
+//
+// Tables materialize lazily, sorted for determinism, and are
+// invalidated whenever the owner-supplied epoch moves (the hybrid
+// system bumps it on every Ingest). The backend is deliberately
+// scan+filter only — no aggregate or projection pushdown — so the
+// planner must compensate in the federation layer, exercising the
+// capability-aware lowering path real external stores need.
+type GraphEvidence struct {
+	g       *graph.Graph
+	epochFn func() uint64
+
+	mu     sync.Mutex
+	epoch  uint64
+	fresh  bool
+	tables map[string]*table.Table
+}
+
+// NewGraphEvidence returns a backend over g. epochFn versions the
+// graph: materialized tables are reused only while it is unchanged.
+func NewGraphEvidence(g *graph.Graph, epochFn func() uint64) *GraphEvidence {
+	return &GraphEvidence{g: g, epochFn: epochFn, tables: make(map[string]*table.Table)}
+}
+
+// Name implements Backend.
+func (ge *GraphEvidence) Name() string { return "graph" }
+
+// Tables implements Backend.
+func (ge *GraphEvidence) Tables() []string {
+	return []string{GraphEntitiesTable, GraphTriplesTable}
+}
+
+// Caps implements Backend: filters only.
+func (ge *GraphEvidence) Caps() Caps { return CapFilter }
+
+// CanPush implements Backend.
+func (ge *GraphEvidence) CanPush(string, table.Pred) bool { return true }
+
+// materialize returns the named evidence table, rebuilding the set
+// when the graph epoch has moved. Unserved names return immediately —
+// the planner probes every backend for every table, and a miss must
+// not trigger an O(graph) rebuild on the answer hot path.
+func (ge *GraphEvidence) materialize(name string) (*table.Table, bool) {
+	name = strings.ToLower(name)
+	if name != GraphEntitiesTable && name != GraphTriplesTable {
+		return nil, false
+	}
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	if e := ge.epochFn(); !ge.fresh || e != ge.epoch {
+		ge.epoch = e
+		ge.fresh = true
+		ge.tables = map[string]*table.Table{
+			GraphEntitiesTable: ge.buildEntities(),
+			GraphTriplesTable:  ge.buildTriples(),
+		}
+	}
+	t, ok := ge.tables[name]
+	return t, ok
+}
+
+func (ge *GraphEvidence) buildEntities() *table.Table {
+	t := table.New(GraphEntitiesTable, table.Schema{
+		{Name: "entity", Type: table.TypeString},
+		{Name: "etype", Type: table.TypeString},
+		{Name: "degree", Type: table.TypeInt},
+	})
+	nodes := ge.g.NodesOfType(graph.NodeEntity)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		t.MustAppend([]table.Value{
+			table.S(n.Label),
+			table.S(n.Attrs["etype"]),
+			table.I(int64(ge.g.Degree(n.ID))),
+		})
+	}
+	return t
+}
+
+func (ge *GraphEvidence) buildTriples() *table.Table {
+	t := table.New(GraphTriplesTable, table.Schema{
+		{Name: "subject", Type: table.TypeString},
+		{Name: "verb", Type: table.TypeString},
+		{Name: "object", Type: table.TypeString},
+		{Name: "sources", Type: table.TypeString},
+	})
+	for _, tr := range index.Triples(ge.g) {
+		t.MustAppend([]table.Value{
+			table.S(tr.Subject),
+			table.S(tr.Predicate),
+			table.S(tr.Object),
+			table.S(strings.Join(tr.Sources, ";")),
+		})
+	}
+	return t
+}
+
+// Estimate implements Backend: full scan of the materialized view with
+// heuristic selectivity.
+func (ge *GraphEvidence) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
+	t, ok := ge.materialize(tbl)
+	if !ok {
+		return Estimate{}, false
+	}
+	total := t.Len()
+	return Estimate{
+		Total:   total,
+		Scanned: total,
+		Out:     estOut(total, preds),
+		Cost:    16 + float64(total),
+	}, true
+}
+
+// Scan implements Backend.
+func (ge *GraphEvidence) Scan(f Fragment) (Result, error) {
+	t, ok := ge.materialize(f.Table)
+	if !ok {
+		return Result{}, ErrNoBackend
+	}
+	cur := t
+	if len(f.Preds) > 0 {
+		var err error
+		cur, err = table.Filter(t, f.Preds...)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Table: cur, Scanned: t.Len()}, nil
+}

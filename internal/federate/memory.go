@@ -1,0 +1,207 @@
+package federate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/table"
+)
+
+// Memory serves every table of an in-process table.Catalog. It is the
+// reference backend: full pushdown capability plus lazy per-column
+// hash indexes for equality predicates, so a pushed equality filter
+// scans only the matching bucket instead of the whole table. Indexes
+// are keyed by the catalog epoch and rebuilt after any mutation.
+type Memory struct {
+	catalog *table.Catalog
+
+	mu    sync.Mutex
+	epoch uint64
+	idx   map[string]*colIndex // "table\x00column" -> equality index
+}
+
+// NewMemory returns a backend over the catalog.
+func NewMemory(c *table.Catalog) *Memory {
+	return &Memory{catalog: c, idx: make(map[string]*colIndex)}
+}
+
+// Name implements Backend.
+func (m *Memory) Name() string { return "memory" }
+
+// Tables implements Backend: every catalog table.
+func (m *Memory) Tables() []string { return m.catalog.Names() }
+
+// Caps implements Backend: the memory engine absorbs everything.
+func (m *Memory) Caps() Caps { return CapFilter | CapProject | CapAggregate }
+
+// CanPush implements Backend: any predicate the table engine evaluates.
+func (m *Memory) CanPush(string, table.Pred) bool { return true }
+
+// colIndex maps a column value's hash key to the ascending row indexes
+// holding it. Ascending order matters: an index-driven scan must yield
+// rows in the same order a full-table filter would, so aggregates
+// (float summation order) and lookups (first row) are bit-identical to
+// the unindexed path.
+type colIndex struct {
+	buckets map[string][]int
+}
+
+// indexable reports whether the predicate can be answered from an
+// equality index on its column: Key() equality must coincide with
+// Pred.Eval equality, which holds for same-kind values and for
+// numeric-vs-numeric comparisons.
+func indexable(t *table.Table, p table.Pred) bool {
+	if p.Op != table.OpEq || p.Val.IsNull() {
+		return false
+	}
+	ci := t.Schema.ColIndex(p.Col)
+	if ci < 0 {
+		return false
+	}
+	ct := t.Schema[ci].Type
+	if p.Val.Kind() == ct {
+		return true
+	}
+	return p.Val.IsNumeric() && (ct == table.TypeInt || ct == table.TypeFloat)
+}
+
+// indexForLocked returns the equality index for (tbl, col), building
+// it on first use. Caller holds m.mu with the epoch already validated.
+func (m *Memory) indexForLocked(t *table.Table, col string) *colIndex {
+	key := t.Name + "\x00" + col
+	if ix, ok := m.idx[key]; ok {
+		return ix
+	}
+	ci := t.Schema.ColIndex(col)
+	ix := &colIndex{buckets: make(map[string][]int)}
+	for ri, row := range t.Rows {
+		v := row[ci]
+		if v.IsNull() {
+			continue // NULL never satisfies equality
+		}
+		k := v.Key()
+		ix.buckets[k] = append(ix.buckets[k], ri)
+	}
+	m.idx[key] = ix
+	return ix
+}
+
+// pickIndex chooses the pushed equality predicate with the smallest
+// bucket (first wins ties, so the choice is deterministic) and returns
+// its position in preds, or -1 when no predicate is indexable. One
+// lock acquisition covers the epoch check and every index touched.
+func (m *Memory) pickIndex(t *table.Table, preds []table.Pred) (best int, bucket []int) {
+	best = -1
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.catalog.Epoch(); e != m.epoch {
+		m.epoch = e
+		m.idx = make(map[string]*colIndex)
+	}
+	for i, p := range preds {
+		if !indexable(t, p) {
+			continue
+		}
+		b := m.indexForLocked(t, p.Col).buckets[p.Val.Key()]
+		if best == -1 || len(b) < len(bucket) {
+			best, bucket = i, b
+		}
+	}
+	return best, bucket
+}
+
+// Estimate implements Backend. Equality predicates are estimated from
+// exact index bucket sizes; remaining predicates use the shared
+// selectivity heuristic. Deterministic for a fixed catalog epoch.
+func (m *Memory) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
+	t, err := m.catalog.Get(tbl)
+	if err != nil {
+		return Estimate{}, false
+	}
+	total := t.Len()
+	scan := total
+	pick, bucket := m.pickIndex(t, preds)
+	if pick >= 0 {
+		scan = len(bucket)
+	}
+	rest := preds
+	if pick >= 0 {
+		rest = append(append([]table.Pred(nil), preds[:pick]...), preds[pick+1:]...)
+	}
+	return Estimate{
+		Total:   total,
+		Scanned: scan,
+		Out:     estOut(scan, rest),
+		Cost:    8 + float64(scan),
+	}, true
+}
+
+// Scan implements Backend: index-accelerated filter, then aggregation,
+// then projection — the same operator order as the unfederated
+// executor, over the same engine, so results are identical.
+func (m *Memory) Scan(f Fragment) (Result, error) {
+	t, err := m.catalog.Get(f.Table)
+	if err != nil {
+		return Result{}, err
+	}
+
+	cur := t
+	scanned := t.Len()
+	if len(f.Preds) > 0 {
+		pick, bucket := m.pickIndex(t, f.Preds)
+		if pick >= 0 {
+			// Bucket rows already satisfy preds[pick]; evaluate only the
+			// residue, in ascending row order (== full-filter order).
+			var rest []table.Pred
+			if len(f.Preds) > 1 {
+				rest = append(append(make([]table.Pred, 0, len(f.Preds)-1), f.Preds[:pick]...), f.Preds[pick+1:]...)
+			}
+			out := table.New(t.Name, t.Schema)
+			out.Rows = make([][]table.Value, 0, len(bucket))
+			for _, ri := range bucket {
+				row := t.Rows[ri]
+				keep := true
+				for _, p := range rest {
+					ok, err := p.Eval(t.Schema, row)
+					if err != nil {
+						return Result{}, err
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out.Rows = append(out.Rows, row)
+				}
+			}
+			cur, scanned = out, len(bucket)
+		} else {
+			cur, err = table.Filter(t, f.Preds...)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if len(f.Aggs) > 0 {
+		cur, err = table.Aggregate(cur, f.GroupBy, f.Aggs)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if len(f.Columns) > 0 {
+		cur, err = table.Project(cur, f.Columns...)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Table: cur, Scanned: scanned}, nil
+}
+
+// IndexStats reports how many equality indexes are currently built, for
+// tests and diagnostics.
+func (m *Memory) IndexStats() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("epoch=%d indexes=%d", m.epoch, len(m.idx))
+}

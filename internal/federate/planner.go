@@ -1,0 +1,402 @@
+package federate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/semop"
+	"repro/internal/table"
+)
+
+// Options configures an Executor.
+type Options struct {
+	// Workers bounds fragment-level parallelism (cross-backend scans of
+	// one query run concurrently). 0 means GOMAXPROCS, 1 sequential.
+	Workers int
+	// PlanCacheSize caps the physical-plan cache (default 256).
+	PlanCacheSize int
+}
+
+// Executor is the federation engine: it owns the backend registry, the
+// cost-based physical planner, and the epoch-keyed plan cache. Safe
+// for concurrent use; Register may interleave with Execute.
+type Executor struct {
+	opts    Options
+	epochFn func() uint64
+
+	mu       sync.RWMutex
+	backends []Backend // sorted by name; ties in cost resolve by order
+	regGen   uint64    // bumped by Register; versions routing decisions
+
+	plans *planCache
+
+	bindMu    sync.Mutex
+	bindEpoch uint64
+	bindGen   uint64
+	binding   *table.Catalog
+}
+
+// New returns an executor over the given backends. epochFn versions
+// the underlying data: cached physical plans and binding catalogs are
+// reused only while it is unchanged. A nil epochFn pins epoch 0
+// (static data).
+func New(epochFn func() uint64, opts Options, backends ...Backend) *Executor {
+	if epochFn == nil {
+		epochFn = func() uint64 { return 0 }
+	}
+	if opts.PlanCacheSize <= 0 {
+		opts.PlanCacheSize = 256
+	}
+	e := &Executor{opts: opts, epochFn: epochFn, plans: newPlanCache(opts.PlanCacheSize)}
+	for _, b := range backends {
+		e.Register(b)
+	}
+	return e
+}
+
+// Register adds a backend (replacing any with the same name) and
+// flushes plan and binding caches, since routing decisions may change.
+// The registry generation bump also invalidates any plan an in-flight
+// Execute computed against the old registry but has not cached yet.
+func (e *Executor) Register(b Backend) {
+	e.mu.Lock()
+	kept := e.backends[:0]
+	for _, x := range e.backends {
+		if x.Name() != b.Name() {
+			kept = append(kept, x)
+		}
+	}
+	e.backends = append(kept, b)
+	sort.Slice(e.backends, func(i, j int) bool { return e.backends[i].Name() < e.backends[j].Name() })
+	e.regGen++
+	e.mu.Unlock()
+
+	e.plans.flush()
+	e.bindMu.Lock()
+	e.binding = nil
+	e.bindMu.Unlock()
+}
+
+// generation returns the registry version; plans and binding catalogs
+// are valid only for the generation they were computed at.
+func (e *Executor) generation() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.regGen
+}
+
+// Backends lists registered backend names, sorted.
+func (e *Executor) Backends() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(e.backends))
+	for i, b := range e.backends {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+func (e *Executor) backend(name string) Backend {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, b := range e.backends {
+		if b.Name() == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// PlanCacheStats reports physical-plan cache hits, misses and size.
+func (e *Executor) PlanCacheStats() (hits, misses int64, size int) {
+	return e.plans.stats()
+}
+
+// BindingCatalog returns a catalog spanning every backend's tables —
+// the schema surface semantic-operator binding sees when the primary
+// catalog cannot answer a query. Materialized once per epoch; when two
+// backends serve the same table name, the first in name order wins.
+func (e *Executor) BindingCatalog() *table.Catalog {
+	epoch := e.epochFn()
+	gen := e.generation()
+	e.bindMu.Lock()
+	defer e.bindMu.Unlock()
+	if e.binding != nil && e.bindEpoch == epoch && e.bindGen == gen {
+		return e.binding
+	}
+	c := table.NewCatalog()
+	e.mu.RLock()
+	backends := append([]Backend(nil), e.backends...)
+	e.mu.RUnlock()
+	for _, b := range backends {
+		for _, name := range b.Tables() {
+			if _, err := c.Get(name); err == nil {
+				continue
+			}
+			res, err := b.Scan(Fragment{Backend: b.Name(), Table: name})
+			if err != nil {
+				continue
+			}
+			c.Put(res.Table)
+		}
+	}
+	e.binding, e.bindEpoch, e.bindGen = c, epoch, gen
+	return c
+}
+
+// PhysicalPlan is a logical plan lowered onto backends: one fragment
+// per base table plus the operations left for the federation layer.
+// Physical plans are immutable once planned and cached by
+// (fingerprint, epoch); per-run row counts live in Run, not here.
+type PhysicalPlan struct {
+	Logical *semop.Plan
+	Main    Fragment
+	Join    *Fragment    // nil when the plan has no join
+	JoinRes []table.Pred // join-side predicates the backend could not absorb
+
+	// PostFilters are main-side predicates evaluated in the federation
+	// layer: the non-pushable residue, or — for join plans — every
+	// main-side filter, preserving the unfederated operator order
+	// (join, then filter) so row order and results stay identical.
+	PostFilters []table.Pred
+	AggPushed   bool // aggregation absorbed by the main fragment's backend
+
+	Epoch uint64
+	gen   uint64 // registry generation the routing was decided at
+	key   string
+}
+
+// fingerprint serializes every field of the logical plan that affects
+// lowering, so equal plans share one cache slot and different plans
+// never collide in practice. This runs on every Execute (cache lookups
+// are keyed by it), so it avoids fmt and keeps allocations to the one
+// output string.
+func fingerprint(p *semop.Plan) string {
+	var b strings.Builder
+	b.Grow(160)
+	sep := func() { b.WriteByte('\x1f') }
+	str := func(s string) { b.WriteString(s); sep() }
+	num := func(n int) { b.WriteString(strconv.Itoa(n)); sep() }
+	pred := func(f table.Pred) {
+		b.WriteString(f.Col)
+		b.WriteByte('\x1e')
+		num(int(f.Op))
+		b.WriteString(f.Val.Key())
+		sep()
+	}
+	str(p.Table)
+	str(p.MetricCol)
+	for _, f := range p.Filters {
+		pred(f)
+	}
+	sep()
+	for _, g := range p.GroupBy {
+		str(g)
+	}
+	sep()
+	for _, a := range p.Aggs {
+		num(int(a.Func))
+		str(a.Col)
+		str(a.As)
+	}
+	sep()
+	for _, k := range p.OrderBy {
+		str(k.Col)
+		if k.Desc {
+			b.WriteByte('-')
+		}
+	}
+	sep()
+	num(p.LimitRows)
+	for _, c := range p.Columns {
+		str(c)
+	}
+	sep()
+	for _, c := range p.Comparison {
+		str(c)
+	}
+	sep()
+	str(p.CompareCol)
+	str(p.JoinTable)
+	str(p.JoinLeftCol)
+	str(p.JoinRightCol)
+	for _, f := range p.JoinFilters {
+		pred(f)
+	}
+	return b.String()
+}
+
+// splitPush partitions preds into the subset backend b absorbs and the
+// residue the federation layer must evaluate.
+func splitPush(b Backend, tbl string, preds []table.Pred) (push, rest []table.Pred) {
+	if !b.Caps().Has(CapFilter) {
+		return nil, preds
+	}
+	for _, p := range preds {
+		if b.CanPush(tbl, p) {
+			push = append(push, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	return push, rest
+}
+
+// route picks the cheapest backend serving tbl, offering preds for
+// pushdown. Ties resolve to the first backend in name order.
+func (e *Executor) route(tbl string, preds []table.Pred) (Fragment, []table.Pred, error) {
+	e.mu.RLock()
+	backends := append([]Backend(nil), e.backends...)
+	e.mu.RUnlock()
+
+	var (
+		best     Backend
+		bestPush []table.Pred
+		bestRest []table.Pred
+		bestEst  Estimate
+	)
+	for _, b := range backends {
+		push, rest := splitPush(b, tbl, preds)
+		est, ok := b.Estimate(tbl, push)
+		if !ok {
+			continue
+		}
+		// Residual predicates cost the federation layer one evaluation
+		// per returned row; fold that into the comparable cost.
+		cost := est.Cost + float64(est.Out)*0.25*float64(len(rest))
+		if best == nil || cost < bestEst.Cost {
+			best, bestPush, bestRest, bestEst = b, push, rest, est
+			bestEst.Cost = cost
+		}
+	}
+	if best == nil {
+		return Fragment{}, nil, fmt.Errorf("%w: %s", ErrNoBackend, tbl)
+	}
+	return Fragment{Backend: best.Name(), Table: tbl, Preds: bestPush, Est: bestEst}, bestRest, nil
+}
+
+// plan lowers the logical plan, consulting the epoch-keyed cache. key
+// is the plan's fingerprint (computed by the caller so prepared plans
+// amortize it).
+func (e *Executor) plan(p *semop.Plan, key string) (*PhysicalPlan, bool, error) {
+	epoch := e.epochFn()
+	// Snapshot the registry generation before routing: if a Register
+	// lands mid-plan, the generation mismatch keeps the stale plan out
+	// of the cache (put drops it) and out of future lookups.
+	gen := e.generation()
+	if pp := e.plans.get(key, epoch, gen); pp != nil {
+		return pp, true, nil
+	}
+
+	pp := &PhysicalPlan{Logical: p, Epoch: epoch, gen: gen, key: key}
+
+	// Main fragment. Join plans keep every main-side filter in the
+	// federation layer so the operator order (join, then filter) — and
+	// with it row order, float accumulation order, and first-row
+	// lookups — matches the unfederated executor exactly.
+	var offer []table.Pred
+	if p.JoinTable == "" {
+		offer = p.Filters
+	}
+	main, rest, err := e.route(p.Table, offer)
+	if err != nil {
+		return nil, false, err
+	}
+	pp.Main = main
+	pp.PostFilters = rest
+	if p.JoinTable != "" {
+		pp.PostFilters = p.Filters
+	}
+
+	// Aggregate pushdown: single-fragment plans whose filters were all
+	// absorbed can evaluate the whole aggregate inside the backend.
+	if p.JoinTable == "" && len(p.Comparison) == 0 && len(p.Aggs) > 0 && len(pp.PostFilters) == 0 {
+		if b := e.backend(main.Backend); b != nil && b.Caps().Has(CapAggregate) {
+			pp.Main.GroupBy = p.GroupBy
+			pp.Main.Aggs = p.Aggs
+			pp.AggPushed = true
+		}
+	}
+
+	// Join fragment: predicates push down, and when they all did, the
+	// key column projection does too — only join keys cross the wire.
+	if p.JoinTable != "" {
+		jf, jrest, err := e.route(p.JoinTable, p.JoinFilters)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(jrest) == 0 {
+			if b := e.backend(jf.Backend); b != nil && b.Caps().Has(CapProject) {
+				jf.Columns = []string{p.JoinRightCol}
+			}
+		}
+		pp.Join = &jf
+		pp.JoinRes = jrest
+	}
+
+	e.plans.put(key, pp, e.generation())
+	return pp, false, nil
+}
+
+// planCache is a bounded map of physical plans keyed by logical-plan
+// fingerprint. Entries carry the epoch they were planned at; a stale
+// hit is treated as a miss and overwritten, so an epoch bump (ingest,
+// backend registration) invalidates everything without a sweep.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*PhysicalPlan
+	hits    int64
+	misses  int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, entries: make(map[string]*PhysicalPlan, capacity)}
+}
+
+func (c *planCache) get(key string, epoch, gen uint64) *PhysicalPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pp := c.entries[key]
+	if pp == nil || pp.Epoch != epoch || pp.gen != gen {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return pp
+}
+
+// put caches the plan unless the registry generation moved while it
+// was being computed — a concurrent Register already flushed the
+// cache, and re-inserting a plan routed against the old registry would
+// undo that flush.
+func (c *planCache) put(key string, pp *PhysicalPlan, gen uint64) {
+	if pp.gen != gen {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.cap {
+		if _, ok := c.entries[key]; !ok {
+			// Wholesale flush at capacity: plans are cheap to rebuild and
+			// a deterministic full reset beats tracking recency.
+			c.entries = make(map[string]*PhysicalPlan, c.cap)
+		}
+	}
+	c.entries[key] = pp
+}
+
+func (c *planCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*PhysicalPlan, c.cap)
+}
+
+func (c *planCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,175 @@
+package federate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+// SQL drives internal/sql's parser and executor: every fragment is
+// rendered to a SELECT statement in the engine's dialect, parsed, and
+// executed against the backing catalog. The fragment crosses the
+// backend boundary as text, not as Go structures — the shape a
+// federated external SQL store requires — which makes this backend the
+// template for wiring real databases behind the planner.
+type SQL struct {
+	catalog *table.Catalog
+	// PerRow and Fixed shape the cost model: text round-trip and
+	// unindexed scans make this backend pricier per row than the
+	// in-memory engine, so the planner prefers it only when it is the
+	// sole provider of a table (or a test tunes the costs).
+	PerRow float64
+	Fixed  float64
+}
+
+// NewSQL returns a SQL-dialect backend over the catalog.
+func NewSQL(c *table.Catalog) *SQL {
+	return &SQL{catalog: c, PerRow: 1.25, Fixed: 24}
+}
+
+// Name implements Backend.
+func (s *SQL) Name() string { return "sql" }
+
+// Tables implements Backend.
+func (s *SQL) Tables() []string { return s.catalog.Names() }
+
+// Caps implements Backend: the dialect expresses filters, projections
+// and grouped aggregates.
+func (s *SQL) Caps() Caps { return CapFilter | CapProject | CapAggregate }
+
+// sqlIdent reports whether name lexes as a plain identifier in the
+// dialect, so pushdown never produces an unparseable statement.
+func sqlIdent(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CanPush implements Backend: the predicate must survive a text
+// round-trip — identifier column, single-line literal, and a numeric
+// rendering the dialect's lexer can re-parse (large/small floats
+// render in exponent notation, which it cannot).
+func (s *SQL) CanPush(_ string, p table.Pred) bool {
+	if !sqlIdent(p.Col) || p.Val.IsNull() {
+		return false
+	}
+	v := p.Val.String()
+	if p.Val.IsNumeric() {
+		return plainNumber(v)
+	}
+	return !strings.ContainsAny(v, "\n\r")
+}
+
+// plainNumber reports whether s is a bare decimal literal
+// (-?digits[.digits]) — the only numeric shape the dialect lexes.
+// Exponent forms ("1e+06"), NaN and ±Inf are rejected.
+func plainNumber(s string) bool {
+	if strings.HasPrefix(s, "-") {
+		s = s[1:]
+	}
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' && !dot && i > 0 && i < len(s)-1:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Estimate implements Backend: no indexes, so every scan reads the
+// whole table; the heuristic selectivity estimates the output.
+func (s *SQL) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
+	t, err := s.catalog.Get(tbl)
+	if err != nil {
+		return Estimate{}, false
+	}
+	total := t.Len()
+	return Estimate{
+		Total:   total,
+		Scanned: total,
+		Out:     estOut(total, preds),
+		Cost:    s.Fixed + s.PerRow*float64(total),
+	}, true
+}
+
+// Render lowers the fragment to one SELECT statement in the dialect.
+func (s *SQL) Render(f Fragment) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case len(f.Aggs) > 0:
+		parts := append([]string(nil), f.GroupBy...)
+		for _, a := range f.Aggs {
+			col := a.Col
+			if col == "" {
+				col = "*"
+			}
+			as := a.As
+			if as == "" {
+				as = strings.ToLower(a.Func.String()) + "_" + a.Col
+			}
+			parts = append(parts, fmt.Sprintf("%s(%s) AS %s", a.Func, col, as))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	case len(f.Columns) > 0:
+		b.WriteString(strings.Join(f.Columns, ", "))
+	default:
+		b.WriteString("*")
+	}
+	fmt.Fprintf(&b, " FROM %s", f.Table)
+	if len(f.Preds) > 0 {
+		wheres := make([]string, len(f.Preds))
+		for i, p := range f.Preds {
+			wheres[i] = renderPred(p)
+		}
+		b.WriteString(" WHERE " + strings.Join(wheres, " AND "))
+	}
+	if len(f.Aggs) > 0 && len(f.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(f.GroupBy, ", "))
+	}
+	return b.String()
+}
+
+func renderPred(p table.Pred) string {
+	val := p.Val.String()
+	if !p.Val.IsNumeric() && p.Val.Kind() != table.TypeBool {
+		val = "'" + strings.ReplaceAll(val, "'", "''") + "'"
+	}
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, val)
+}
+
+// Scan implements Backend: render, parse, execute. The statement
+// executes over the same table engine the memory backend uses, so a
+// fragment routed here returns identical rows in identical order.
+func (s *SQL) Scan(f Fragment) (Result, error) {
+	t, err := s.catalog.Get(f.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sql.Exec(s.catalog, s.Render(f))
+	if err != nil {
+		return Result{}, fmt.Errorf("federate: sql backend: %w", err)
+	}
+	return Result{Table: res, Scanned: t.Len()}, nil
+}

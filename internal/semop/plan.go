@@ -377,7 +377,7 @@ func Exec(p *Plan, c *table.Catalog) (*table.Table, error) {
 	}
 
 	if len(p.Comparison) > 0 && p.CompareCol != "" {
-		return execCompare(p, cur)
+		return ExecCompare(p, cur, p.Filters)
 	}
 
 	if len(p.Filters) > 0 {
@@ -410,15 +410,19 @@ func Exec(p *Plan, c *table.Catalog) (*table.Table, error) {
 	return cur, nil
 }
 
-// execCompare runs the plan once per compared item and unions the
-// per-item aggregates into one result table sorted by item.
-func execCompare(p *Plan, tbl *table.Table) (*table.Table, error) {
+// ExecCompare runs the plan's comparison tail over tbl: one filtered
+// aggregate per compared item (preds are the common predicates applied
+// alongside the per-item match), unioned in sorted item order. Shared
+// by the single-store executor (preds = p.Filters) and the federation
+// layer (preds = the residue left after pushdown), so the two paths
+// cannot drift.
+func ExecCompare(p *Plan, tbl *table.Table, preds []table.Pred) (*table.Table, error) {
 	var out *table.Table
 	items := append([]string(nil), p.Comparison...)
 	sort.Strings(items)
 	for _, item := range items {
-		preds := append([]table.Pred(nil), p.Filters...)
-		preds = append(preds, table.Pred{Col: p.CompareCol, Op: table.OpContains, Val: table.S(item)})
+		preds := append(append([]table.Pred(nil), preds...),
+			table.Pred{Col: p.CompareCol, Op: table.OpContains, Val: table.S(item)})
 		filtered, err := table.Filter(tbl, preds...)
 		if err != nil {
 			return nil, err

@@ -245,6 +245,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // heterogeneous database.
 type Catalog struct {
 	tables map[string]*Table
+	epoch  uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -252,8 +253,19 @@ func NewCatalog() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
 
-// Put registers a table, replacing any existing table of that name.
-func (c *Catalog) Put(t *Table) { c.tables[strings.ToLower(t.Name)] = t }
+// Put registers a table, replacing any existing table of that name, and
+// advances the catalog epoch. Callers that mutate a registered table in
+// place must re-Put it so epoch-keyed consumers (plan caches, scan
+// indexes) observe the change.
+func (c *Catalog) Put(t *Table) {
+	c.tables[strings.ToLower(t.Name)] = t
+	c.epoch++
+}
+
+// Epoch counts catalog mutations. Anything derived from catalog
+// contents (physical plans, per-column scan indexes) is valid only for
+// the epoch it was computed at.
+func (c *Catalog) Epoch() uint64 { return c.epoch }
 
 // Get returns the named table or ErrNoTable.
 func (c *Catalog) Get(name string) (*Table, error) {

@@ -83,6 +83,9 @@ func LoadWithOptions(dir string, opts Options, configure func(*System)) (*System
 	hopts.Workers = sys.opts.Workers
 	hopts.CacheSize = sys.opts.AnswerCache
 	sys.hybrid = core.NewHybridFromState(g, catalog, sys.ner, hopts)
+	for _, b := range sys.backends {
+		sys.hybrid.RegisterBackend(b)
+	}
 	sys.built = true
 	return sys, nil
 }

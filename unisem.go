@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/federate"
 	"repro/internal/index"
 	"repro/internal/slm"
 	"repro/internal/store"
@@ -66,6 +67,7 @@ type Evidence struct {
 type Answer struct {
 	Text     string        // the answer ("" when unanswerable)
 	Plan     string        // synthesized operator pipeline, if any
+	Explain  string        // federated EXPLAIN: logical → physical, est vs actual rows
 	Evidence []Evidence    // supporting context
 	Entropy  float64       // semantic entropy of sampled answers
 	Flagged  bool          // true when entropy exceeds the flag threshold
@@ -112,14 +114,15 @@ func DefaultOptions() Options {
 // Configure (Vocabulary, Add*), then Build once, then Ask from any
 // goroutine.
 type System struct {
-	opts    Options
-	ner     *slm.NER
-	texts   map[string]*store.TextStore
-	jsons   map[string]*store.JSONStore
-	xmls    map[string]*store.XMLStore
-	catalog *table.Catalog
-	built   bool
-	hybrid  *core.Hybrid
+	opts     Options
+	ner      *slm.NER
+	texts    map[string]*store.TextStore
+	jsons    map[string]*store.JSONStore
+	xmls     map[string]*store.XMLStore
+	catalog  *table.Catalog
+	built    bool
+	hybrid   *core.Hybrid
+	backends []federate.Backend // registered before Build, attached at Build
 }
 
 // New returns an empty system with default options.
@@ -247,9 +250,36 @@ func (s *System) Build() error {
 	if err != nil {
 		return fmt.Errorf("unisem: build: %w", err)
 	}
+	for _, b := range s.backends {
+		h.RegisterBackend(b)
+	}
 	s.hybrid = h
 	s.built = true
 	return nil
+}
+
+// RegisterBackend attaches a federated execution backend — an extra
+// store the cost-based planner may route plan fragments to, alongside
+// the built-in memory, SQL-dialect and graph-evidence backends. A
+// backend registered before Build attaches during Build; after Build
+// it joins the live system immediately (cached plans and answers are
+// invalidated). Registering a backend with an existing name replaces
+// it.
+func (s *System) RegisterBackend(b federate.Backend) {
+	if !s.built {
+		s.backends = append(s.backends, b)
+		return
+	}
+	s.hybrid.RegisterBackend(b)
+}
+
+// Backends lists the federated execution backends, sorted by name;
+// nil before Build.
+func (s *System) Backends() []string {
+	if !s.built {
+		return nil
+	}
+	return s.hybrid.Federation().Backends()
 }
 
 // Ask answers a natural-language question. The returned error is
@@ -285,6 +315,7 @@ func (s *System) fromCore(raw core.Answer) Answer {
 	ans := Answer{
 		Text:    raw.Text,
 		Plan:    raw.Plan,
+		Explain: raw.Explain,
 		Entropy: raw.Uncertainty.SemanticH,
 		Flagged: raw.Uncertainty.Flagged(s.opts.FlagThreshold),
 		Latency: raw.Latency,
