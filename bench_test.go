@@ -17,7 +17,9 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/federate"
 	"repro/internal/index"
+	"repro/internal/logical"
 	"repro/internal/retrieval"
 	"repro/internal/semop"
 	"repro/internal/slm"
@@ -341,10 +343,7 @@ func BenchmarkFederatedFilteredAggregate(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		scanned = 0
-		for _, fr := range run.Fragments {
-			scanned += fr.ActScanned
-		}
+		scanned = sumScanned(run)
 		if res.Len() != want.Len() {
 			b.Fatalf("federated result diverges: %d rows vs %d", res.Len(), want.Len())
 		}
@@ -367,6 +366,85 @@ func BenchmarkPreFederationFilteredAggregate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(base.Len()), "rows_scanned/op")
+}
+
+// joinAggPlan binds the seeded-join benchmark question: an aggregate
+// over the driving table with an equality on the join key, plus a
+// threshold condition that lives in a joined table. The optimizer's
+// reorder rule propagates the key equality into the joined side, where
+// the memory backend's equality index turns a full scan into a bucket
+// scan.
+func joinAggPlan(b *testing.B) (*core.Hybrid, *semop.Plan) {
+	b.Helper()
+	c := ingestCorpus()
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := semop.Parse("What is the average rating of Product Alpha among products with a sales increase of more than 15%?", ner)
+	plan, err := semop.Bind(q, h.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if plan.JoinTable == "" || len(plan.Filters) == 0 {
+		b.Fatalf("not a filtered join: %s", plan)
+	}
+	return h, plan
+}
+
+func sumScanned(run *federate.Run) int {
+	scanned := 0
+	for _, fr := range run.Fragments {
+		scanned += fr.ActScanned
+	}
+	return scanned
+}
+
+// BenchmarkFederatedJoinAggregate executes the seeded join through the
+// full rule pipeline: reorder propagates the driving side's key
+// equality into the join fragment, so the joined table is read through
+// its equality index instead of scanned whole. Compare rows_scanned/op
+// (and ns/op) against BenchmarkPreIRJoinAggregate.
+func BenchmarkFederatedJoinAggregate(b *testing.B) {
+	h, plan := joinAggPlan(b)
+	prepared := h.Federation().Prepare(plan)
+	want, err := semop.Exec(plan, h.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scanned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, run, err := prepared.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = sumScanned(run)
+		if res.Len() != want.Len() {
+			b.Fatalf("federated result diverges: %d rows vs %d", res.Len(), want.Len())
+		}
+	}
+	b.ReportMetric(float64(scanned), "rows_scanned/op")
+}
+
+// BenchmarkPreIRJoinAggregate is the pre-optimizer baseline: the same
+// plan lowered without the rule passes, so the join side scans its
+// whole table.
+func BenchmarkPreIRJoinAggregate(b *testing.B) {
+	h, plan := joinAggPlan(b)
+	opt := logical.Unoptimized(semop.Compile(plan))
+	var scanned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, run, err := h.Federation().ExecuteIR(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = sumScanned(run)
+	}
+	b.ReportMetric(float64(scanned), "rows_scanned/op")
 }
 
 // BenchmarkAskEndToEnd times the public API answer path.

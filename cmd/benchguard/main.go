@@ -5,17 +5,25 @@
 //
 //	go test -run xxx -bench . -benchtime 3x . | benchguard -parse - -out BENCH_ci.json
 //
+// Benchmarks that report a rows_scanned/op metric (the pushdown
+// benchmarks) also emit a "<name>|rows_scanned" entry.
+//
 // Compare mode — fail (exit 1) when any benchmark present in both
 // files regressed by more than -tolerance (fraction, default 0.25):
 //
 //	benchguard -baseline BENCH_baseline.json -current BENCH_ci.json
 //
-// With -normalize, every current/baseline ratio is divided by the
-// geometric mean ratio across all shared benchmarks before gating, so
-// a uniformly slower (or faster) machine — a different CI runner
-// generation than the one that produced the committed baseline — does
-// not move any benchmark, while a single benchmark regressing relative
-// to its peers still trips the gate.
+// With -normalize, every current/baseline ns/op ratio is divided by
+// the geometric mean ratio across all shared ns/op benchmarks before
+// gating, so a uniformly slower (or faster) machine — a different CI
+// runner generation than the one that produced the committed baseline
+// — does not move any benchmark, while a single benchmark regressing
+// relative to its peers still trips the gate.
+//
+// rows_scanned entries gate exactly: they are machine-independent
+// (deterministic planner + corpus), so they are never normalized and
+// any increase over the baseline fails — a pushdown or optimizer-rule
+// regression cannot hide behind timing tolerance.
 //
 // Benchmarks only in the baseline are reported as missing (fatal, so a
 // silently deleted benchmark cannot hide a regression); benchmarks
@@ -37,8 +45,13 @@ import (
 )
 
 // Report is the JSON artifact: benchmark name (suffix -N stripped) to
-// nanoseconds per operation.
+// nanoseconds per operation, plus "<name>|rows_scanned" entries for
+// benchmarks reporting the rows_scanned/op metric.
 type Report map[string]float64
+
+// scannedSuffix marks machine-independent scanned-rows entries, which
+// compare exactly (no normalization, zero tolerance).
+const scannedSuffix = "|rows_scanned"
 
 func main() {
 	parse := flag.String("parse", "", "bench output file to parse ('-' for stdin)")
@@ -124,13 +137,19 @@ func ParseBench(r io.Reader) (Report, error) {
 			}
 		}
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				ns, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
 					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 				}
 				report[name] = ns
-				break
+			case "rows_scanned/op":
+				rows, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad rows_scanned/op in %q: %w", sc.Text(), err)
+				}
+				report[name+scannedSuffix] = rows
 			}
 		}
 	}
@@ -165,6 +184,9 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 	if normalize {
 		logSum, n := 0.0, 0
 		for _, name := range names {
+			if strings.HasSuffix(name, scannedSuffix) {
+				continue // machine-independent: never normalized
+			}
 			if cur, found := current[name]; found && baseline[name] > 0 && cur > 0 {
 				logSum += math.Log(cur / baseline[name])
 				n++
@@ -179,18 +201,29 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 	for _, name := range names {
 		base := baseline[name]
 		cur, found := current[name]
+		exact := strings.HasSuffix(name, scannedSuffix)
+		unit := "ns/op"
+		if exact {
+			unit = "rows"
+		}
 		if !found {
-			lines = append(lines, fmt.Sprintf("MISSING  %-44s baseline %.0f ns/op, absent from current run", name, base))
+			lines = append(lines, fmt.Sprintf("MISSING  %-44s baseline %.0f %s, absent from current run", name, base, unit))
 			ok = false
 			continue
 		}
-		delta := (cur/scale - base) / base
+		// Scanned-rows entries are deterministic: compare raw values with
+		// zero tolerance, so any pushdown regression fails the job.
+		tol, adjusted := tolerance, cur/scale
+		if exact {
+			tol, adjusted = 0, cur
+		}
+		delta := (adjusted - base) / base
 		verdict := "ok      "
-		if delta > tolerance {
+		if delta > tol {
 			verdict = "REGRESSED"
 			ok = false
 		}
-		lines = append(lines, fmt.Sprintf("%s %-44s %12.0f -> %12.0f ns/op (%+.1f%%)", verdict, name, base, cur, delta*100))
+		lines = append(lines, fmt.Sprintf("%s %-44s %12.0f -> %12.0f %s (%+.1f%%)", verdict, name, base, cur, unit, delta*100))
 	}
 	extra := make([]string, 0)
 	for name := range current {

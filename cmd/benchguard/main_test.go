@@ -23,10 +23,11 @@ func TestParseBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]float64{
-		"BenchmarkSequentialIngest":           63000000,
-		"BenchmarkParallelIngest":             55000000,
-		"BenchmarkAnswerAll":                  1265000,
-		"BenchmarkFederatedFilteredAggregate": 2700,
+		"BenchmarkSequentialIngest":                        63000000,
+		"BenchmarkParallelIngest":                          55000000,
+		"BenchmarkAnswerAll":                               1265000,
+		"BenchmarkFederatedFilteredAggregate":              2700,
+		"BenchmarkFederatedFilteredAggregate|rows_scanned": 3,
 	}
 	if len(r) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(r), len(want), r)
@@ -84,5 +85,37 @@ func TestCompareNormalized(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(lines, "\n"), "REGRESSED C") {
 		t.Errorf("C not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestCompareScannedRowsGateExactly pins the scanned-rows gate: the
+// deterministic row counters compare raw (never normalized) with zero
+// tolerance, so any pushdown regression fails even when every timing
+// is comfortably inside tolerance.
+func TestCompareScannedRowsGateExactly(t *testing.T) {
+	baseline := Report{"A": 100, "B": 100, "A|rows_scanned": 3}
+
+	// Equal rows pass; timings inside tolerance pass.
+	if lines, ok := Compare(baseline, Report{"A": 110, "B": 105, "A|rows_scanned": 3}, 0.25, false); !ok {
+		t.Errorf("unchanged scanned rows should pass:\n%s", strings.Join(lines, "\n"))
+	}
+	// One extra scanned row fails, even at 4% timing drift.
+	lines, ok := Compare(baseline, Report{"A": 104, "B": 100, "A|rows_scanned": 4}, 0.25, false)
+	if ok {
+		t.Errorf("scanned-rows regression should fail:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "REGRESSED A|rows_scanned") {
+		t.Errorf("rows entry not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+	// Fewer scanned rows (a pushdown win) pass.
+	if lines, ok := Compare(baseline, Report{"A": 100, "B": 100, "A|rows_scanned": 1}, 0.25, false); !ok {
+		t.Errorf("scanned-rows improvement should pass:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// Normalization must not launder a rows regression: a uniformly 2x
+	// slower machine passes on timings but still fails on rows.
+	cur := Report{"A": 200, "B": 200, "A|rows_scanned": 4}
+	if lines, ok := Compare(baseline, cur, 0.25, true); ok {
+		t.Errorf("normalized run must still gate rows exactly:\n%s", strings.Join(lines, "\n"))
 	}
 }

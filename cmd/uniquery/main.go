@@ -11,6 +11,7 @@
 //	uniquery -dir ./data -vocab vocab.txt -q "..."
 //	uniquery -demo ecommerce -batch questions.txt -parallel 8
 //	uniquery -demo ecommerce -explain -q "..."   # show the federated physical plan
+//	uniquery -demo ecommerce -sql "SELECT product, AVG(stars) AS result FROM ratings GROUP BY product"
 //
 // The optional vocab file registers domain entities, one per line:
 // "product: Product Alpha" / "drug: Drug A" / "side_effect: nausea".
@@ -39,6 +40,7 @@ func main() {
 	demo := flag.String("demo", "", "built-in demo corpus: ecommerce | healthcare | ops")
 	vocab := flag.String("vocab", "", "vocabulary file: 'kind: phrase' per line")
 	question := flag.String("q", "", "one-shot question (otherwise interactive)")
+	sqlQuery := flag.String("sql", "", "one-shot SQL SELECT executed through the unified logical-plan engine")
 	batch := flag.String("batch", "", "file of questions, one per line, answered concurrently")
 	parallel := flag.Int("parallel", 0, "worker bound for build and batch answering (0 = all cores, 1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "LRU answer cache entries, invalidated on ingest (0 = off)")
@@ -93,12 +95,16 @@ func main() {
 		return
 	}
 
+	if *sqlQuery != "" {
+		answerSQL(sys, *sqlQuery, *explain)
+		return
+	}
 	if *question != "" {
 		answer(sys, *question, *explain)
 		return
 	}
 
-	fmt.Println(`type a question ("exit" to quit):`)
+	fmt.Println(`type a question, or a SQL SELECT ("exit" to quit):`)
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -112,7 +118,27 @@ func main() {
 		if line == "exit" || line == "quit" {
 			break
 		}
+		if word := strings.Fields(line)[0]; strings.EqualFold(word, "SELECT") {
+			answerSQL(sys, line, *explain)
+			continue
+		}
 		answer(sys, line, *explain)
+	}
+}
+
+// answerSQL executes a SQL statement through the unified logical-plan
+// engine and prints the result table (with the federated EXPLAIN when
+// requested).
+func answerSQL(sys *unisem.System, query string, explain bool) {
+	res, err := sys.Query(query)
+	if err != nil {
+		fmt.Printf("query failed: %v\n", err)
+		return
+	}
+	fmt.Print(res.Rendered)
+	fmt.Printf("plan:   %s\n", res.Plan)
+	if explain && res.Explain != "" {
+		fmt.Println(res.Explain)
 	}
 }
 

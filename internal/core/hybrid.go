@@ -11,9 +11,11 @@ import (
 	"repro/internal/federate"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/logical"
 	"repro/internal/retrieval"
 	"repro/internal/semop"
 	"repro/internal/slm"
+	"repro/internal/sql"
 	"repro/internal/store"
 	"repro/internal/table"
 )
@@ -338,6 +340,51 @@ func (h *Hybrid) Ingest(source, id, text string) error {
 	return nil
 }
 
+// QueryResult is the outcome of a SQL-entry query: the result table
+// plus the same logical → rules → physical EXPLAIN the NL path emits.
+type QueryResult struct {
+	Table   *table.Table
+	Plan    string // optimized logical plan rendering
+	Explain string // federated EXPLAIN with the optimizer rule trace
+}
+
+// Query executes one SQL SELECT through the unified pipeline: parse →
+// compile to the shared logical IR → rule-based optimization →
+// federated execution. Because the physical-plan cache keys on the
+// canonical IR fingerprint, a SQL query and the natural-language
+// question it corresponds to share one cached physical plan. Safe to
+// call concurrently with Ingest.
+func (h *Hybrid) Query(query string) (QueryResult, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	cat := h.catalog
+	node, err := sql.Compile(stmt, cat)
+	if errors.Is(err, table.ErrNoTable) {
+		// Tables served only by federated backends (graph views,
+		// registered external stores) resolve against the federated
+		// schema surface.
+		cat = h.fed.BindingCatalog()
+		node, err = sql.Compile(stmt, cat)
+	}
+	if err != nil {
+		return QueryResult{}, err
+	}
+	opt := logical.Optimize(node, logical.CatalogStats(cat))
+	res, run, err := h.fed.ExecuteIR(opt)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	// Plan renders from the executed physical plan, not the fresh
+	// compilation: on a cache hit the executor may serve a
+	// fingerprint-equivalent plan warmed by the other entry form, and
+	// Plan must agree with Explain's "logical:" line.
+	return QueryResult{Table: res, Plan: run.Plan.Root.String(), Explain: federate.Explain(run)}, nil
+}
+
 // Triples exports the graph's cue layer as knowledge facts — the
 // "knowledge database construction" output. Safe to call concurrently
 // with Ingest.
@@ -398,6 +445,7 @@ func (h *Hybrid) answerWith(question string, rng *slm.RNG) Answer {
 
 	var conflicts []slm.Candidate
 	q := semop.Parse(question, h.ner)
+	statsCat := h.catalog
 	plan, err := semop.Bind(q, h.catalog)
 	if errors.Is(err, semop.ErrNoBinding) {
 		// Fall back to the federated schema surface: backends beyond the
@@ -405,11 +453,17 @@ func (h *Hybrid) answerWith(question string, rng *slm.RNG) Answer {
 		// still bind the query structurally.
 		if fedPlan, fedErr := semop.Bind(q, h.fed.BindingCatalog()); fedErr == nil {
 			plan, err = fedPlan, nil
+			statsCat = h.fed.BindingCatalog()
 		}
 	}
 	if err == nil {
 		ans.Plan = plan.String()
-		res, run, execErr := h.fed.Execute(plan)
+		// NL entry onto the shared IR: compile the bound plan, run the
+		// rule passes against the catalog that bound it, execute
+		// federated. The plan cache keys on the canonical IR, so the SQL
+		// form of the same question (Query) reuses this physical plan.
+		opt := logical.Optimize(semop.Compile(plan), logical.CatalogStats(statsCat))
+		res, run, execErr := h.fed.ExecuteIR(opt)
 		if execErr == nil {
 			ans.Explain = federate.Explain(run)
 			text, synthErr := synthesize(plan, q, res)

@@ -2,7 +2,9 @@ package federate
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/logical"
 	"repro/internal/par"
 	"repro/internal/semop"
 	"repro/internal/table"
@@ -26,33 +28,52 @@ type Run struct {
 	RowsOut   int // rows in the final result table
 }
 
-// Execute lowers, routes and runs the logical plan: fragments scan
-// their backends with bounded parallelism, then the federation layer
-// applies the remaining operators (join, comparison, residual filters,
-// aggregation, sort, limit, projection) in exactly the order the
-// unfederated executor used, so results are identical to semop.Exec
-// over a single catalog.
+// Execute compiles the bound plan to the shared logical IR, runs the
+// rule-based optimizer against the federated schema surface, and
+// executes the result. Results are identical to semop.Exec over a
+// single catalog holding the same tables.
 func (e *Executor) Execute(p *semop.Plan) (*table.Table, *Run, error) {
 	if p == nil {
 		return nil, nil, semop.ErrEmptyPlan
 	}
-	return e.executeKeyed(p, fingerprint(p))
+	opt := logical.Optimize(semop.Compile(p), e.Stats())
+	return e.executeKeyed(opt, logical.Fingerprint(opt.Root))
 }
 
-// Prepared is a reusable execution handle: the plan fingerprint is
-// computed once, so repeated executions pay only the epoch-checked
-// cache lookup before scanning. The underlying logical plan must not
-// be mutated after Prepare. Re-planning still happens automatically
-// whenever the data epoch moves.
+// ExecuteIR runs an already-optimized logical tree — the entry point
+// the NL and SQL front ends share. Because the physical-plan cache is
+// keyed by the canonical IR fingerprint, the NL and SQL compilations
+// of the same question land on one cached physical plan.
+func (e *Executor) ExecuteIR(opt *logical.Optimized) (*table.Table, *Run, error) {
+	if opt == nil || opt.Root == nil {
+		return nil, nil, semop.ErrEmptyPlan
+	}
+	return e.executeKeyed(opt, logical.Fingerprint(opt.Root))
+}
+
+// Prepared is a reusable execution handle: compilation, optimization
+// and fingerprinting are computed once per (data epoch, backend
+// registry generation) and reused, so repeated executions pay only the
+// epoch checks and the cache lookup before scanning. When the epoch or
+// registry moves, the next Execute re-optimizes from the original
+// bound plan — stale retyped literals, pruned column sets and seeded
+// join predicates never outlive the schemas and cardinalities they
+// were derived from. The underlying plan must not be mutated after
+// Prepare. Safe for concurrent Execute calls.
 type Prepared struct {
-	e   *Executor
-	p   *semop.Plan
-	key string
+	e *Executor
+	p *semop.Plan
+
+	mu    sync.Mutex
+	epoch uint64
+	gen   uint64
+	opt   *logical.Optimized
+	key   string
 }
 
 // Prepare returns a reusable handle for the plan.
 func (e *Executor) Prepare(p *semop.Plan) *Prepared {
-	return &Prepared{e: e, p: p, key: fingerprint(p)}
+	return &Prepared{e: e, p: p}
 }
 
 // Execute runs the prepared plan against the current epoch.
@@ -60,19 +81,31 @@ func (pr *Prepared) Execute() (*table.Table, *Run, error) {
 	if pr.p == nil {
 		return nil, nil, semop.ErrEmptyPlan
 	}
-	return pr.e.executeKeyed(pr.p, pr.key)
+	epoch, gen := pr.e.epochFn(), pr.e.generation()
+	pr.mu.Lock()
+	if pr.opt == nil || pr.epoch != epoch || pr.gen != gen {
+		pr.opt = logical.Optimize(semop.Compile(pr.p), pr.e.Stats())
+		pr.key = logical.Fingerprint(pr.opt.Root)
+		pr.epoch, pr.gen = epoch, gen
+	}
+	opt, key := pr.opt, pr.key
+	pr.mu.Unlock()
+	return pr.e.executeKeyed(opt, key)
 }
 
-func (e *Executor) executeKeyed(p *semop.Plan, key string) (*table.Table, *Run, error) {
-	pp, _, err := e.plan(p, key)
+// executeKeyed lowers (or re-uses) the physical plan, scans every
+// fragment with bounded parallelism, and interprets the residual tree
+// over the fragment outputs through the same operator loop the
+// single-store executors use — so the federation layer applies joins,
+// comparisons, residual filters, aggregation, sort, limit and
+// projection in exactly the order the unfederated path does.
+func (e *Executor) executeKeyed(opt *logical.Optimized, key string) (*table.Table, *Run, error) {
+	pp, _, err := e.plan(opt, key)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	frags := []Fragment{pp.Main}
-	if pp.Join != nil {
-		frags = append(frags, *pp.Join)
-	}
+	frags := pp.Frags
 	results := make([]Result, len(frags))
 	errs := make([]error, len(frags))
 	par.ForEach(len(frags), e.opts.Workers, func(i int) {
@@ -98,68 +131,15 @@ func (e *Executor) executeKeyed(p *semop.Plan, key string) (*table.Table, *Run, 
 		}
 	}
 
-	cur := results[0].Table
-
-	if pp.Join != nil {
-		keys := results[1].Table
-		if len(pp.JoinRes) > 0 {
-			keys, err = table.Filter(keys, pp.JoinRes...)
-			if err != nil {
-				return nil, nil, err
-			}
+	out, err := logical.Run(pp.Residual, func(leaf *logical.Node) (*table.Table, error) {
+		if leaf.Op != logical.OpInput || leaf.Index >= len(results) {
+			return nil, fmt.Errorf("federate: unresolved %v leaf", leaf.Op)
 		}
-		if len(pp.Join.Columns) == 0 {
-			// Projection was not pushed; take the key column here.
-			keys, err = table.Project(keys, p.JoinRightCol)
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		keys = table.Distinct(keys)
-		cur, err = table.HashJoin(cur, keys, p.JoinLeftCol, p.JoinRightCol)
-		if err != nil {
-			return nil, nil, err
-		}
+		return results[leaf.Index].Table, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-
-	if len(p.Comparison) > 0 && p.CompareCol != "" {
-		// The comparison tail is shared with the single-store executor;
-		// the common predicates are whatever pushdown left behind.
-		out, err := semop.ExecCompare(p, cur, pp.PostFilters)
-		if err != nil {
-			return nil, nil, err
-		}
-		run.RowsOut = out.Len()
-		return out, run, nil
-	}
-
-	if len(pp.PostFilters) > 0 {
-		cur, err = table.Filter(cur, pp.PostFilters...)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	if len(p.Aggs) > 0 && !pp.AggPushed {
-		cur, err = table.Aggregate(cur, p.GroupBy, p.Aggs)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	if len(p.OrderBy) > 0 {
-		cur, err = table.Sort(cur, p.OrderBy...)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	if p.LimitRows > 0 {
-		cur = table.Limit(cur, p.LimitRows)
-	}
-	if len(p.Columns) > 0 {
-		cur, err = table.Project(cur, p.Columns...)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	run.RowsOut = cur.Len()
-	return cur, run, nil
+	run.RowsOut = out.Len()
+	return out, run, nil
 }

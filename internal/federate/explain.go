@@ -2,31 +2,38 @@ package federate
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"repro/internal/logical"
 )
 
-// Explain renders the run as a deterministic logical → physical
-// report. Every number in it is reproducible for a fixed corpus and
-// epoch at any worker count: estimates come from the cost model,
-// actuals from deterministic scans, and nothing scheduling-dependent
+// Explain renders the run as a deterministic logical → rules →
+// physical report. Every number in it is reproducible for a fixed
+// corpus and epoch at any worker count: estimates come from the cost
+// model, actuals from deterministic scans, the rule trace from the
+// fixed-order optimizer passes, and nothing scheduling-dependent
 // (timings, cache hits) is included.
 //
-//	logical:  Scan(ratings) -> Join(metric_changes on product=product) -> ...
+//	logical:  Scan(ratings[product,stars]) -> Join(...) -> Aggregate(group=[], AVG(stars))
+//	rules:    prune(ratings -> product,stars)
 //	physical:
-//	  scan[0]: backend=memory table=ratings push=[] est: scan 96/96 out 96; actual: scan 96 out 96
+//	  scan[0]: backend=memory table=ratings push=[] project=[product,stars] est: scan 96/96 out 96; actual: scan 96 out 96
 //	  scan[1]: backend=memory table=metric_changes push=[change_pct > 15] project=[product] est: scan 12/48 out 12; actual: scan 12 out 12
 //	  join: hash(product = product)
-//	  post: Filter(quarter = Q4) -> Aggregate(group=[] AVG(stars))
+//	  post: Aggregate(group=[] AVG(stars))
 //	  result: 1 rows
 func Explain(run *Run) string {
 	if run == nil || run.Plan == nil {
 		return ""
 	}
 	pp := run.Plan
-	p := pp.Logical
 	var b strings.Builder
-	fmt.Fprintf(&b, "logical:  %s\n", p.String())
+	fmt.Fprintf(&b, "logical:  %s\n", pp.Root.String())
+	if len(pp.Trace) > 0 {
+		fmt.Fprintf(&b, "rules:    %s\n", strings.Join(pp.Trace, "; "))
+	} else {
+		b.WriteString("rules:    none\n")
+	}
 	b.WriteString("physical:\n")
 	for i, fr := range run.Fragments {
 		fmt.Fprintf(&b, "  scan[%d]: backend=%s table=%s push=%s",
@@ -40,42 +47,72 @@ func Explain(run *Run) string {
 		fmt.Fprintf(&b, " est: scan %d/%d out %d; actual: scan %d out %d\n",
 			fr.Est.Scanned, fr.Est.Total, fr.Est.Out, fr.ActScanned, fr.ActOut)
 	}
-	if pp.Join != nil {
-		fmt.Fprintf(&b, "  join: hash(%s = %s)", p.JoinLeftCol, p.JoinRightCol)
+	if join := findJoin(pp.Residual); join != nil {
+		fmt.Fprintf(&b, "  join: hash(%s = %s)", join.LeftCol, join.RightCol)
 		if len(pp.JoinRes) > 0 {
 			fmt.Fprintf(&b, " residual=%s", predsString(pp.JoinRes))
 		}
 		b.WriteByte('\n')
 	}
-	var post []string
-	if len(p.Comparison) > 0 && p.CompareCol != "" {
-		items := append([]string(nil), p.Comparison...)
-		sort.Strings(items)
-		if len(pp.PostFilters) > 0 {
-			post = append(post, fmt.Sprintf("Filter%s", predsString(pp.PostFilters)))
-		}
-		post = append(post, fmt.Sprintf("Compare(%s in [%s] -> %s)",
-			p.CompareCol, strings.Join(items, ","), aggsString([]string{p.CompareCol}, p.Aggs)))
-	} else {
-		if len(pp.PostFilters) > 0 {
-			post = append(post, fmt.Sprintf("Filter%s", predsString(pp.PostFilters)))
-		}
-		if len(p.Aggs) > 0 && !pp.AggPushed {
-			post = append(post, fmt.Sprintf("Aggregate(%s)", aggsString(p.GroupBy, p.Aggs)))
-		}
-		if len(p.OrderBy) > 0 {
-			post = append(post, fmt.Sprintf("Sort(%s)", p.OrderBy[0].Col))
-		}
-		if p.LimitRows > 0 {
-			post = append(post, fmt.Sprintf("Limit(%d)", p.LimitRows))
-		}
-		if len(p.Columns) > 0 {
-			post = append(post, fmt.Sprintf("Project(%s)", strings.Join(p.Columns, ",")))
-		}
-	}
-	if len(post) > 0 {
+	if post := postOps(pp.Residual); len(post) > 0 {
 		fmt.Fprintf(&b, "  post: %s\n", strings.Join(post, " -> "))
 	}
 	fmt.Fprintf(&b, "  result: %d rows", run.RowsOut)
 	return b.String()
+}
+
+// findJoin locates the join of the residual tree (at most one in the
+// plan shapes the compilers emit).
+func findJoin(n *logical.Node) *logical.Node {
+	if n == nil {
+		return nil
+	}
+	if n.Op == logical.OpJoin {
+		return n
+	}
+	for _, in := range n.In {
+		if j := findJoin(in); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// postOps renders the federation-side operators above the join (or
+// above the driving fragment when there is no join), bottom-up along
+// the driving chain.
+func postOps(n *logical.Node) []string {
+	if n == nil || n.Op == logical.OpJoin || n.Op == logical.OpInput {
+		return nil
+	}
+	ops := postOps(n.Child())
+	switch n.Op {
+	case logical.OpFilter:
+		ops = append(ops, "Filter"+predsString(n.Preds))
+	case logical.OpCompare:
+		if len(n.Preds) > 0 {
+			ops = append(ops, "Filter"+predsString(n.Preds))
+		}
+		items := append([]string(nil), n.Items...)
+		ops = append(ops, fmt.Sprintf("Compare(%s in [%s] -> %s)",
+			n.CompareCol, strings.Join(items, ","), aggsString([]string{n.CompareCol}, n.Aggs)))
+	case logical.OpAggregate:
+		ops = append(ops, fmt.Sprintf("Aggregate(%s)", aggsString(n.GroupBy, n.Aggs)))
+	case logical.OpSort:
+		cols := make([]string, len(n.Keys))
+		for i, k := range n.Keys {
+			cols[i] = k.Col
+			if k.Desc {
+				cols[i] += " desc"
+			}
+		}
+		ops = append(ops, fmt.Sprintf("Sort(%s)", strings.Join(cols, ",")))
+	case logical.OpLimit:
+		ops = append(ops, fmt.Sprintf("Limit(%d)", n.N))
+	case logical.OpProject:
+		ops = append(ops, fmt.Sprintf("Project(%s)", strings.Join(n.Proj, ",")))
+	case logical.OpDistinct:
+		ops = append(ops, "Distinct")
+	}
+	return ops
 }

@@ -1,11 +1,14 @@
 // Package federate is the multi-backend execution layer of the unified
-// query system. It lowers a bound logical plan (semop.Plan) into
-// per-backend scan fragments with predicate and projection pushdown,
-// routes every fragment to the cheapest capable Backend through a
-// cost-based physical planner, executes cross-backend joins with
-// bounded parallelism (internal/par), and renders a deterministic
-// EXPLAIN of the logical → physical lowering with estimated vs actual
-// row counts.
+// query system. It lowers an optimized logical-plan tree
+// (internal/logical) into per-backend scan fragments with predicate
+// and projection pushdown, routes every fragment to the cheapest
+// capable Backend through a cost-based physical planner, interprets
+// the residual tree over the fragment outputs (cross-backend joins
+// run with bounded parallelism via internal/par), and renders a
+// deterministic EXPLAIN of the logical → rules → physical lowering
+// with the optimizer trace and estimated vs actual row counts.
+// Physical plans cache by the canonical IR fingerprint, so the NL and
+// SQL compilations of one question share a single cached plan.
 //
 // Three backends ship with the system: the in-memory catalog (with
 // lazy per-column equality indexes), a SQL backend that round-trips
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -114,18 +118,11 @@ type Backend interface {
 }
 
 // Selectivity is the deterministic per-predicate row-fraction
-// heuristic shared by backends without per-column statistics.
+// heuristic shared by backends without per-column statistics. It is
+// the same heuristic the logical optimizer's reorder rule uses, so
+// planning-time and lowering-time estimates agree.
 func Selectivity(p table.Pred) float64 {
-	switch p.Op {
-	case table.OpEq:
-		return 0.1
-	case table.OpNe:
-		return 0.9
-	case table.OpContains:
-		return 0.5
-	default: // range comparisons
-		return 1.0 / 3
-	}
+	return logical.Selectivity(p)
 }
 
 // estOut applies the selectivity heuristic of preds to n rows, keeping

@@ -3,11 +3,9 @@ package federate
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 
-	"repro/internal/semop"
+	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -117,8 +115,10 @@ func (e *Executor) PlanCacheStats() (hits, misses int64, size int) {
 
 // BindingCatalog returns a catalog spanning every backend's tables —
 // the schema surface semantic-operator binding sees when the primary
-// catalog cannot answer a query. Materialized once per epoch; when two
-// backends serve the same table name, the first in name order wins.
+// catalog cannot answer a query, and the statistics source for the
+// logical optimizer when the executor plans a bare semop.Plan.
+// Materialized once per epoch; when two backends serve the same table
+// name, the first in name order wins.
 func (e *Executor) BindingCatalog() *table.Catalog {
 	epoch := e.epochFn()
 	gen := e.generation()
@@ -147,86 +147,35 @@ func (e *Executor) BindingCatalog() *table.Catalog {
 	return c
 }
 
-// PhysicalPlan is a logical plan lowered onto backends: one fragment
-// per base table plus the operations left for the federation layer.
-// Physical plans are immutable once planned and cached by
-// (fingerprint, epoch); per-run row counts live in Run, not here.
-type PhysicalPlan struct {
-	Logical *semop.Plan
-	Main    Fragment
-	Join    *Fragment    // nil when the plan has no join
-	JoinRes []table.Pred // join-side predicates the backend could not absorb
+// Stats exposes the federated schema surface as the logical
+// optimizer's statistics source.
+func (e *Executor) Stats() logical.Stats {
+	return logical.CatalogStats(e.BindingCatalog())
+}
 
-	// PostFilters are main-side predicates evaluated in the federation
-	// layer: the non-pushable residue, or — for join plans — every
-	// main-side filter, preserving the unfederated operator order
-	// (join, then filter) so row order and results stay identical.
+// PhysicalPlan is an optimized logical tree lowered onto backends: one
+// fragment per Scan leaf plus the residual tree the federation layer
+// interprets over the fragment outputs. Physical plans are immutable
+// once planned and cached by (IR fingerprint, epoch); per-run row
+// counts live in Run, not here.
+type PhysicalPlan struct {
+	Root     *logical.Node // optimized logical plan (EXPLAIN "logical:")
+	Residual *logical.Node // Scan leaves replaced by Inputs, absorbed ops removed
+	Trace    []string      // optimizer rule trace (EXPLAIN "rules:")
+	Frags    []Fragment    // scan fragments in left-to-right tree order
+
+	// PostFilters are the driving fragment's non-pushable predicate
+	// residue, evaluated in the federation layer. Main-side filters of
+	// join plans never reach the fragment at all: they stay above the
+	// join in the residual tree, preserving the unfederated operator
+	// order (join, then filter) so row order and results are identical.
 	PostFilters []table.Pred
-	AggPushed   bool // aggregation absorbed by the main fragment's backend
+	JoinRes     []table.Pred // join-side residue (EXPLAIN "residual=")
+	AggPushed   bool         // aggregation absorbed by the driving fragment's backend
 
 	Epoch uint64
 	gen   uint64 // registry generation the routing was decided at
 	key   string
-}
-
-// fingerprint serializes every field of the logical plan that affects
-// lowering, so equal plans share one cache slot and different plans
-// never collide in practice. This runs on every Execute (cache lookups
-// are keyed by it), so it avoids fmt and keeps allocations to the one
-// output string.
-func fingerprint(p *semop.Plan) string {
-	var b strings.Builder
-	b.Grow(160)
-	sep := func() { b.WriteByte('\x1f') }
-	str := func(s string) { b.WriteString(s); sep() }
-	num := func(n int) { b.WriteString(strconv.Itoa(n)); sep() }
-	pred := func(f table.Pred) {
-		b.WriteString(f.Col)
-		b.WriteByte('\x1e')
-		num(int(f.Op))
-		b.WriteString(f.Val.Key())
-		sep()
-	}
-	str(p.Table)
-	str(p.MetricCol)
-	for _, f := range p.Filters {
-		pred(f)
-	}
-	sep()
-	for _, g := range p.GroupBy {
-		str(g)
-	}
-	sep()
-	for _, a := range p.Aggs {
-		num(int(a.Func))
-		str(a.Col)
-		str(a.As)
-	}
-	sep()
-	for _, k := range p.OrderBy {
-		str(k.Col)
-		if k.Desc {
-			b.WriteByte('-')
-		}
-	}
-	sep()
-	num(p.LimitRows)
-	for _, c := range p.Columns {
-		str(c)
-	}
-	sep()
-	for _, c := range p.Comparison {
-		str(c)
-	}
-	sep()
-	str(p.CompareCol)
-	str(p.JoinTable)
-	str(p.JoinLeftCol)
-	str(p.JoinRightCol)
-	for _, f := range p.JoinFilters {
-		pred(f)
-	}
-	return b.String()
 }
 
 // splitPush partitions preds into the subset backend b absorbs and the
@@ -278,10 +227,10 @@ func (e *Executor) route(tbl string, preds []table.Pred) (Fragment, []table.Pred
 	return Fragment{Backend: best.Name(), Table: tbl, Preds: bestPush, Est: bestEst}, bestRest, nil
 }
 
-// plan lowers the logical plan, consulting the epoch-keyed cache. key
-// is the plan's fingerprint (computed by the caller so prepared plans
-// amortize it).
-func (e *Executor) plan(p *semop.Plan, key string) (*PhysicalPlan, bool, error) {
+// plan lowers the optimized tree, consulting the epoch-keyed cache.
+// key is the tree's canonical fingerprint (computed by the caller so
+// prepared plans amortize it).
+func (e *Executor) plan(opt *logical.Optimized, key string) (*PhysicalPlan, bool, error) {
 	epoch := e.epochFn()
 	// Snapshot the registry generation before routing: if a Register
 	// lands mid-plan, the generation mismatch keeps the stale plan out
@@ -291,60 +240,197 @@ func (e *Executor) plan(p *semop.Plan, key string) (*PhysicalPlan, bool, error) 
 		return pp, true, nil
 	}
 
-	pp := &PhysicalPlan{Logical: p, Epoch: epoch, gen: gen, key: key}
-
-	// Main fragment. Join plans keep every main-side filter in the
-	// federation layer so the operator order (join, then filter) — and
-	// with it row order, float accumulation order, and first-row
-	// lookups — matches the unfederated executor exactly.
-	var offer []table.Pred
-	if p.JoinTable == "" {
-		offer = p.Filters
-	}
-	main, rest, err := e.route(p.Table, offer)
+	pp := &PhysicalPlan{Root: opt.Root, Trace: opt.Trace, Epoch: epoch, gen: gen, key: key}
+	residual, err := e.lower(opt.Root, pp)
 	if err != nil {
 		return nil, false, err
 	}
-	pp.Main = main
-	pp.PostFilters = rest
-	if p.JoinTable != "" {
-		pp.PostFilters = p.Filters
-	}
-
-	// Aggregate pushdown: single-fragment plans whose filters were all
-	// absorbed can evaluate the whole aggregate inside the backend.
-	if p.JoinTable == "" && len(p.Comparison) == 0 && len(p.Aggs) > 0 && len(pp.PostFilters) == 0 {
-		if b := e.backend(main.Backend); b != nil && b.Caps().Has(CapAggregate) {
-			pp.Main.GroupBy = p.GroupBy
-			pp.Main.Aggs = p.Aggs
-			pp.AggPushed = true
-		}
-	}
-
-	// Join fragment: predicates push down, and when they all did, the
-	// key column projection does too — only join keys cross the wire.
-	if p.JoinTable != "" {
-		jf, jrest, err := e.route(p.JoinTable, p.JoinFilters)
-		if err != nil {
-			return nil, false, err
-		}
-		if len(jrest) == 0 {
-			if b := e.backend(jf.Backend); b != nil && b.Caps().Has(CapProject) {
-				jf.Columns = []string{p.JoinRightCol}
-			}
-		}
-		pp.Join = &jf
-		pp.JoinRes = jrest
-	}
+	pp.Residual = residual
 
 	e.plans.put(key, pp, e.generation())
 	return pp, false, nil
 }
 
-// planCache is a bounded map of physical plans keyed by logical-plan
-// fingerprint. Entries carry the epoch they were planned at; a stale
-// hit is treated as a miss and overwritten, so an epoch bump (ingest,
-// backend registration) invalidates everything without a sweep.
+// lower recursively rewrites the tree: every Scan leaf becomes a
+// routed fragment plus an Input node, and the operators a fragment's
+// backend absorbs — pushable predicates, pruned or explicitly
+// projected columns, a whole directly-stacked aggregation — disappear
+// from the residual the federation layer interprets.
+func (e *Executor) lower(n *logical.Node, pp *PhysicalPlan) (*logical.Node, error) {
+	switch n.Op {
+	case logical.OpScan:
+		input, _, rest, err := e.lowerScan(n, nil, pp)
+		if err != nil {
+			return nil, err
+		}
+		return wrapFilter(input, rest), nil
+
+	case logical.OpFilter:
+		if scan := directScan(n); scan != nil {
+			input, _, rest, err := e.lowerScan(scan, n.Preds, pp)
+			if err != nil {
+				return nil, err
+			}
+			return wrapFilter(input, rest), nil
+		}
+
+	case logical.OpAggregate:
+		// A group-by stacked directly on a (possibly filtered) scan can
+		// evaluate entirely inside a capable backend — but only when
+		// every predicate pushed and the scan's column set did too, so
+		// the fragment output is exactly the aggregate.
+		if scan, filter := chainScan(n.Child()); scan != nil {
+			var offer []table.Pred
+			if filter != nil {
+				offer = filter.Preds
+			}
+			input, frag, rest, err := e.lowerScan(scan, offer, pp)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) == 0 && input.Op == logical.OpInput {
+				if b := e.backend(frag.Backend); b != nil && b.Caps().Has(CapAggregate) {
+					frag.GroupBy = n.GroupBy
+					frag.Aggs = n.Aggs
+					frag.Columns = nil // aggregation already minimizes the output
+					pp.AggPushed = true
+					return input, nil
+				}
+			}
+			out := n.Clone()
+			out.In = []*logical.Node{wrapFilter(input, rest)}
+			return out, nil
+		}
+
+	case logical.OpProject:
+		// An alias-free projection over a fully-pushed scan (the
+		// semi-join key projection, or a plain SQL SELECT list) rides
+		// into the fragment: only the projected columns cross the wire.
+		if scan, filter := chainScan(n.Child()); scan != nil && len(n.Aliases) == 0 {
+			var offer []table.Pred
+			if filter != nil {
+				offer = filter.Preds
+			}
+			input, frag, rest, err := e.lowerScan(scan, offer, pp)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) == 0 && input.Op == logical.OpInput {
+				if b := e.backend(frag.Backend); b != nil && b.Caps().Has(CapProject) {
+					frag.Columns = append([]string(nil), n.Proj...)
+					return input, nil
+				}
+			}
+			out := n.Clone()
+			out.In = []*logical.Node{wrapFilter(input, rest)}
+			return out, nil
+		}
+
+	case logical.OpCompare:
+		// The comparison's common predicates are the pushdown offer;
+		// the residue stays inside the residual Compare node, applied
+		// per branch exactly as the single-store executor applies it.
+		if scan := directScanNode(n.Child()); scan != nil {
+			input, _, rest, err := e.lowerScan(scan, n.Preds, pp)
+			if err != nil {
+				return nil, err
+			}
+			out := n.Clone()
+			out.Preds = rest
+			out.In = []*logical.Node{input}
+			return out, nil
+		}
+	}
+
+	out := n.Clone()
+	out.In = make([]*logical.Node, len(n.In))
+	for i, in := range n.In {
+		low, err := e.lower(in, pp)
+		if err != nil {
+			return nil, err
+		}
+		out.In[i] = low
+	}
+	return out, nil
+}
+
+// lowerScan routes one Scan leaf: offer preds for pushdown, push the
+// scan's pruned column set when the chosen backend projects, and
+// return the Input leaf (wrapped in a federation-side projection when
+// the backend could not absorb the pruned columns), the fragment, and
+// the predicate residue. The residue is also recorded on the plan —
+// driving fragment (index 0) as PostFilters, joined side as JoinRes —
+// for EXPLAIN's residual annotation and diagnostics.
+func (e *Executor) lowerScan(scan *logical.Node, offer []table.Pred, pp *PhysicalPlan) (*logical.Node, *Fragment, []table.Pred, error) {
+	frag, rest, err := e.route(scan.Table, offer)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	colsPushed := false
+	if len(scan.Cols) > 0 {
+		if b := e.backend(frag.Backend); b != nil && b.Caps().Has(CapProject) {
+			frag.Columns = append([]string(nil), scan.Cols...)
+			colsPushed = true
+		}
+	}
+	pp.Frags = append(pp.Frags, frag)
+	if len(pp.Frags) == 1 {
+		pp.PostFilters = rest
+	} else {
+		pp.JoinRes = rest
+	}
+	input := &logical.Node{Op: logical.OpInput, Index: len(pp.Frags) - 1, Table: scan.Table}
+	if len(scan.Cols) > 0 && !colsPushed {
+		input = &logical.Node{Op: logical.OpProject,
+			Proj: append([]string(nil), scan.Cols...), In: []*logical.Node{input}}
+	}
+	return input, &pp.Frags[len(pp.Frags)-1], rest, nil
+}
+
+func wrapFilter(in *logical.Node, preds []table.Pred) *logical.Node {
+	if len(preds) == 0 {
+		return in
+	}
+	return &logical.Node{Op: logical.OpFilter, Preds: preds, In: []*logical.Node{in}}
+}
+
+// directScan returns the Scan directly under a Filter node, nil
+// otherwise.
+func directScan(filter *logical.Node) *logical.Node {
+	if c := filter.Child(); c != nil && c.Op == logical.OpScan {
+		return c
+	}
+	return nil
+}
+
+func directScanNode(n *logical.Node) *logical.Node {
+	if n != nil && n.Op == logical.OpScan {
+		return n
+	}
+	return nil
+}
+
+// chainScan matches the (Filter →) Scan tail of a pushable chain.
+func chainScan(n *logical.Node) (scan, filter *logical.Node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.Op == logical.OpScan {
+		return n, nil
+	}
+	if n.Op == logical.OpFilter {
+		if s := directScan(n); s != nil {
+			return s, n
+		}
+	}
+	return nil, nil
+}
+
+// planCache is a bounded map of physical plans keyed by the canonical
+// IR fingerprint. Entries carry the epoch they were planned at; a
+// stale hit is treated as a miss and overwritten, so an epoch bump
+// (ingest, backend registration) invalidates everything without a
+// sweep.
 type planCache struct {
 	mu      sync.Mutex
 	cap     int

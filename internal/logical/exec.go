@@ -1,0 +1,110 @@
+package logical
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// Source resolves a leaf node (Scan or Input) to its rows. The
+// single-store executor resolves Scans from a catalog; the federation
+// layer resolves Inputs from fragment results.
+type Source func(leaf *Node) (*table.Table, error)
+
+// Run interprets the tree, resolving leaves through src. This is the
+// one operator loop of the system: semop.Exec, sql.ExecStmt and the
+// federated executor's post-fragment processing all run through it, so
+// an operator's semantics cannot diverge between entry paths.
+func Run(n *Node, src Source) (*table.Table, error) {
+	if n == nil {
+		return nil, ErrEmptyPlan
+	}
+	switch n.Op {
+	case OpScan, OpInput:
+		return src(n)
+	case OpJoin:
+		left, err := Run(n.In[0], src)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Run(n.In[1], src)
+		if err != nil {
+			return nil, err
+		}
+		return table.HashJoin(left, right, n.LeftCol, n.RightCol)
+	}
+	in, err := Run(n.Child(), src)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case OpFilter:
+		return table.Filter(in, n.Preds...)
+	case OpProject:
+		out, err := table.Project(in, n.Proj...)
+		if err != nil {
+			return nil, err
+		}
+		for i, alias := range n.Aliases {
+			if alias != "" && i < len(out.Schema) {
+				out.Schema[i].Name = alias
+			}
+		}
+		return out, nil
+	case OpAggregate:
+		return table.Aggregate(in, n.GroupBy, n.Aggs)
+	case OpSort:
+		return table.Sort(in, n.Keys...)
+	case OpLimit:
+		return table.Limit(in, n.N), nil
+	case OpDistinct:
+		return table.Distinct(in), nil
+	case OpCompare:
+		return runCompare(n, in)
+	default:
+		return nil, fmt.Errorf("logical: cannot execute %v node", n.Op)
+	}
+}
+
+// runCompare executes the comparison tail: one filtered grouped
+// aggregate per compared item, unioned in sorted item order. Branches
+// come from CompareBranches, the same rewrite ToSQL renders.
+func runCompare(n *Node, in *table.Table) (*table.Table, error) {
+	var out *table.Table
+	for _, br := range CompareBranches(n) {
+		filtered, err := table.Filter(in, br.Preds...)
+		if err != nil {
+			return nil, err
+		}
+		agged, err := table.Aggregate(filtered, br.GroupBy, n.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = table.New("comparison", agged.Schema)
+		}
+		out.Rows = append(out.Rows, agged.Rows...)
+	}
+	if out == nil {
+		return nil, ErrEmptyCompare
+	}
+	return out, nil
+}
+
+// Exec runs the tree against a single catalog: every Scan resolves to
+// a catalog table, with the node's pruned column set applied first.
+func Exec(n *Node, c *table.Catalog) (*table.Table, error) {
+	return Run(n, func(leaf *Node) (*table.Table, error) {
+		if leaf.Op != OpScan {
+			return nil, fmt.Errorf("logical: unresolved %v leaf", leaf.Op)
+		}
+		t, err := c.Get(leaf.Table)
+		if err != nil {
+			return nil, err
+		}
+		if len(leaf.Cols) > 0 {
+			return table.Project(t, leaf.Cols...)
+		}
+		return t, nil
+	})
+}

@@ -1,0 +1,102 @@
+package logical
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Fingerprint serializes the canonicalized tree: every field that
+// affects execution, with predicate conjunctions sorted (evaluation
+// order inside a conjunction cannot change results) and compare items
+// sorted. Plans that fingerprint equally execute identically, so the
+// NL and SQL compilations of the same question share one physical-plan
+// cache slot. The encoding avoids fmt and allocates only the output
+// string — it runs on every federated execution.
+func Fingerprint(n *Node) string {
+	var b strings.Builder
+	b.Grow(192)
+	fingerprintNode(&b, n)
+	return b.String()
+}
+
+func fingerprintNode(b *strings.Builder, n *Node) {
+	if n == nil {
+		b.WriteString("_\x1f")
+		return
+	}
+	b.WriteString(strconv.Itoa(int(n.Op)))
+	b.WriteByte('\x1f')
+	str := func(s string) { b.WriteString(s); b.WriteByte('\x1f') }
+	strs := func(xs []string) {
+		for _, s := range xs {
+			str(s)
+		}
+		b.WriteByte('\x1d')
+	}
+	switch n.Op {
+	case OpScan, OpInput:
+		str(strings.ToLower(n.Table))
+		strs(n.Cols)
+	case OpFilter:
+		fingerprintPreds(b, n.Preds)
+	case OpProject:
+		strs(n.Proj)
+		strs(n.Aliases)
+	case OpJoin:
+		str(strings.ToLower(n.LeftCol))
+		str(strings.ToLower(n.RightCol))
+	case OpAggregate:
+		strs(n.GroupBy)
+		fingerprintAggs(b, n.Aggs)
+	case OpSort:
+		for _, k := range n.Keys {
+			str(k.Col)
+			if k.Desc {
+				b.WriteByte('-')
+			}
+		}
+		b.WriteByte('\x1d')
+	case OpLimit:
+		str(strconv.Itoa(n.N))
+	case OpCompare:
+		str(strings.ToLower(n.CompareCol))
+		strs(sortedItems(n.Items))
+		fingerprintPreds(b, n.Preds)
+		fingerprintAggs(b, n.Aggs)
+	}
+	for _, in := range n.In {
+		fingerprintNode(b, in)
+	}
+	b.WriteByte('\x1c')
+}
+
+// fingerprintPreds encodes a conjunction order-insensitively: the
+// rendered predicates are sorted before writing, since conjunctive
+// evaluation order never changes which rows pass.
+func fingerprintPreds(b *strings.Builder, preds []table.Pred) {
+	keys := make([]string, len(preds))
+	for i, p := range preds {
+		keys[i] = predKey(p)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x1f')
+	}
+	b.WriteByte('\x1d')
+}
+
+func fingerprintAggs(b *strings.Builder, aggs []table.Agg) {
+	for _, a := range aggs {
+		b.WriteString(strconv.Itoa(int(a.Func)))
+		b.WriteByte('\x1e')
+		b.WriteString(strings.ToLower(a.Col))
+		b.WriteByte('\x1e')
+		b.WriteString(a.As)
+		b.WriteByte('\x1f')
+	}
+	b.WriteByte('\x1d')
+}

@@ -1,0 +1,374 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func testCatalog() *table.Catalog {
+	c := table.NewCatalog()
+	sales := table.New("sales", table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "quarter", Type: table.TypeString},
+		{Name: "revenue", Type: table.TypeFloat},
+		{Name: "units", Type: table.TypeInt},
+	})
+	rows := []struct {
+		p, q string
+		r    float64
+		u    int64
+	}{
+		{"Alpha", "Q1", 100, 10}, {"Alpha", "Q2", 120, 12},
+		{"Beta", "Q1", 80, 8}, {"Beta", "Q2", 60, 6},
+		{"Gamma", "Q1", 200, 20}, {"Gamma", "Q2", 240, 24},
+	}
+	for _, r := range rows {
+		sales.MustAppend([]table.Value{table.S(r.p), table.S(r.q), table.F(r.r), table.I(r.u)})
+	}
+	c.Put(sales)
+
+	changes := table.New("metric_changes", table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "change_pct", Type: table.TypeFloat},
+		{Name: "quarter", Type: table.TypeString}, // collides with sales.quarter
+		{Name: "note", Type: table.TypeString},
+	})
+	for i, p := range []string{"Alpha", "Beta", "Gamma", "Alpha", "Beta"} {
+		changes.MustAppend([]table.Value{
+			table.S(p), table.F(float64(i*10 - 10)), table.S("Q" + string(rune('1'+i%2))), table.S("n")})
+	}
+	c.Put(changes)
+	return c
+}
+
+func render(t *table.Table) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Schema.Names(), ","))
+	for _, row := range t.Rows {
+		b.WriteByte('\n')
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(v.Key())
+		}
+	}
+	return b.String()
+}
+
+func scan(tbl string) *Node { return &Node{Op: OpScan, Table: tbl} }
+
+func filter(in *Node, preds ...table.Pred) *Node {
+	return &Node{Op: OpFilter, Preds: preds, In: []*Node{in}}
+}
+
+func traced(t *testing.T, o *Optimized, rule string) bool {
+	t.Helper()
+	for _, tr := range o.Trace {
+		if strings.HasPrefix(tr, rule+"(") {
+			return true
+		}
+	}
+	return false
+}
+
+// execBoth runs the tree optimized and unoptimized and asserts equal
+// results (for trees whose semantics the rules must preserve exactly).
+func execBoth(t *testing.T, root *Node, c *table.Catalog) (*table.Table, *Optimized) {
+	t.Helper()
+	plain, err := Exec(root.Clone(), c)
+	if err != nil {
+		t.Fatalf("unoptimized exec: %v", err)
+	}
+	opt := Optimize(root, CatalogStats(c))
+	out, err := Exec(opt.Root, c)
+	if err != nil {
+		t.Fatalf("optimized exec: %v", err)
+	}
+	if render(out) != render(plain) {
+		t.Fatalf("optimizer changed results:\n%s\nvs\n%s\ntrace: %v", render(out), render(plain), opt.Trace)
+	}
+	return out, opt
+}
+
+func TestFoldMergesAndDedupes(t *testing.T) {
+	c := testCatalog()
+	pred := table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}
+	root := filter(filter(scan("sales"), pred), pred,
+		table.Pred{Col: "quarter", Op: table.OpEq, Val: table.S("Q1")})
+	out, opt := execBoth(t, root, c)
+	if !traced(t, opt, "fold") {
+		t.Errorf("fold did not fire: %v", opt.Trace)
+	}
+	if opt.Root.Op != OpFilter || opt.Root.Child().Op != OpScan {
+		t.Errorf("filters not merged: %s", opt.Root)
+	}
+	if len(opt.Root.Preds) != 2 {
+		t.Errorf("duplicate predicate survived: %v", opt.Root.Preds)
+	}
+	if out.Len() != 1 {
+		t.Errorf("rows = %d, want 1", out.Len())
+	}
+}
+
+func TestRetypeCoercesLiteralToColumnType(t *testing.T) {
+	c := testCatalog()
+	// String "90" on a float column: lexically "100" < "90", numerically
+	// 100 > 90 — the coerced plan must filter numerically.
+	root := filter(scan("sales"), table.Pred{Col: "revenue", Op: table.OpGt, Val: table.S("90")})
+	opt := Optimize(root, CatalogStats(c))
+	if !traced(t, opt, "retype") {
+		t.Fatalf("retype did not fire: %v", opt.Trace)
+	}
+	out, err := Exec(opt.Root, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 { // 100, 120, 200, 240
+		t.Errorf("rows = %d, want 4 (numeric comparison)\n%s", out.Len(), out)
+	}
+}
+
+func TestPushdownSinksFilterBelowSort(t *testing.T) {
+	c := testCatalog()
+	root := filter(
+		&Node{Op: OpSort, Keys: []table.SortKey{{Col: "revenue", Desc: true}}, In: []*Node{scan("sales")}},
+		table.Pred{Col: "quarter", Op: table.OpEq, Val: table.S("Q2")})
+	out, opt := execBoth(t, root, c)
+	if !traced(t, opt, "pushdown") {
+		t.Errorf("pushdown did not fire: %v", opt.Trace)
+	}
+	if opt.Root.Op != OpSort || opt.Root.Child().Op != OpFilter {
+		t.Errorf("filter did not sink below sort: %s", opt.Root)
+	}
+	if out.Len() != 3 || out.Rows[0][2].Float() != 240 {
+		t.Errorf("unexpected result:\n%s", out)
+	}
+}
+
+func TestPruneNarrowsBoundedScans(t *testing.T) {
+	c := testCatalog()
+	root := &Node{Op: OpAggregate, GroupBy: []string{"product"},
+		Aggs: []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+		In:   []*Node{scan("sales")}}
+	_, opt := execBoth(t, root, c)
+	if !traced(t, opt, "prune") {
+		t.Fatalf("prune did not fire: %v", opt.Trace)
+	}
+	s := opt.Root.Child()
+	if s.Op != OpScan || strings.Join(s.Cols, ",") != "product,units" {
+		t.Errorf("scan not pruned to [product units]: %s", opt.Root)
+	}
+}
+
+func TestPruneSkipsUnboundedOutput(t *testing.T) {
+	c := testCatalog()
+	// A list query returns whole rows; pruning would change the output.
+	root := &Node{Op: OpLimit, N: 10,
+		In: []*Node{filter(scan("sales"), table.Pred{Col: "quarter", Op: table.OpEq, Val: table.S("Q1")})}}
+	_, opt := execBoth(t, root, c)
+	if traced(t, opt, "prune") {
+		t.Errorf("prune fired on an unbounded plan: %v", opt.Trace)
+	}
+}
+
+// semiJoin builds the NL-entry join shape: driving scan, joined side
+// filtered, key-projected and deduplicated.
+func semiJoin(mainTbl, joinTbl, key string, joinPreds []table.Pred) *Node {
+	right := scan(joinTbl)
+	if len(joinPreds) > 0 {
+		right = filter(right, joinPreds...)
+	}
+	right = &Node{Op: OpProject, Proj: []string{key}, In: []*Node{right}}
+	right = &Node{Op: OpDistinct, In: []*Node{right}}
+	return &Node{Op: OpJoin, LeftCol: key, RightCol: key, In: []*Node{scan(mainTbl), right}}
+}
+
+func TestReorderSeedsJoinSide(t *testing.T) {
+	c := testCatalog()
+	join := semiJoin("sales", "metric_changes", "product",
+		[]table.Pred{{Col: "change_pct", Op: table.OpGt, Val: table.F(0)}})
+	root := &Node{Op: OpAggregate, GroupBy: nil,
+		Aggs: []table.Agg{{Func: table.AggAvg, Col: "revenue", As: "result"}},
+		In: []*Node{filter(join,
+			table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")})}}
+	_, opt := execBoth(t, root, c)
+	if !traced(t, opt, "reorder") {
+		t.Fatalf("reorder did not fire: %v", opt.Trace)
+	}
+	// The seeded equality must land on the joined side's filter.
+	var seeded bool
+	walk(opt.Root, func(n *Node) {
+		if n.Op != OpFilter {
+			return
+		}
+		for _, p := range n.Preds {
+			if p.Col == "product" && p.Op == table.OpEq {
+				if c := n.Child(); c != nil && c.Op == OpScan && c.Table == "metric_changes" {
+					seeded = true
+				}
+			}
+		}
+	})
+	if !seeded {
+		t.Errorf("join side not seeded:\n%s", opt.Root)
+	}
+}
+
+func TestPruneKeepsCollisionRenameColumns(t *testing.T) {
+	// "metric_changes.quarter" exists only because sales.quarter
+	// collides with it in the joined schema. Pruning sales down to the
+	// aggregate's needs would drop sales.quarter, un-rename the right
+	// column, and break the compiled reference — prune must keep the
+	// colliding left column.
+	c := testCatalog()
+	join := &Node{Op: OpJoin, LeftCol: "product", RightCol: "product",
+		In: []*Node{scan("sales"), scan("metric_changes")}}
+	root := &Node{Op: OpAggregate,
+		GroupBy: []string{"metric_changes.quarter"},
+		Aggs:    []table.Agg{{Func: table.AggSum, Col: "revenue", As: "r"}},
+		In:      []*Node{join}}
+	out, opt := execBoth(t, root, c)
+	if out.Len() == 0 {
+		t.Fatal("empty result")
+	}
+	if s := opt.Root.Child().In[0]; s.Op == OpScan && len(s.Cols) > 0 {
+		found := false
+		for _, col := range s.Cols {
+			if col == "quarter" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pruned left scan dropped the collision column: %v", s.Cols)
+		}
+	}
+}
+
+func TestReorderSkipsEqualCardinalities(t *testing.T) {
+	// Equal table sizes: seeding could shrink the right input below the
+	// left and flip HashJoin's build side, reordering join output rows.
+	// The gate must be strict.
+	c := table.NewCatalog()
+	for _, name := range []string{"a", "b"} {
+		tb := table.New(name, table.Schema{
+			{Name: "key", Type: table.TypeString},
+			{Name: "v", Type: table.TypeInt},
+		})
+		for i, k := range []string{"k1", "k1", "k2", "k2"} {
+			tb.MustAppend([]table.Value{table.S(k), table.I(int64(i))})
+		}
+		c.Put(tb)
+	}
+	root := filter(
+		&Node{Op: OpJoin, LeftCol: "key", RightCol: "key",
+			In: []*Node{scan("a"), scan("b")}},
+		table.Pred{Col: "key", Op: table.OpEq, Val: table.S("k1")})
+	_, opt := execBoth(t, root, c)
+	if traced(t, opt, "reorder") {
+		t.Errorf("reorder fired at equal cardinalities: %v", opt.Trace)
+	}
+}
+
+func TestReorderSkipsLimitedDrivingSide(t *testing.T) {
+	// A Limit shrinks the driving side's runtime size below its catalog
+	// cardinality, so the build-side argument no longer holds.
+	c := testCatalog()
+	limited := &Node{Op: OpLimit, N: 1, In: []*Node{scan("sales")}}
+	right := &Node{Op: OpDistinct, In: []*Node{
+		{Op: OpProject, Proj: []string{"product"}, In: []*Node{scan("metric_changes")}}}}
+	root := filter(
+		&Node{Op: OpJoin, LeftCol: "product", RightCol: "product",
+			In: []*Node{limited, right}},
+		table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")})
+	_, opt := execBoth(t, root, c)
+	if traced(t, opt, "reorder") {
+		t.Errorf("reorder fired through a Limit: %v", opt.Trace)
+	}
+}
+
+func TestReorderSkipsSmallerDrivingSide(t *testing.T) {
+	c := testCatalog()
+	// Driving side smaller than the joined side: seeding could flip the
+	// hash-join build side and perturb row order, so the rule must not
+	// fire.
+	join := semiJoin("metric_changes", "sales", "product", nil)
+	root := filter(join, table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")})
+	_, opt := execBoth(t, root, c)
+	if traced(t, opt, "reorder") {
+		t.Errorf("reorder fired with a smaller driving side: %v", opt.Trace)
+	}
+}
+
+func TestCompareBranchesSortedAndShared(t *testing.T) {
+	n := &Node{Op: OpCompare, CompareCol: "product",
+		Items: []string{"Beta", "Alpha"},
+		Preds: []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q1")}},
+		Aggs:  []table.Agg{{Func: table.AggSum, Col: "revenue", As: "result"}},
+		In:    []*Node{scan("sales")}}
+	branches := CompareBranches(n)
+	if len(branches) != 2 || branches[0].Item != "Alpha" || branches[1].Item != "Beta" {
+		t.Fatalf("branches not in sorted item order: %+v", branches)
+	}
+	for _, br := range branches {
+		if len(br.Preds) != 2 || br.Preds[0].Col != "quarter" || br.Preds[1].Op != table.OpContains {
+			t.Errorf("branch predicates wrong: %v", br.Preds)
+		}
+		if len(br.GroupBy) != 1 || br.GroupBy[0] != "product" {
+			t.Errorf("branch group-by wrong: %v", br.GroupBy)
+		}
+	}
+
+	out, err := Exec(n, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Rows[0][0].Str() != "Alpha" || out.Rows[1][0].Str() != "Beta" {
+		t.Errorf("compare result wrong:\n%s", out)
+	}
+}
+
+func TestFingerprintCanonicalizesPredicateOrder(t *testing.T) {
+	a := table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}
+	b := table.Pred{Col: "quarter", Op: table.OpEq, Val: table.S("Q1")}
+	fp1 := Fingerprint(filter(scan("sales"), a, b))
+	fp2 := Fingerprint(filter(scan("sales"), b, a))
+	if fp1 != fp2 {
+		t.Error("conjunction order changed the fingerprint")
+	}
+	fp3 := Fingerprint(filter(scan("sales"), a))
+	if fp3 == fp1 {
+		t.Error("different plans share a fingerprint")
+	}
+	if Fingerprint(scan("sales")) == Fingerprint(scan("metric_changes")) {
+		t.Error("different tables share a fingerprint")
+	}
+}
+
+func TestOptimizeIsDeterministic(t *testing.T) {
+	c := testCatalog()
+	build := func() *Node {
+		join := semiJoin("sales", "metric_changes", "product",
+			[]table.Pred{{Col: "change_pct", Op: table.OpGt, Val: table.S("0")}})
+		return &Node{Op: OpAggregate,
+			Aggs: []table.Agg{{Func: table.AggAvg, Col: "revenue", As: "result"}},
+			In: []*Node{filter(join,
+				table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")})}}
+	}
+	o1 := Optimize(build(), CatalogStats(c))
+	o2 := Optimize(build(), CatalogStats(c))
+	if strings.Join(o1.Trace, ";") != strings.Join(o2.Trace, ";") {
+		t.Errorf("trace not deterministic:\n%v\nvs\n%v", o1.Trace, o2.Trace)
+	}
+	if Fingerprint(o1.Root) != Fingerprint(o2.Root) {
+		t.Error("optimized fingerprint not deterministic")
+	}
+}
+
+func TestExecNilPlan(t *testing.T) {
+	if _, err := Exec(nil, testCatalog()); err == nil {
+		t.Error("nil plan executed without error")
+	}
+}

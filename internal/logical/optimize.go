@@ -1,0 +1,634 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Stats is the catalog surface the optimizer consults: base-table
+// schemas for predicate re-typing and projection pruning, row counts
+// for join-input reordering. A nil Stats disables the passes that need
+// it; the structural passes still run.
+type Stats interface {
+	Schema(tbl string) (table.Schema, bool)
+	Card(tbl string) (int, bool)
+}
+
+type catalogStats struct{ c *table.Catalog }
+
+func (s catalogStats) Schema(tbl string) (table.Schema, bool) {
+	t, err := s.c.Get(tbl)
+	if err != nil {
+		return nil, false
+	}
+	return t.Schema, true
+}
+
+func (s catalogStats) Card(tbl string) (int, bool) {
+	t, err := s.c.Get(tbl)
+	if err != nil {
+		return 0, false
+	}
+	return t.Len(), true
+}
+
+// CatalogStats adapts a table.Catalog to the optimizer's Stats surface.
+func CatalogStats(c *table.Catalog) Stats {
+	if c == nil {
+		return nil
+	}
+	return catalogStats{c}
+}
+
+// Optimized is a plan tree after the rule passes, carrying the
+// deterministic trace of every rule that fired — the "rules:" section
+// of EXPLAIN.
+type Optimized struct {
+	Root  *Node
+	Trace []string
+}
+
+// Unoptimized wraps a tree without running any pass; baselines and
+// benchmarks use it to measure what the rules buy.
+func Unoptimized(root *Node) *Optimized { return &Optimized{Root: root} }
+
+// Optimize clones the tree and runs the rule passes in a fixed order:
+//
+//  1. fold — merge adjacent filters, drop empty ones, dedupe predicates
+//  2. retype — coerce predicate literals to their column's type
+//  3. pushdown — sink filters below order-safe operators toward scans
+//  4. prune — narrow scans to the columns the plan can reference
+//  5. reorder — seed the cheaper join input with the driving side's
+//     join-key equalities, by catalog cardinality
+//  6. compare_rewrite — normalize comparisons to grouped-filter form
+//
+// Every pass preserves results bit-exactly: predicate evaluation order
+// within a conjunction, the driving side's row order through joins,
+// and float accumulation order through aggregates are all unchanged.
+// The trace is deterministic for a fixed tree and catalog.
+func Optimize(root *Node, st Stats) *Optimized {
+	if root == nil {
+		return &Optimized{}
+	}
+	o := &Optimized{Root: root.Clone()}
+	passes := []struct {
+		name string
+		run  func(*Optimized, Stats) []string
+	}{
+		{"fold", foldPass},
+		{"retype", retypePass},
+		{"pushdown", pushdownPass},
+		{"prune", prunePass},
+		{"reorder", reorderPass},
+		{"compare_rewrite", comparePass},
+	}
+	for _, p := range passes {
+		for _, note := range p.run(o, st) {
+			o.Trace = append(o.Trace, fmt.Sprintf("%s(%s)", p.name, note))
+		}
+	}
+	return o
+}
+
+// rewrite applies fn bottom-up over the tree, replacing each child
+// pointer with fn's result.
+func rewrite(n *Node, fn func(*Node) *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	for i, in := range n.In {
+		n.In[i] = rewrite(in, fn)
+	}
+	return fn(n)
+}
+
+// walk visits every node top-down.
+func walk(n *Node, fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, in := range n.In {
+		walk(in, fn)
+	}
+}
+
+// foldPass merges adjacent Filter nodes into one conjunction, removes
+// empty filters, and drops exact-duplicate predicates. All three keep
+// the surviving predicates in first-seen order, so per-row evaluation
+// matches the unfolded plan.
+func foldPass(o *Optimized, _ Stats) []string {
+	var notes []string
+	o.Root = rewrite(o.Root, func(n *Node) *Node {
+		if n.Op != OpFilter {
+			return n
+		}
+		if c := n.Child(); c != nil && c.Op == OpFilter {
+			n.Preds = append(append([]table.Pred(nil), c.Preds...), n.Preds...)
+			n.In = c.In
+			notes = append(notes, "merged adjacent filters")
+		}
+		seen := make(map[string]bool, len(n.Preds))
+		kept := n.Preds[:0]
+		for _, p := range n.Preds {
+			key := predKey(p)
+			if seen[key] {
+				notes = append(notes, "dropped duplicate "+p.String())
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, p)
+		}
+		n.Preds = kept
+		if len(n.Preds) == 0 {
+			notes = append(notes, "removed empty filter")
+			return n.Child()
+		}
+		return n
+	})
+	return notes
+}
+
+func predKey(p table.Pred) string {
+	return strings.ToLower(p.Col) + "\x1e" + fmt.Sprint(int(p.Op)) + "\x1e" + p.Val.Key()
+}
+
+// retypePass coerces every predicate literal to the type of the column
+// it compares against (table.CoerceTo), so a string "20" filters a
+// float column numerically on every entry path — the re-typing that
+// used to live inline in the SQL interpreter.
+func retypePass(o *Optimized, st Stats) []string {
+	if st == nil {
+		return nil
+	}
+	var notes []string
+	coerce := func(schema table.Schema, preds []table.Pred) {
+		for i, p := range preds {
+			idx := schema.ColIndex(p.Col)
+			if idx < 0 {
+				continue
+			}
+			want := schema[idx].Type
+			coerced := table.CoerceTo(want, p.Val)
+			if coerced.Kind() != p.Val.Kind() {
+				notes = append(notes, fmt.Sprintf("%s '%s' -> %v", p.Col, p.Val, want))
+				preds[i].Val = coerced
+			}
+		}
+	}
+	walk(o.Root, func(n *Node) {
+		if n.Op != OpFilter && n.Op != OpCompare {
+			return
+		}
+		if schema, ok := inputSchema(n.Child(), st); ok {
+			coerce(schema, n.Preds)
+		}
+	})
+	return notes
+}
+
+// inputSchema derives the schema a node produces, tracking the exact
+// renames the engine applies through joins, projections and
+// aggregation. ok is false when a base table is unknown to Stats.
+func inputSchema(n *Node, st Stats) (table.Schema, bool) {
+	schema, _, ok := schemaAndName(n, st)
+	return schema, ok
+}
+
+func schemaAndName(n *Node, st Stats) (table.Schema, string, bool) {
+	if n == nil || st == nil {
+		return nil, "", false
+	}
+	switch n.Op {
+	case OpScan:
+		schema, ok := st.Schema(n.Table)
+		if !ok {
+			return nil, "", false
+		}
+		if len(n.Cols) > 0 {
+			sub := make(table.Schema, 0, len(n.Cols))
+			for _, c := range n.Cols {
+				idx := schema.ColIndex(c)
+				if idx < 0 {
+					return nil, "", false
+				}
+				sub = append(sub, schema[idx])
+			}
+			schema = sub
+		}
+		return schema, n.Table, true
+	case OpInput:
+		return nil, "", false
+	case OpFilter, OpSort, OpLimit, OpDistinct:
+		return schemaAndName(n.Child(), st)
+	case OpProject:
+		in, name, ok := schemaAndName(n.Child(), st)
+		if !ok {
+			return nil, "", false
+		}
+		out := make(table.Schema, 0, len(n.Proj))
+		for i, c := range n.Proj {
+			idx := in.ColIndex(c)
+			if idx < 0 {
+				return nil, "", false
+			}
+			col := in[idx]
+			if i < len(n.Aliases) && n.Aliases[i] != "" {
+				col.Name = n.Aliases[i]
+			}
+			out = append(out, col)
+		}
+		return out, name, true
+	case OpJoin:
+		left, ln, ok := schemaAndName(n.In[0], st)
+		if !ok {
+			return nil, "", false
+		}
+		right, rn, ok := schemaAndName(n.In[1], st)
+		if !ok {
+			return nil, "", false
+		}
+		return table.JoinedSchema(left, rn, right), ln + "_join_" + rn, true
+	case OpAggregate:
+		in, name, ok := schemaAndName(n.Child(), st)
+		if !ok {
+			return nil, "", false
+		}
+		return table.AggregateSchema(in, n.GroupBy, n.Aggs), name + "_agg", true
+	case OpCompare:
+		in, _, ok := schemaAndName(n.Child(), st)
+		if !ok {
+			return nil, "", false
+		}
+		return table.AggregateSchema(in, []string{n.CompareCol}, n.Aggs), "comparison", true
+	default:
+		return nil, "", false
+	}
+}
+
+// pushdownPass sinks Filter nodes toward the scans through operators
+// that commute with them exactly: stable Sort (filtered-then-sorted
+// equals sorted-then-filtered, including row order), Distinct
+// (first-occurrence sets agree), and alias-free Project whose columns
+// cover the predicates. Limit and Aggregate block the sink.
+func pushdownPass(o *Optimized, _ Stats) []string {
+	var notes []string
+	var sink func(f *Node) *Node
+	sink = func(f *Node) *Node {
+		c := f.Child()
+		if c == nil {
+			return f
+		}
+		sinkable := false
+		switch c.Op {
+		case OpSort, OpDistinct:
+			sinkable = true
+		case OpProject:
+			sinkable = len(c.Aliases) == 0 && predsCovered(f.Preds, c.Proj)
+		}
+		if !sinkable {
+			return f
+		}
+		notes = append(notes, fmt.Sprintf("filter below %s", strings.ToLower(c.Op.String())))
+		f.In = c.In
+		c.In = []*Node{sink(f)}
+		return c
+	}
+	o.Root = rewrite(o.Root, func(n *Node) *Node {
+		if n.Op == OpFilter {
+			return sink(n)
+		}
+		return n
+	})
+	return notes
+}
+
+func predsCovered(preds []table.Pred, cols []string) bool {
+	for _, p := range preds {
+		found := false
+		for _, c := range cols {
+			if strings.EqualFold(c, p.Col) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// prunePass narrows each Scan to the columns the plan above it can
+// reference. A scan is pruned only when every path to the root passes
+// through a schema-bounding operator (Project, Aggregate or Compare),
+// so unbounded outputs — list queries returning whole rows — keep
+// their full schema and results stay bit-identical.
+func prunePass(o *Optimized, st Stats) []string {
+	if st == nil {
+		return nil
+	}
+	var notes []string
+	var visit func(n *Node, req map[string]bool)
+	visit = func(n *Node, req map[string]bool) {
+		if n == nil {
+			return
+		}
+		switch n.Op {
+		case OpScan:
+			if req == nil || len(n.Cols) > 0 {
+				return
+			}
+			schema, ok := st.Schema(n.Table)
+			if !ok {
+				return
+			}
+			cols := make([]string, 0, len(schema))
+			for _, c := range schema {
+				if req[strings.ToLower(c.Name)] {
+					cols = append(cols, c.Name)
+				}
+			}
+			if len(cols) == 0 || len(cols) == len(schema) {
+				return
+			}
+			n.Cols = cols
+			notes = append(notes, fmt.Sprintf("%s -> %s", n.Table, strings.Join(cols, ",")))
+		case OpInput:
+		case OpProject:
+			visit(n.Child(), colSet(n.Proj))
+		case OpAggregate:
+			need := colSet(n.GroupBy)
+			for _, a := range n.Aggs {
+				if a.Col != "" {
+					need[strings.ToLower(a.Col)] = true
+				}
+			}
+			visit(n.Child(), need)
+		case OpCompare:
+			need := colSet([]string{n.CompareCol})
+			for _, p := range n.Preds {
+				need[strings.ToLower(p.Col)] = true
+			}
+			for _, a := range n.Aggs {
+				if a.Col != "" {
+					need[strings.ToLower(a.Col)] = true
+				}
+			}
+			visit(n.Child(), need)
+		case OpFilter:
+			if req == nil {
+				visit(n.Child(), nil)
+				return
+			}
+			need := copySet(req)
+			for _, p := range n.Preds {
+				need[strings.ToLower(p.Col)] = true
+			}
+			visit(n.Child(), need)
+		case OpSort:
+			if req == nil {
+				visit(n.Child(), nil)
+				return
+			}
+			need := copySet(req)
+			for _, k := range n.Keys {
+				need[strings.ToLower(k.Col)] = true
+			}
+			visit(n.Child(), need)
+		case OpLimit:
+			visit(n.Child(), req)
+		case OpDistinct:
+			// Distinct keys on every input column; requirements cannot
+			// narrow through it (a Project below re-bounds them).
+			visit(n.Child(), nil)
+		case OpJoin:
+			if req == nil {
+				visit(n.In[0], nil)
+				visit(n.In[1], nil)
+				return
+			}
+			ls, _, lok := schemaAndName(n.In[0], st)
+			rs, rn, rok := schemaAndName(n.In[1], st)
+			if !lok || !rok {
+				visit(n.In[0], nil)
+				visit(n.In[1], nil)
+				return
+			}
+			leftNeed := colSet([]string{n.LeftCol})
+			for _, c := range ls {
+				if req[strings.ToLower(c.Name)] {
+					leftNeed[strings.ToLower(c.Name)] = true
+				}
+			}
+			rightNeed := colSet([]string{n.RightCol})
+			joined := table.JoinedSchema(ls, rn, rs)
+			for i, c := range rs {
+				out := joined[len(ls)+i].Name
+				if req[strings.ToLower(out)] || req[strings.ToLower(c.Name)] {
+					rightNeed[strings.ToLower(c.Name)] = true
+					if !strings.EqualFold(out, c.Name) {
+						// The reference resolves through a collision rename
+						// ("rn.col"), which exists only while the left side
+						// keeps its same-named column — pruning it away
+						// would un-rename the right column and break the
+						// compiled reference.
+						leftNeed[strings.ToLower(c.Name)] = true
+					}
+				}
+			}
+			visit(n.In[0], leftNeed)
+			visit(n.In[1], rightNeed)
+		default:
+			visit(n.Child(), nil)
+		}
+	}
+	visit(o.Root, nil)
+	return notes
+}
+
+func colSet(cols []string) map[string]bool {
+	out := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		out[strings.ToLower(c)] = true
+	}
+	return out
+}
+
+func copySet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Selectivity is the deterministic per-predicate row-fraction
+// heuristic shared by the optimizer and every backend cost model
+// without per-column statistics.
+func Selectivity(p table.Pred) float64 {
+	switch p.Op {
+	case table.OpEq:
+		return 0.1
+	case table.OpNe:
+		return 0.9
+	case table.OpContains:
+		return 0.5
+	default: // range comparisons
+		return 1.0 / 3
+	}
+}
+
+// reorderPass reorders join-input evaluation by catalog cardinality:
+// when the driving (left) side is the larger input and carries an
+// equality predicate on the join key, that predicate is seeded into
+// the smaller joined side's scan, so the join's lookup input shrinks
+// before it is ever read. The driving side's row order is untouched —
+// the larger side stays the hash-probe side before and after — so
+// results are bit-identical; only the joined side's scan gets cheaper.
+func reorderPass(o *Optimized, st Stats) []string {
+	if st == nil {
+		return nil
+	}
+	var notes []string
+	var filters []*Node // Filter nodes on the path above the current node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Op == OpFilter {
+			filters = append(filters, n)
+			visit(n.Child())
+			filters = filters[:len(filters)-1]
+			return
+		}
+		if n.Op == OpJoin {
+			notes = append(notes, seedJoin(n, filters, st)...)
+			// Filters above a join constrain joined rows, not either
+			// bare input: descend with a fresh path on both sides.
+			saved := filters
+			filters = nil
+			visit(n.In[0])
+			filters = nil
+			visit(n.In[1])
+			filters = saved
+			return
+		}
+		for _, in := range n.In {
+			visit(in)
+		}
+	}
+	visit(o.Root)
+	return notes
+}
+
+// seedJoin propagates key equalities from the filters above a join
+// into its right input. Fires only when the left side is a clean scan
+// (no local filters or limits, so its runtime size is its catalog
+// cardinality) that is strictly larger than the right table: the right
+// input — at most card(right) distinct keys before seeding, fewer
+// after — is then smaller than the left side in both plans, so the
+// hash join builds on the right and probes the left both before and
+// after, and shrinking the right input cannot perturb row order. A
+// non-strict gate would let equal cardinalities flip the build side.
+func seedJoin(j *Node, above []*Node, st Stats) []string {
+	left := j.In[0]
+	for left != nil && left.Op == OpProject { // projection keeps row count
+		left = left.Child()
+	}
+	if left == nil || left.Op != OpScan {
+		return nil
+	}
+	rightScan := j.In[1]
+	for rightScan != nil && rightScan.Op != OpScan {
+		rightScan = rightScan.Child()
+	}
+	if rightScan == nil {
+		return nil
+	}
+	leftCard, lok := st.Card(left.Table)
+	rightCard, rok := st.Card(rightScan.Table)
+	if !lok || !rok || leftCard <= rightCard || rightCard <= 1 {
+		return nil
+	}
+
+	// Existing right-side predicates, to skip duplicates and estimate.
+	var rightFilter *Node
+	existing := make(map[string]bool)
+	estBefore := float64(rightCard)
+	for c := j.In[1]; c != nil; c = c.Child() {
+		if c.Op != OpFilter {
+			continue
+		}
+		if rightFilter == nil {
+			rightFilter = c
+		}
+		for _, p := range c.Preds {
+			existing[predKey(p)] = true
+			estBefore *= Selectivity(p)
+		}
+	}
+
+	var notes []string
+	for _, f := range above {
+		for _, p := range f.Preds {
+			if p.Op != table.OpEq || !strings.EqualFold(p.Col, j.LeftCol) {
+				continue
+			}
+			seeded := table.Pred{Col: j.RightCol, Op: table.OpEq, Val: p.Val}
+			if existing[predKey(seeded)] {
+				continue
+			}
+			existing[predKey(seeded)] = true
+			if rightFilter == nil {
+				// Insert a Filter directly above the right scan.
+				rightFilter = &Node{Op: OpFilter, In: []*Node{rightScan}}
+				parent := j.In[1]
+				if parent == rightScan {
+					j.In[1] = rightFilter
+				} else {
+					for c := parent; c != nil; c = c.Child() {
+						if c.Child() == rightScan {
+							c.In[0] = rightFilter
+							break
+						}
+					}
+				}
+			}
+			rightFilter.Preds = append(rightFilter.Preds, seeded)
+			estAfter := estBefore * Selectivity(seeded)
+			notes = append(notes, fmt.Sprintf("seed %s with %s (est %d -> %d rows)",
+				rightScan.Table, seeded, estRows(estBefore), estRows(estAfter)))
+			estBefore = estAfter
+		}
+	}
+	return notes
+}
+
+func estRows(f float64) int {
+	n := int(f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// comparePass normalizes Compare nodes to the grouped-filter form:
+// items are sorted (the branch execution order) and the branch count
+// is recorded in the trace. The branches themselves materialize
+// through CompareBranches, shared with execution and text→SQL
+// rendering.
+func comparePass(o *Optimized, _ Stats) []string {
+	var notes []string
+	walk(o.Root, func(n *Node) {
+		if n.Op != OpCompare || len(n.Items) == 0 {
+			return
+		}
+		n.Items = sortedItems(n.Items)
+		notes = append(notes, fmt.Sprintf("%s -> %d grouped filters", n.CompareCol, len(n.Items)))
+	})
+	return notes
+}

@@ -1,0 +1,67 @@
+package semop
+
+import (
+	"repro/internal/logical"
+	"repro/internal/table"
+)
+
+// Compile lowers a bound plan onto the shared logical IR, preserving
+// the exact operator order the single-store executor always used:
+// scan → semi-join (joined side filtered, key-projected and
+// deduplicated) → comparison or filter → aggregate → sort → limit →
+// project. Compiling a nil plan yields a nil tree.
+func Compile(p *Plan) *logical.Node {
+	if p == nil {
+		return nil
+	}
+	cur := &logical.Node{Op: logical.OpScan, Table: p.Table}
+
+	if p.JoinTable != "" {
+		right := &logical.Node{Op: logical.OpScan, Table: p.JoinTable}
+		if len(p.JoinFilters) > 0 {
+			right = &logical.Node{Op: logical.OpFilter,
+				Preds: append([]table.Pred(nil), p.JoinFilters...), In: []*logical.Node{right}}
+		}
+		// Semi-join shape: only distinct join keys cross into the hash
+		// join, so a main row with several qualifying matches is not
+		// duplicated.
+		right = &logical.Node{Op: logical.OpProject,
+			Proj: []string{p.JoinRightCol}, In: []*logical.Node{right}}
+		right = &logical.Node{Op: logical.OpDistinct, In: []*logical.Node{right}}
+		cur = &logical.Node{Op: logical.OpJoin,
+			LeftCol: p.JoinLeftCol, RightCol: p.JoinRightCol,
+			In: []*logical.Node{cur, right}}
+	}
+
+	if len(p.Comparison) > 0 && p.CompareCol != "" {
+		return &logical.Node{Op: logical.OpCompare,
+			CompareCol: p.CompareCol,
+			Items:      append([]string(nil), p.Comparison...),
+			Preds:      append([]table.Pred(nil), p.Filters...),
+			Aggs:       append([]table.Agg(nil), p.Aggs...),
+			In:         []*logical.Node{cur}}
+	}
+
+	if len(p.Filters) > 0 {
+		cur = &logical.Node{Op: logical.OpFilter,
+			Preds: append([]table.Pred(nil), p.Filters...), In: []*logical.Node{cur}}
+	}
+	if len(p.Aggs) > 0 {
+		cur = &logical.Node{Op: logical.OpAggregate,
+			GroupBy: append([]string(nil), p.GroupBy...),
+			Aggs:    append([]table.Agg(nil), p.Aggs...),
+			In:      []*logical.Node{cur}}
+	}
+	if len(p.OrderBy) > 0 {
+		cur = &logical.Node{Op: logical.OpSort,
+			Keys: append([]table.SortKey(nil), p.OrderBy...), In: []*logical.Node{cur}}
+	}
+	if p.LimitRows > 0 {
+		cur = &logical.Node{Op: logical.OpLimit, N: p.LimitRows, In: []*logical.Node{cur}}
+	}
+	if len(p.Columns) > 0 {
+		cur = &logical.Node{Op: logical.OpProject,
+			Proj: append([]string(nil), p.Columns...), In: []*logical.Node{cur}}
+	}
+	return cur
+}

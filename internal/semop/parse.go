@@ -3,10 +3,12 @@
 // relational operations — aggregations, filters, group-bys, joins —
 // over the catalog of structured and SLM-generated tables.
 //
-// The pipeline is parse → bind → plan → execute: Parse produces a
-// semantic Query frame from the question; Bind resolves its metric and
-// filters against a concrete table.Catalog; the resulting Plan executes
-// through the table engine.
+// The pipeline is parse → bind → compile → optimize → execute: Parse
+// produces a semantic Query frame from the question; Bind resolves its
+// metric and filters against a concrete table.Catalog; Compile lowers
+// the bound Plan onto the shared logical IR (internal/logical), whose
+// rule-based optimizer and single operator loop the SQL entry path and
+// the federated planner use as well.
 package semop
 
 import (

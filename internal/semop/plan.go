@@ -3,9 +3,9 @@ package semop
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -117,8 +117,12 @@ func Bind(q Query, c *table.Catalog) (*Plan, error) {
 				}
 			}
 		}
-		if tbl.Schema.ColIndex(field) >= 0 {
-			p.Filters = append(p.Filters, table.Pred{Col: field, Op: cond.Op, Val: cond.Value})
+		if idx := tbl.Schema.ColIndex(field); idx >= 0 {
+			// Re-type the literal against the bound column (shared with
+			// the SQL entry path and the IR constant-folding rule), so a
+			// textual threshold filters a numeric column numerically.
+			val := table.CoerceTo(tbl.Schema[idx].Type, cond.Value)
+			p.Filters = append(p.Filters, table.Pred{Col: field, Op: cond.Op, Val: val})
 			continue
 		}
 		bindJoinCondition(p, tbl, c, table.Pred{Col: field, Op: cond.Op, Val: cond.Value})
@@ -299,8 +303,11 @@ func bindJoinCondition(p *Plan, main *table.Table, c *table.Catalog, pred table.
 		// One synthesized join per plan; extra conditions go to the
 		// same join when the column matches.
 		other, err := c.Get(p.JoinTable)
-		if err == nil && other.Schema.ColIndex(pred.Col) >= 0 {
-			p.JoinFilters = append(p.JoinFilters, pred)
+		if err == nil {
+			if idx := other.Schema.ColIndex(pred.Col); idx >= 0 {
+				pred.Val = table.CoerceTo(other.Schema[idx].Type, pred.Val)
+				p.JoinFilters = append(p.JoinFilters, pred)
+			}
 		}
 		return
 	}
@@ -309,7 +316,11 @@ func bindJoinCondition(p *Plan, main *table.Table, c *table.Catalog, pred table.
 			continue
 		}
 		other, err := c.Get(name)
-		if err != nil || other.Schema.ColIndex(pred.Col) < 0 {
+		if err != nil {
+			continue
+		}
+		idx := other.Schema.ColIndex(pred.Col)
+		if idx < 0 {
 			continue
 		}
 		left, right := joinKey(main, other)
@@ -319,6 +330,7 @@ func bindJoinCondition(p *Plan, main *table.Table, c *table.Catalog, pred table.
 		p.JoinTable = other.Name
 		p.JoinLeftCol = left
 		p.JoinRightCol = right
+		pred.Val = table.CoerceTo(other.Schema[idx].Type, pred.Val)
 		p.JoinFilters = append(p.JoinFilters, pred)
 		return
 	}
@@ -340,104 +352,18 @@ func joinKey(a, b *table.Table) (string, string) {
 }
 
 // Exec runs the plan against the catalog and returns the result table.
+// Since the logical-IR unification it is a thin entry point: compile
+// to the shared IR and interpret through the single operator loop in
+// internal/logical — the same algebra the SQL entry and the federated
+// planner use. The rule passes are deliberately skipped here: Bind
+// already re-typed every literal, and this direct single-store call is
+// the system's unoptimized reference (and benchmark baseline); the
+// serving paths — Hybrid.Answer/Query and the federated Executor —
+// run logical.Optimize and amortize it through the fingerprint-keyed
+// physical-plan cache.
 func Exec(p *Plan, c *table.Catalog) (*table.Table, error) {
 	if p == nil {
 		return nil, ErrEmptyPlan
 	}
-	tbl, err := c.Get(p.Table)
-	if err != nil {
-		return nil, err
-	}
-	cur := tbl
-
-	if p.JoinTable != "" {
-		other, err := c.Get(p.JoinTable)
-		if err != nil {
-			return nil, err
-		}
-		// Pre-filter the joined side, then join and dedup the main
-		// side's rows (a product with several qualifying changes must
-		// not double-count its ratings).
-		filtered := other
-		if len(p.JoinFilters) > 0 {
-			filtered, err = table.Filter(other, p.JoinFilters...)
-			if err != nil {
-				return nil, err
-			}
-		}
-		keys, err := table.Project(filtered, p.JoinRightCol)
-		if err != nil {
-			return nil, err
-		}
-		keys = table.Distinct(keys)
-		cur, err = table.HashJoin(cur, keys, p.JoinLeftCol, p.JoinRightCol)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	if len(p.Comparison) > 0 && p.CompareCol != "" {
-		return ExecCompare(p, cur, p.Filters)
-	}
-
-	if len(p.Filters) > 0 {
-		cur, err = table.Filter(cur, p.Filters...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(p.Aggs) > 0 {
-		cur, err = table.Aggregate(cur, p.GroupBy, p.Aggs)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(p.OrderBy) > 0 {
-		cur, err = table.Sort(cur, p.OrderBy...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if p.LimitRows > 0 {
-		cur = table.Limit(cur, p.LimitRows)
-	}
-	if len(p.Columns) > 0 {
-		cur, err = table.Project(cur, p.Columns...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return cur, nil
-}
-
-// ExecCompare runs the plan's comparison tail over tbl: one filtered
-// aggregate per compared item (preds are the common predicates applied
-// alongside the per-item match), unioned in sorted item order. Shared
-// by the single-store executor (preds = p.Filters) and the federation
-// layer (preds = the residue left after pushdown), so the two paths
-// cannot drift.
-func ExecCompare(p *Plan, tbl *table.Table, preds []table.Pred) (*table.Table, error) {
-	var out *table.Table
-	items := append([]string(nil), p.Comparison...)
-	sort.Strings(items)
-	for _, item := range items {
-		preds := append(append([]table.Pred(nil), preds...),
-			table.Pred{Col: p.CompareCol, Op: table.OpContains, Val: table.S(item)})
-		filtered, err := table.Filter(tbl, preds...)
-		if err != nil {
-			return nil, err
-		}
-		agged, err := table.Aggregate(filtered, []string{p.CompareCol}, p.Aggs)
-		if err != nil {
-			return nil, err
-		}
-		if out == nil {
-			out = table.New("comparison", agged.Schema)
-		}
-		out.Rows = append(out.Rows, agged.Rows...)
-	}
-	if out == nil {
-		return nil, fmt.Errorf("%w: comparison with no items", ErrEmptyPlan)
-	}
-	return out, nil
+	return logical.Exec(Compile(p), c)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -11,17 +12,24 @@ import (
 // internal/sql, making Semantic Operator Synthesis a genuine
 // text→SQL→execution pipeline. Comparison plans render one statement
 // per compared item (the dialect has no OR); callers union results.
+// The per-item lowering comes from logical.CompareBranches — the same
+// compare-to-grouped-filter rewrite the IR optimizer and executor use
+// — so the text→SQL pipeline and the optimizer cannot drift.
 func (p *Plan) ToSQL() []string {
 	if len(p.Comparison) > 0 && p.CompareCol != "" {
-		out := make([]string, 0, len(p.Comparison))
-		items := append([]string(nil), p.Comparison...)
-		sortStrings(items)
-		for _, item := range items {
+		node := &logical.Node{Op: logical.OpCompare,
+			CompareCol: p.CompareCol,
+			Items:      p.Comparison,
+			Preds:      p.Filters,
+			Aggs:       p.Aggs,
+		}
+		branches := logical.CompareBranches(node)
+		out := make([]string, 0, len(branches))
+		for _, br := range branches {
 			sub := *p
 			sub.Comparison = nil
-			sub.GroupBy = []string{p.CompareCol}
-			sub.Filters = append(append([]table.Pred(nil), p.Filters...),
-				table.Pred{Col: p.CompareCol, Op: table.OpContains, Val: table.S(item)})
+			sub.GroupBy = br.GroupBy
+			sub.Filters = br.Preds
 			out = append(out, sub.renderOne())
 		}
 		return out
@@ -95,12 +103,4 @@ func renderPred(f table.Pred) string {
 	}
 	op := f.Op.String()
 	return fmt.Sprintf("%s %s %s", f.Col, op, val)
-}
-
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

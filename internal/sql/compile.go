@@ -1,0 +1,178 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/table"
+)
+
+// Compile lowers a parsed SELECT statement onto the shared logical IR.
+// Every column reference is resolved at compile time against catalog
+// schemas — tracked through join renames, aggregation and projection
+// aliases exactly the way the table engine names them — so the
+// compiled tree executes through the same operator loop (and the same
+// rule-based optimizer) as the natural-language entry path.
+func Compile(stmt *Stmt, c *table.Catalog) (*logical.Node, error) {
+	base, err := c.Get(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	cur := &logical.Node{Op: logical.OpScan, Table: base.Name}
+	rel, schema := base.Name, base.Schema
+
+	if stmt.Join != nil {
+		right, err := c.Get(stmt.Join.Table)
+		if err != nil {
+			return nil, err
+		}
+		leftCol, err := resolveIn(schema, rel, stmt.Join.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		rightCol, err := resolveIn(right.Schema, right.Name, stmt.Join.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		cur = &logical.Node{Op: logical.OpJoin,
+			LeftCol: leftCol, RightCol: rightCol,
+			In: []*logical.Node{cur, {Op: logical.OpScan, Table: right.Name}}}
+		schema = table.JoinedSchema(schema, right.Name, right.Schema)
+		rel = rel + "_join_" + right.Name
+	}
+
+	if len(stmt.Wheres) > 0 {
+		preds := make([]table.Pred, 0, len(stmt.Wheres))
+		for _, w := range stmt.Wheres {
+			col, err := resolveIn(schema, rel, w.Col)
+			if err != nil {
+				return nil, err
+			}
+			// Literal re-typing against the column (the old inline block)
+			// is the optimizer's retype pass now; the compiler only
+			// resolves names.
+			preds = append(preds, table.Pred{Col: col, Op: w.Op, Val: w.Val})
+		}
+		cur = &logical.Node{Op: logical.OpFilter, Preds: preds, In: []*logical.Node{cur}}
+	}
+
+	hasAgg := false
+	for _, item := range stmt.Items {
+		if item.IsAgg {
+			hasAgg = true
+			break
+		}
+	}
+
+	switch {
+	case hasAgg:
+		groupBy := make([]string, 0, len(stmt.GroupBy))
+		for _, g := range stmt.GroupBy {
+			col, err := resolveIn(schema, rel, g)
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, col)
+		}
+		var aggs []table.Agg
+		for _, item := range stmt.Items {
+			if !item.IsAgg {
+				col, err := resolveIn(schema, rel, item.Col)
+				if err != nil {
+					return nil, err
+				}
+				if !contains(groupBy, col) {
+					return nil, fmt.Errorf("%w: non-aggregated column %s outside GROUP BY", ErrUnsupported, col)
+				}
+				continue
+			}
+			agg := table.Agg{Func: item.Agg, As: item.As}
+			if !item.Star {
+				col, err := resolveIn(schema, rel, item.Col)
+				if err != nil {
+					return nil, err
+				}
+				agg.Col = col
+			}
+			aggs = append(aggs, agg)
+		}
+		cur = &logical.Node{Op: logical.OpAggregate, GroupBy: groupBy, Aggs: aggs, In: []*logical.Node{cur}}
+		schema = table.AggregateSchema(schema, groupBy, aggs)
+		rel += "_agg"
+	case len(stmt.GroupBy) > 0:
+		return nil, fmt.Errorf("%w: GROUP BY without aggregates", ErrUnsupported)
+	default:
+		star := len(stmt.Items) == 1 && stmt.Items[0].Star
+		if !star {
+			cols := make([]string, 0, len(stmt.Items))
+			aliases := make([]string, 0, len(stmt.Items))
+			aliased := false
+			out := make(table.Schema, 0, len(stmt.Items))
+			for _, item := range stmt.Items {
+				col, err := resolveIn(schema, rel, item.Col)
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, col)
+				aliases = append(aliases, item.As)
+				sc := schema[schema.ColIndex(col)]
+				if item.As != "" {
+					aliased = true
+					sc.Name = item.As
+				}
+				out = append(out, sc)
+			}
+			node := &logical.Node{Op: logical.OpProject, Proj: cols, In: []*logical.Node{cur}}
+			if aliased {
+				node.Aliases = aliases
+			}
+			cur = node
+			schema = out
+		}
+	}
+
+	if stmt.Distinct {
+		cur = &logical.Node{Op: logical.OpDistinct, In: []*logical.Node{cur}}
+	}
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]table.SortKey, 0, len(stmt.OrderBy))
+		for _, k := range stmt.OrderBy {
+			col, err := resolveIn(schema, rel, k.Col)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, table.SortKey{Col: col, Desc: k.Desc})
+		}
+		cur = &logical.Node{Op: logical.OpSort, Keys: keys, In: []*logical.Node{cur}}
+	}
+	if stmt.Limit > 0 {
+		cur = &logical.Node{Op: logical.OpLimit, N: stmt.Limit, In: []*logical.Node{cur}}
+	}
+	return cur, nil
+}
+
+// resolveIn maps a possibly table-qualified column reference to the
+// schema's column name: "t.col" matches "col" or the join-renamed
+// "t.col" form; bare "col" matches case-insensitively.
+func resolveIn(schema table.Schema, rel, ref string) (string, error) {
+	if idx := schema.ColIndex(ref); idx >= 0 {
+		return schema[idx].Name, nil
+	}
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		bare := ref[i+1:]
+		if idx := schema.ColIndex(bare); idx >= 0 {
+			return schema[idx].Name, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %s in %s(%s)", ErrBadColumn, ref, rel, strings.Join(schema.Names(), ","))
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}

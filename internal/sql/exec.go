@@ -2,9 +2,8 @@ package sql
 
 import (
 	"errors"
-	"fmt"
-	"strings"
 
+	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -23,183 +22,16 @@ func Exec(catalog *table.Catalog, query string) (*table.Table, error) {
 	return ExecStmt(catalog, stmt)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement: compile to the shared logical
+// IR, run the rule passes (literal re-typing, pushdown, pruning), and
+// interpret through internal/logical's single operator loop. The
+// duplicate SQL interpreter this package used to carry is gone — SQL
+// and natural-language queries execute through the same algebra.
 func ExecStmt(catalog *table.Catalog, stmt *Stmt) (*table.Table, error) {
-	cur, err := catalog.Get(stmt.From)
+	node, err := Compile(stmt, catalog)
 	if err != nil {
 		return nil, err
 	}
-
-	if stmt.Join != nil {
-		right, err := catalog.Get(stmt.Join.Table)
-		if err != nil {
-			return nil, err
-		}
-		leftCol, err := resolveCol(cur, stmt.Join.LeftCol)
-		if err != nil {
-			return nil, err
-		}
-		rightCol, err := resolveCol(right, stmt.Join.RightCol)
-		if err != nil {
-			return nil, err
-		}
-		cur, err = table.HashJoin(cur, right, leftCol, rightCol)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	if len(stmt.Wheres) > 0 {
-		preds := make([]table.Pred, 0, len(stmt.Wheres))
-		for _, w := range stmt.Wheres {
-			col, err := resolveCol(cur, w.Col)
-			if err != nil {
-				return nil, err
-			}
-			val := w.Val
-			// Re-type numeric literals against the column so "= 20"
-			// matches a float column and "= '5'" a string column.
-			if idx := cur.Schema.ColIndex(col); idx >= 0 && !val.IsNull() {
-				want := cur.Schema[idx].Type
-				if val.Kind() != want && !(val.IsNumeric() && (want == table.TypeInt || want == table.TypeFloat)) {
-					if parsed, perr := table.Parse(want, val.String()); perr == nil {
-						val = parsed
-					}
-				}
-			}
-			preds = append(preds, table.Pred{Col: col, Op: w.Op, Val: val})
-		}
-		cur, err = table.Filter(cur, preds...)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	hasAgg := false
-	for _, item := range stmt.Items {
-		if item.IsAgg {
-			hasAgg = true
-			break
-		}
-	}
-
-	switch {
-	case hasAgg:
-		cur, err = execAggregate(cur, stmt)
-		if err != nil {
-			return nil, err
-		}
-	case len(stmt.GroupBy) > 0:
-		return nil, fmt.Errorf("%w: GROUP BY without aggregates", ErrUnsupported)
-	default:
-		// Plain projection unless SELECT *.
-		star := len(stmt.Items) == 1 && stmt.Items[0].Star
-		if !star {
-			cols := make([]string, 0, len(stmt.Items))
-			for _, item := range stmt.Items {
-				col, err := resolveCol(cur, item.Col)
-				if err != nil {
-					return nil, err
-				}
-				cols = append(cols, col)
-			}
-			cur, err = table.Project(cur, cols...)
-			if err != nil {
-				return nil, err
-			}
-			// Apply aliases.
-			for i, item := range stmt.Items {
-				if item.As != "" && i < len(cur.Schema) {
-					cur.Schema[i].Name = item.As
-				}
-			}
-		}
-	}
-
-	if stmt.Distinct {
-		cur = table.Distinct(cur)
-	}
-	if len(stmt.OrderBy) > 0 {
-		keys := make([]table.SortKey, 0, len(stmt.OrderBy))
-		for _, k := range stmt.OrderBy {
-			col, err := resolveCol(cur, k.Col)
-			if err != nil {
-				return nil, err
-			}
-			keys = append(keys, table.SortKey{Col: col, Desc: k.Desc})
-		}
-		cur, err = table.Sort(cur, keys...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if stmt.Limit > 0 {
-		cur = table.Limit(cur, stmt.Limit)
-	}
-	return cur, nil
-}
-
-func execAggregate(cur *table.Table, stmt *Stmt) (*table.Table, error) {
-	groupBy := make([]string, 0, len(stmt.GroupBy))
-	for _, g := range stmt.GroupBy {
-		col, err := resolveCol(cur, g)
-		if err != nil {
-			return nil, err
-		}
-		groupBy = append(groupBy, col)
-	}
-	var aggs []table.Agg
-	for _, item := range stmt.Items {
-		if !item.IsAgg {
-			// Non-aggregate items must be group keys; validated by the
-			// table engine when projecting group columns.
-			col, err := resolveCol(cur, item.Col)
-			if err != nil {
-				return nil, err
-			}
-			if !contains(groupBy, col) {
-				return nil, fmt.Errorf("%w: non-aggregated column %s outside GROUP BY", ErrUnsupported, col)
-			}
-			continue
-		}
-		agg := table.Agg{Func: item.Agg, As: item.As}
-		if !item.Star {
-			col, err := resolveCol(cur, item.Col)
-			if err != nil {
-				return nil, err
-			}
-			agg.Col = col
-		}
-		aggs = append(aggs, agg)
-	}
-	return table.Aggregate(cur, groupBy, aggs)
-}
-
-// resolveCol maps a possibly table-qualified column reference to the
-// schema's column name: "t.col" matches "col" or the join-renamed
-// "t.col" form; bare "col" matches case-insensitively.
-func resolveCol(t *table.Table, ref string) (string, error) {
-	if t.Schema.ColIndex(ref) >= 0 {
-		return schemaName(t, ref), nil
-	}
-	if idx := strings.IndexByte(ref, '.'); idx >= 0 {
-		bare := ref[idx+1:]
-		if t.Schema.ColIndex(bare) >= 0 {
-			return schemaName(t, bare), nil
-		}
-	}
-	return "", fmt.Errorf("%w: %s in %s(%s)", ErrBadColumn, ref, t.Name, strings.Join(t.Schema.Names(), ","))
-}
-
-func schemaName(t *table.Table, ref string) string {
-	return t.Schema[t.Schema.ColIndex(ref)].Name
-}
-
-func contains(xs []string, s string) bool {
-	for _, x := range xs {
-		if strings.EqualFold(x, s) {
-			return true
-		}
-	}
-	return false
+	opt := logical.Optimize(node, logical.CatalogStats(catalog))
+	return logical.Exec(opt.Root, catalog)
 }

@@ -201,15 +201,23 @@ func NestedLoopJoin(left, right *Table, on func(l, r []Value) bool) *Table {
 }
 
 func joinSchema(left, right *Table) Schema {
-	schema := append(Schema(nil), left.Schema...)
+	return JoinedSchema(left.Schema, right.Name, right.Schema)
+}
+
+// JoinedSchema computes the output schema of a join without executing
+// it: left columns first, then right columns with name collisions
+// prefixed by the right relation's name. Plan compilers use it to
+// resolve column references exactly the way HashJoin will name them.
+func JoinedSchema(left Schema, rightName string, right Schema) Schema {
+	schema := append(Schema(nil), left...)
 	used := make(map[string]bool, len(schema))
 	for _, c := range schema {
 		used[strings.ToLower(c.Name)] = true
 	}
-	for _, c := range right.Schema {
+	for _, c := range right {
 		name := c.Name
 		if used[strings.ToLower(name)] {
-			name = right.Name + "." + name
+			name = rightName + "." + name
 		}
 		used[strings.ToLower(name)] = true
 		schema = append(schema, Column{Name: name, Type: c.Type})
@@ -347,26 +355,7 @@ func Aggregate(t *Table, groupBy []string, aggs []Agg) (*Table, error) {
 	}
 	sort.Strings(order)
 
-	schema := make(Schema, 0, len(groupBy)+len(aggs))
-	for i, c := range groupBy {
-		schema = append(schema, Column{Name: c, Type: t.Schema[groupIdx[i]].Type})
-	}
-	for _, a := range aggs {
-		name := a.As
-		if name == "" {
-			name = strings.ToLower(a.Func.String()) + "_" + a.Col
-		}
-		typ := TypeFloat
-		if a.Func == AggCount {
-			typ = TypeInt
-		} else if a.Func == AggMin || a.Func == AggMax {
-			if idx := t.Schema.ColIndex(a.Col); idx >= 0 {
-				typ = t.Schema[idx].Type
-			}
-		}
-		schema = append(schema, Column{Name: name, Type: typ})
-	}
-	out := New(t.Name+"_agg", schema)
+	out := New(t.Name+"_agg", AggregateSchema(t.Schema, groupBy, aggs))
 	for _, ks := range order {
 		acc := groups[ks]
 		row := append([]Value(nil), acc.key...)
@@ -395,6 +384,37 @@ func Aggregate(t *Table, groupBy []string, aggs []Agg) (*Table, error) {
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+// AggregateSchema computes the output schema of Aggregate without
+// executing it: group-key columns (with their input types) followed by
+// one column per aggregation. Plan compilers use it to resolve
+// references against aggregated relations.
+func AggregateSchema(in Schema, groupBy []string, aggs []Agg) Schema {
+	schema := make(Schema, 0, len(groupBy)+len(aggs))
+	for _, c := range groupBy {
+		typ := TypeString
+		if idx := in.ColIndex(c); idx >= 0 {
+			typ = in[idx].Type
+		}
+		schema = append(schema, Column{Name: c, Type: typ})
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = strings.ToLower(a.Func.String()) + "_" + a.Col
+		}
+		typ := TypeFloat
+		if a.Func == AggCount {
+			typ = TypeInt
+		} else if a.Func == AggMin || a.Func == AggMax {
+			if idx := in.ColIndex(a.Col); idx >= 0 {
+				typ = in[idx].Type
+			}
+		}
+		schema = append(schema, Column{Name: name, Type: typ})
+	}
+	return schema
 }
 
 // SortKey orders rows by a column.

@@ -216,6 +216,26 @@ func Parse(t ColType, raw string) (Value, error) {
 	}
 }
 
+// CoerceTo re-types a literal against the column type it is compared
+// to, so "= 20" matches a float column and "= '5'" a string column.
+// Numeric literals on numeric columns are left alone (Compare already
+// crosses int/float exactly); NULLs and unparseable literals pass
+// through unchanged. This is the one re-typing rule shared by semantic
+// operator binding, the SQL entry path and the IR optimizer's
+// constant-folding pass.
+func CoerceTo(want ColType, v Value) Value {
+	if v.IsNull() || v.Kind() == want {
+		return v
+	}
+	if v.IsNumeric() && (want == TypeInt || want == TypeFloat) {
+		return v
+	}
+	if parsed, err := Parse(want, v.String()); err == nil {
+		return parsed
+	}
+	return v
+}
+
 // Infer guesses the tightest type for raw text: int, then float
 // (including "12%" and "1,200" forms), then bool, then date, then
 // string.

@@ -293,6 +293,46 @@ func (s *System) Ask(question string) (Answer, error) {
 	return ans, ans.Err
 }
 
+// QueryResult is the outcome of a SQL-entry query.
+type QueryResult struct {
+	Columns  []string   // result schema, in order
+	Rows     [][]string // rendered cells, row-major
+	Rendered string     // aligned ASCII preview of the result table
+	Plan     string     // optimized logical plan (shared IR rendering)
+	Explain  string     // federated EXPLAIN: logical → rules → physical
+}
+
+// Query executes one SQL SELECT statement through the same unified
+// engine that answers natural-language questions: the statement
+// compiles onto the shared logical-plan IR, runs the rule-based
+// optimizer, and executes across the federated backends. A SQL query
+// and the natural-language question it corresponds to share one
+// cached physical plan (the cache keys on the canonical IR). Safe
+// from any goroutine, including concurrently with Ingest.
+func (s *System) Query(query string) (QueryResult, error) {
+	if !s.built {
+		return QueryResult{}, ErrNotBuilt
+	}
+	res, err := s.hybrid.Query(query)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	out := QueryResult{
+		Columns:  res.Table.Schema.Names(),
+		Rendered: res.Table.String(),
+		Plan:     res.Plan,
+		Explain:  res.Explain,
+	}
+	for _, row := range res.Table.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, nil
+}
+
 // AskAll answers a batch of questions with up to parallel goroutines
 // (0 means all cores) and returns the answers in question order, each
 // carrying its own Err. Batch results are deterministic: answer i
