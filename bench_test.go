@@ -447,6 +447,63 @@ func BenchmarkPreIRJoinAggregate(b *testing.B) {
 	b.ReportMetric(float64(scanned), "rows_scanned/op")
 }
 
+// BenchmarkEstimateAccuracy runs every bindable workload question of
+// both domains through the federated planner and reports the maximum
+// per-fragment q-error (estimated vs actual rows, scanned and output,
+// both sides floored at one row) as the machine-independent
+// q_error_max metric. benchguard gates it exactly, like rows_scanned:
+// the planner and corpus are deterministic, so any increase is a cost
+// model regression, not noise.
+func BenchmarkEstimateAccuracy(b *testing.B) {
+	type item struct {
+		h    *core.Hybrid
+		plan *semop.Plan
+	}
+	var items []item
+	for _, c := range []*workload.Corpus{
+		workload.ECommerce(workload.DefaultECommerceOptions()),
+		workload.Healthcare(workload.DefaultHealthcareOptions()),
+	} {
+		ner := slm.NewNER()
+		c.Register(ner)
+		h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range c.Queries {
+			plan, err := semop.Bind(semop.Parse(q.Text, ner), h.Catalog())
+			if err != nil {
+				continue
+			}
+			items = append(items, item{h: h, plan: plan})
+		}
+	}
+	if len(items) == 0 {
+		b.Fatal("no workload question bound")
+	}
+	var maxQ float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		maxQ = 0
+		for _, it := range items {
+			_, run, err := it.h.Federation().Execute(it.plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, fr := range run.Fragments {
+				if q := federate.QError(fr.Est.Scanned, fr.ActScanned); q > maxQ {
+					maxQ = q
+				}
+				if q := federate.QError(fr.Est.Out, fr.ActOut); q > maxQ {
+					maxQ = q
+				}
+			}
+		}
+	}
+	b.ReportMetric(maxQ, "q_error_max")
+	b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
 // BenchmarkAskEndToEnd times the public API answer path.
 func BenchmarkAskEndToEnd(b *testing.B) {
 	sys := New()

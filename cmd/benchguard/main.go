@@ -6,7 +6,9 @@
 //	go test -run xxx -bench . -benchtime 3x . | benchguard -parse - -out BENCH_ci.json
 //
 // Benchmarks that report a rows_scanned/op metric (the pushdown
-// benchmarks) also emit a "<name>|rows_scanned" entry.
+// benchmarks) also emit a "<name>|rows_scanned" entry, and benchmarks
+// reporting q_error_max (the estimate-accuracy harness) emit a
+// "<name>|q_error_max" entry.
 //
 // Compare mode — fail (exit 1) when any benchmark present in both
 // files regressed by more than -tolerance (fraction, default 0.25):
@@ -20,10 +22,11 @@
 // — does not move any benchmark, while a single benchmark regressing
 // relative to its peers still trips the gate.
 //
-// rows_scanned entries gate exactly: they are machine-independent
-// (deterministic planner + corpus), so they are never normalized and
-// any increase over the baseline fails — a pushdown or optimizer-rule
-// regression cannot hide behind timing tolerance.
+// rows_scanned and q_error_max entries gate exactly: they are
+// machine-independent (deterministic planner + corpus), so they are
+// never normalized and any increase over the baseline fails — a
+// pushdown, optimizer-rule or cost-model regression cannot hide
+// behind timing tolerance.
 //
 // Benchmarks only in the baseline are reported as missing (fatal, so a
 // silently deleted benchmark cannot hide a regression); benchmarks
@@ -49,9 +52,18 @@ import (
 // benchmarks reporting the rows_scanned/op metric.
 type Report map[string]float64
 
-// scannedSuffix marks machine-independent scanned-rows entries, which
-// compare exactly (no normalization, zero tolerance).
-const scannedSuffix = "|rows_scanned"
+// scannedSuffix and qErrorSuffix mark machine-independent entries
+// (scanned rows, estimate-accuracy q-error), which compare exactly
+// (no normalization, zero tolerance).
+const (
+	scannedSuffix = "|rows_scanned"
+	qErrorSuffix  = "|q_error_max"
+)
+
+// exactEntry reports whether the named entry gates exactly.
+func exactEntry(name string) bool {
+	return strings.HasSuffix(name, scannedSuffix) || strings.HasSuffix(name, qErrorSuffix)
+}
 
 func main() {
 	parse := flag.String("parse", "", "bench output file to parse ('-' for stdin)")
@@ -150,6 +162,12 @@ func ParseBench(r io.Reader) (Report, error) {
 					return nil, fmt.Errorf("bad rows_scanned/op in %q: %w", sc.Text(), err)
 				}
 				report[name+scannedSuffix] = rows
+			case "q_error_max":
+				q, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad q_error_max in %q: %w", sc.Text(), err)
+				}
+				report[name+qErrorSuffix] = q
 			}
 		}
 	}
@@ -184,7 +202,7 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 	if normalize {
 		logSum, n := 0.0, 0
 		for _, name := range names {
-			if strings.HasSuffix(name, scannedSuffix) {
+			if exactEntry(name) {
 				continue // machine-independent: never normalized
 			}
 			if cur, found := current[name]; found && baseline[name] > 0 && cur > 0 {
@@ -201,18 +219,22 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 	for _, name := range names {
 		base := baseline[name]
 		cur, found := current[name]
-		exact := strings.HasSuffix(name, scannedSuffix)
+		exact := exactEntry(name)
 		unit := "ns/op"
-		if exact {
+		switch {
+		case strings.HasSuffix(name, scannedSuffix):
 			unit = "rows"
+		case strings.HasSuffix(name, qErrorSuffix):
+			unit = "q"
 		}
 		if !found {
-			lines = append(lines, fmt.Sprintf("MISSING  %-44s baseline %.0f %s, absent from current run", name, base, unit))
+			lines = append(lines, fmt.Sprintf("MISSING  %-44s baseline %s %s, absent from current run", name, fmtVal(name, base), unit))
 			ok = false
 			continue
 		}
-		// Scanned-rows entries are deterministic: compare raw values with
-		// zero tolerance, so any pushdown regression fails the job.
+		// Exact entries are deterministic: compare raw values with zero
+		// tolerance, so any pushdown or cost-model regression fails the
+		// job.
 		tol, adjusted := tolerance, cur/scale
 		if exact {
 			tol, adjusted = 0, cur
@@ -223,7 +245,7 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 			verdict = "REGRESSED"
 			ok = false
 		}
-		lines = append(lines, fmt.Sprintf("%s %-44s %12.0f -> %12.0f %s (%+.1f%%)", verdict, name, base, cur, unit, delta*100))
+		lines = append(lines, fmt.Sprintf("%s %-44s %12s -> %12s %s (%+.1f%%)", verdict, name, fmtVal(name, base), fmtVal(name, cur), unit, delta*100))
 	}
 	extra := make([]string, 0)
 	for name := range current {
@@ -236,6 +258,15 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 		lines = append(lines, fmt.Sprintf("NEW      %-44s %12.0f ns/op (no baseline)", name, current[name]))
 	}
 	return lines, ok
+}
+
+// fmtVal renders an entry value: q-error metrics keep their decimals,
+// everything else is a whole number.
+func fmtVal(name string, v float64) string {
+	if strings.HasSuffix(name, qErrorSuffix) {
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 func runCompare(basePath, curPath string, tolerance float64, normalize bool) (bool, error) {

@@ -13,6 +13,7 @@ BenchmarkSequentialIngest-8     	      18	  63000000 ns/op	       761.9 docs/s
 BenchmarkParallelIngest         	      20	  55000000 ns/op	       870.0 docs/s
 BenchmarkAnswerAll-8            	     100	   1265000 ns/op	       790.0 q/s
 BenchmarkFederatedFilteredAggregate-8   	  500000	      2700 ns/op	         3.000 rows_scanned/op
+BenchmarkEstimateAccuracy-8             	      30	   1500000 ns/op	         1.667 q_error_max	     17000 q/s
 PASS
 ok  	repro	4.2s
 `
@@ -28,6 +29,8 @@ func TestParseBench(t *testing.T) {
 		"BenchmarkAnswerAll":                               1265000,
 		"BenchmarkFederatedFilteredAggregate":              2700,
 		"BenchmarkFederatedFilteredAggregate|rows_scanned": 3,
+		"BenchmarkEstimateAccuracy":                        1500000,
+		"BenchmarkEstimateAccuracy|q_error_max":            1.667,
 	}
 	if len(r) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(r), len(want), r)
@@ -117,5 +120,33 @@ func TestCompareScannedRowsGateExactly(t *testing.T) {
 	cur := Report{"A": 200, "B": 200, "A|rows_scanned": 4}
 	if lines, ok := Compare(baseline, cur, 0.25, true); ok {
 		t.Errorf("normalized run must still gate rows exactly:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestCompareQErrorGateExactly pins the estimate-accuracy gate: the
+// q_error_max metric is deterministic, so the smallest increase over
+// the committed baseline fails, it is never normalized, and its
+// decimals survive the report (a 1.667 → 2 rounding would hide real
+// movement).
+func TestCompareQErrorGateExactly(t *testing.T) {
+	baseline := Report{"A": 100, "A|q_error_max": 1.667}
+
+	if lines, ok := Compare(baseline, Report{"A": 110, "A|q_error_max": 1.667}, 0.25, false); !ok {
+		t.Errorf("unchanged q-error should pass:\n%s", strings.Join(lines, "\n"))
+	}
+	lines, ok := Compare(baseline, Report{"A": 100, "A|q_error_max": 1.7}, 0.25, false)
+	if ok {
+		t.Errorf("q-error regression should fail:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "REGRESSED A|q_error_max") {
+		t.Errorf("q-error entry not flagged:\n%s", joined)
+	}
+	if !strings.Contains(joined, "1.700") {
+		t.Errorf("q-error decimals lost in the report:\n%s", joined)
+	}
+	// Tighter estimates pass; normalization never applies.
+	if lines, ok := Compare(baseline, Report{"A": 200, "A|q_error_max": 1.5}, 0.25, true); !ok {
+		t.Errorf("q-error improvement should pass under normalization:\n%s", strings.Join(lines, "\n"))
 	}
 }

@@ -44,6 +44,12 @@ var sqlShapes = []struct {
 	{"sql_groupby", "SELECT product, AVG(stars) AS result FROM ratings GROUP BY product"},
 	{"sql_join", "SELECT AVG(stars) AS result FROM ratings JOIN metric_changes ON ratings.product = metric_changes.product WHERE change_pct > 15"},
 	{"sql_orderby", "SELECT product, revenue FROM sales WHERE quarter = 'Q4' ORDER BY revenue DESC LIMIT 3"},
+	// The statistics-driven reorder gate's no-fire case: ratings is
+	// raw-larger than metric_changes (the pre-stats rule's only gate),
+	// but per-column stats estimate the driving side filtering down to
+	// ~1 row — below the ~3-row seeded joined side — so the key
+	// equality is NOT seeded and the trace records the skip.
+	{"sql_join_skip_seed", "SELECT AVG(stars) AS result FROM ratings JOIN metric_changes ON ratings.product = metric_changes.product WHERE product = 'Product Alpha' AND stars < 4"},
 }
 
 func explainHybrid(t *testing.T, workers int) *Hybrid {

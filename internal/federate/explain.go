@@ -16,6 +16,7 @@ import (
 //
 //	logical:  Scan(ratings[product,stars]) -> Join(...) -> Aggregate(group=[], AVG(stars))
 //	rules:    prune(ratings -> product,stars)
+//	stats:    scan[0] ratings est 96 act 96 q=1.00; scan[1] metric_changes est 12 act 12 q=1.00
 //	physical:
 //	  scan[0]: backend=memory table=ratings push=[] project=[product,stars] est: scan 96/96 out 96; actual: scan 96 out 96
 //	  scan[1]: backend=memory table=metric_changes push=[change_pct > 15] project=[product] est: scan 12/48 out 12; actual: scan 12 out 12
@@ -34,6 +35,15 @@ func Explain(run *Run) string {
 	} else {
 		b.WriteString("rules:    none\n")
 	}
+	b.WriteString("stats:    ")
+	for i, fr := range run.Fragments {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "scan[%d] %s est %d act %d q=%.2f",
+			i, fr.Table, fr.Est.Out, fr.ActOut, QError(fr.Est.Out, fr.ActOut))
+	}
+	b.WriteByte('\n')
 	b.WriteString("physical:\n")
 	for i, fr := range run.Fragments {
 		fmt.Fprintf(&b, "  scan[%d]: backend=%s table=%s push=%s",
@@ -59,6 +69,19 @@ func Explain(run *Run) string {
 	}
 	fmt.Fprintf(&b, "  result: %d rows", run.RowsOut)
 	return b.String()
+}
+
+// QError is the symmetric estimation-accuracy ratio max(e/a, a/e) of
+// an estimated vs actual row count, both floored at one row so empty
+// fragments compare finitely. 1.0 is a perfect estimate. It is the
+// one definition behind EXPLAIN's stats line, the estimate-accuracy
+// harness, and the benchguard-gated q_error_max metric.
+func QError(est, act int) float64 {
+	e, a := float64(max(est, 1)), float64(max(act, 1))
+	if e > a {
+		return e / a
+	}
+	return a / e
 }
 
 // findJoin locates the join of the residual tree (at most one in the

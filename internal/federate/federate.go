@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -117,29 +116,20 @@ type Backend interface {
 	Scan(f Fragment) (Result, error)
 }
 
-// Selectivity is the deterministic per-predicate row-fraction
-// heuristic shared by backends without per-column statistics. It is
-// the same heuristic the logical optimizer's reorder rule uses, so
-// planning-time and lowering-time estimates agree.
-func Selectivity(p table.Pred) float64 {
-	return logical.Selectivity(p)
-}
-
-// estOut applies the selectivity heuristic of preds to n rows, keeping
-// at least one expected row for any non-empty input.
-func estOut(n int, preds []table.Pred) int {
-	if n == 0 {
-		return 0
+// estimateFromStats derives a backend's Estimate from shared
+// per-column table statistics: a full scan of the table, an output
+// estimated per predicate through SelectivityWith (exact value
+// counts, NDV division, histogram interpolation — heuristic fallback
+// for columns without stats), and a linear fixed + per-row cost.
+// Backends with a smarter access path (the memory backend's equality
+// indexes) refine Scanned/Out/Cost on top of it.
+func estimateFromStats(ts *table.TableStats, total int, preds []table.Pred, fixed, perRow float64) Estimate {
+	return Estimate{
+		Total:   total,
+		Scanned: total,
+		Out:     ts.EstimateRows(total, preds),
+		Cost:    fixed + perRow*float64(total),
 	}
-	f := float64(n)
-	for _, p := range preds {
-		f *= Selectivity(p)
-	}
-	out := int(f)
-	if out < 1 {
-		out = 1
-	}
-	return out
 }
 
 // predsString renders a predicate conjunction for EXPLAIN.

@@ -37,6 +37,7 @@ type GraphEvidence struct {
 	epoch  uint64
 	fresh  bool
 	tables map[string]*table.Table
+	stats  map[string]*table.TableStats
 }
 
 // NewGraphEvidence returns a backend over g. epochFn versions the
@@ -59,14 +60,17 @@ func (ge *GraphEvidence) Caps() Caps { return CapFilter }
 // CanPush implements Backend.
 func (ge *GraphEvidence) CanPush(string, table.Pred) bool { return true }
 
-// materialize returns the named evidence table, rebuilding the set
-// when the graph epoch has moved. Unserved names return immediately —
-// the planner probes every backend for every table, and a miss must
-// not trigger an O(graph) rebuild on the answer hot path.
-func (ge *GraphEvidence) materialize(name string) (*table.Table, bool) {
+// materialize returns the named evidence table and its per-column
+// statistics, rebuilding the set when the graph epoch has moved.
+// Unserved names return immediately — the planner probes every
+// backend for every table, and a miss must not trigger an O(graph)
+// rebuild on the answer hot path. Statistics are built with the same
+// table.BuildStats the catalog uses, so graph-view estimates share
+// the one cost model.
+func (ge *GraphEvidence) materialize(name string) (*table.Table, *table.TableStats, bool) {
 	name = strings.ToLower(name)
 	if name != GraphEntitiesTable && name != GraphTriplesTable {
-		return nil, false
+		return nil, nil, false
 	}
 	ge.mu.Lock()
 	defer ge.mu.Unlock()
@@ -77,9 +81,13 @@ func (ge *GraphEvidence) materialize(name string) (*table.Table, bool) {
 			GraphEntitiesTable: ge.buildEntities(),
 			GraphTriplesTable:  ge.buildTriples(),
 		}
+		ge.stats = make(map[string]*table.TableStats, len(ge.tables))
+		for n, t := range ge.tables {
+			ge.stats[n] = table.BuildStats(t)
+		}
 	}
 	t, ok := ge.tables[name]
-	return t, ok
+	return t, ge.stats[name], ok
 }
 
 func (ge *GraphEvidence) buildEntities() *table.Table {
@@ -118,25 +126,20 @@ func (ge *GraphEvidence) buildTriples() *table.Table {
 	return t
 }
 
-// Estimate implements Backend: full scan of the materialized view with
-// heuristic selectivity.
+// Estimate implements Backend: full scan of the materialized view,
+// output estimated from the view's per-column statistics through the
+// shared estimator.
 func (ge *GraphEvidence) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
-	t, ok := ge.materialize(tbl)
+	t, ts, ok := ge.materialize(tbl)
 	if !ok {
 		return Estimate{}, false
 	}
-	total := t.Len()
-	return Estimate{
-		Total:   total,
-		Scanned: total,
-		Out:     estOut(total, preds),
-		Cost:    16 + float64(total),
-	}, true
+	return estimateFromStats(ts, t.Len(), preds, 16, 1), true
 }
 
 // Scan implements Backend.
 func (ge *GraphEvidence) Scan(f Fragment) (Result, error) {
-	t, ok := ge.materialize(f.Table)
+	t, _, ok := ge.materialize(f.Table)
 	if !ok {
 		return Result{}, ErrNoBackend
 	}

@@ -110,19 +110,28 @@ func (m *Memory) pickIndex(t *table.Table, preds []table.Pred) (best int, bucket
 	return best, bucket
 }
 
-// Estimate implements Backend. Equality predicates are estimated from
-// exact index bucket sizes; remaining predicates use the shared
-// selectivity heuristic. Deterministic for a fixed catalog epoch.
+// Estimate implements Backend. The smallest equality-index bucket an
+// indexable predicate would scan is estimated from the catalog's
+// per-column statistics — exact for low-NDV columns, where it equals
+// the bucket Scan will actually read — without forcing index builds
+// at planning time; remaining predicates flow through the shared
+// statistics-driven selectivity model. Deterministic for a fixed
+// catalog epoch.
 func (m *Memory) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
 	t, err := m.catalog.Get(tbl)
 	if err != nil {
 		return Estimate{}, false
 	}
+	ts := m.catalog.StatsOf(tbl)
 	total := t.Len()
-	scan := total
-	pick, bucket := m.pickIndex(t, preds)
-	if pick >= 0 {
-		scan = len(bucket)
+	scan, pick := total, -1
+	for i, p := range preds {
+		if !indexable(t, p) {
+			continue
+		}
+		if est := estEqBucket(ts, total, p); pick == -1 || est < scan {
+			pick, scan = i, est
+		}
 	}
 	rest := preds
 	if pick >= 0 {
@@ -131,9 +140,19 @@ func (m *Memory) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
 	return Estimate{
 		Total:   total,
 		Scanned: scan,
-		Out:     estOut(scan, rest),
+		Out:     ts.EstimateRows(scan, rest),
 		Cost:    8 + float64(scan),
 	}, true
+}
+
+// estEqBucket estimates the rows an equality-index bucket holds for
+// p's value: the exact per-value count when the column statistics
+// keep one, else the statistics-driven (or heuristic) uniform share.
+func estEqBucket(ts *table.TableStats, total int, p table.Pred) int {
+	if n, ok := ts.Col(p.Col).EqCount(p.Val); ok {
+		return n
+	}
+	return ts.EstimateRows(total, []table.Pred{p})
 }
 
 // Scan implements Backend: index-accelerated filter, then aggregation,

@@ -178,6 +178,34 @@ type PhysicalPlan struct {
 	key   string
 }
 
+// estGroupRows estimates how many group rows an aggregation over in
+// input rows produces: one for a global aggregate, else the product of
+// the group keys' distinct counts, capped at the input estimate
+// (grouping cannot create rows).
+func estGroupRows(ts *table.TableStats, in int, groupBy []string) int {
+	if in == 0 {
+		return 0
+	}
+	if len(groupBy) == 0 {
+		return 1
+	}
+	groups := 1
+	for _, col := range groupBy {
+		ndv := in // unknown column: assume no collapsing
+		if cs := ts.Col(col); cs != nil && cs.NDV > 0 {
+			ndv = cs.NDV
+		}
+		if groups >= (in+ndv-1)/ndv { // groups*ndv would overshoot in
+			return in
+		}
+		groups *= ndv
+	}
+	if groups > in {
+		return in
+	}
+	return groups
+}
+
 // splitPush partitions preds into the subset backend b absorbs and the
 // residue the federation layer must evaluate.
 func splitPush(b Backend, tbl string, preds []table.Pred) (push, rest []table.Pred) {
@@ -293,6 +321,10 @@ func (e *Executor) lower(n *logical.Node, pp *PhysicalPlan) (*logical.Node, erro
 					frag.GroupBy = n.GroupBy
 					frag.Aggs = n.Aggs
 					frag.Columns = nil // aggregation already minimizes the output
+					// The fragment now returns group rows, not filtered
+					// rows: re-estimate its output from the group keys'
+					// distinct counts.
+					frag.Est.Out = estGroupRows(e.Stats().TableStats(frag.Table), frag.Est.Out, n.GroupBy)
 					pp.AggPushed = true
 					return input, nil
 				}

@@ -98,19 +98,13 @@ func plainNumber(s string) bool {
 }
 
 // Estimate implements Backend: no indexes, so every scan reads the
-// whole table; the heuristic selectivity estimates the output.
+// whole table; the shared catalog statistics estimate the output.
 func (s *SQL) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
 	t, err := s.catalog.Get(tbl)
 	if err != nil {
 		return Estimate{}, false
 	}
-	total := t.Len()
-	return Estimate{
-		Total:   total,
-		Scanned: total,
-		Out:     estOut(total, preds),
-		Cost:    s.Fixed + s.PerRow*float64(total),
-	}, true
+	return estimateFromStats(s.catalog.StatsOf(tbl), t.Len(), preds, s.Fixed, s.PerRow), true
 }
 
 // Render lowers the fragment to one SELECT statement in the dialect.

@@ -1,6 +1,7 @@
 package logical
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -299,6 +300,109 @@ func TestReorderSkipsSmallerDrivingSide(t *testing.T) {
 	_, opt := execBoth(t, root, c)
 	if traced(t, opt, "reorder") {
 		t.Errorf("reorder fired with a smaller driving side: %v", opt.Trace)
+	}
+}
+
+// skewCatalog builds the statistics-sensitive reorder scenario: the
+// driving table is raw-larger than the joined side (the fixed
+// heuristic's only gate), but its join-key values are spread thin
+// while the joined side is heavily skewed toward one key.
+func skewCatalog() *table.Catalog {
+	c := table.NewCatalog()
+	events := table.New("events", table.Schema{
+		{Name: "key", Type: table.TypeString},
+		{Name: "amount", Type: table.TypeInt},
+	})
+	for i := 0; i < 40; i++ { // 20 distinct keys, 2 rows each
+		events.MustAppend([]table.Value{table.S(fmt.Sprintf("k%02d", i%20)), table.I(int64(i))})
+	}
+	c.Put(events)
+	dims := table.New("dims", table.Schema{
+		{Name: "key", Type: table.TypeString},
+		{Name: "weight", Type: table.TypeInt},
+	})
+	for i := 0; i < 30; i++ { // 25 rows of the hot key, 5 singleton keys
+		k := "k00"
+		if i >= 25 {
+			k = fmt.Sprintf("k%02d", i-24)
+		}
+		dims.MustAppend([]table.Value{table.S(k), table.I(int64(i))})
+	}
+	c.Put(dims)
+	return c
+}
+
+// TestReorderSkipsWhenDrivingFiltersBelowSeededSide pins the rule
+// interaction the fixed heuristic got wrong: the driving table is
+// raw-larger (40 vs 30 rows), so the pre-statistics gate always
+// seeded, but the per-column statistics show the key equality filters
+// the driving side down to ~2 rows while the seeded joined side would
+// still hold ~25 rows of the skewed key. The seed must be skipped
+// (with a trace note) and results stay bit-identical.
+func TestReorderSkipsWhenDrivingFiltersBelowSeededSide(t *testing.T) {
+	c := skewCatalog()
+	join := semiJoin("events", "dims", "key", nil)
+	root := filter(join, table.Pred{Col: "key", Op: table.OpEq, Val: table.S("k00")})
+	_, opt := execBoth(t, root, c)
+	skipped := false
+	for _, tr := range opt.Trace {
+		if strings.Contains(tr, "skip seed dims") {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatalf("expected a skip-seed trace note, got %v", opt.Trace)
+	}
+	walk(opt.Root, func(n *Node) {
+		if n.Op == OpFilter {
+			if ch := n.Child(); ch != nil && ch.Op == OpScan && ch.Table == "dims" {
+				t.Errorf("seed landed on the joined side despite the skip gate:\n%s", opt.Root)
+			}
+		}
+	})
+}
+
+// TestReorderSeedGateIsPerValue shows the same plan shape firing for a
+// rare key: exact per-value counts make the gate data-dependent, not
+// shape-dependent. "k05" holds one row of dims, so the seeded side
+// estimates below the filtered driving side and seeding pays.
+func TestReorderSeedGateIsPerValue(t *testing.T) {
+	c := skewCatalog()
+	join := semiJoin("events", "dims", "key", nil)
+	root := filter(join, table.Pred{Col: "key", Op: table.OpEq, Val: table.S("k05")})
+	_, opt := execBoth(t, root, c)
+	if !traced(t, opt, "reorder") {
+		t.Fatalf("reorder did not fire for the rare key: %v", opt.Trace)
+	}
+	seeded := false
+	walk(opt.Root, func(n *Node) {
+		if n.Op == OpFilter {
+			if ch := n.Child(); ch != nil && ch.Op == OpScan && ch.Table == "dims" {
+				seeded = true
+			}
+		}
+	})
+	if !seeded {
+		t.Errorf("rare-key seed did not land on the joined side:\n%s", opt.Root)
+	}
+}
+
+// TestSelectivityWithFallsBackToHeuristic pins the estimator contract:
+// statistics answer when they can, and degrade to the fixed heuristic
+// for unknown columns or nil statistics.
+func TestSelectivityWithFallsBackToHeuristic(t *testing.T) {
+	c := testCatalog()
+	ts := c.StatsOf("sales")
+	eq := table.Pred{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}
+	if got := SelectivityWith(ts, eq); got != 2.0/6 {
+		t.Errorf("stats equality selectivity = %v, want 2/6 (exact count)", got)
+	}
+	unknown := table.Pred{Col: "no_such_col", Op: table.OpEq, Val: table.S("x")}
+	if got := SelectivityWith(ts, unknown); got != Selectivity(unknown) {
+		t.Errorf("unknown column selectivity = %v, want heuristic %v", got, Selectivity(unknown))
+	}
+	if got := SelectivityWith(nil, eq); got != Selectivity(eq) {
+		t.Errorf("nil stats selectivity = %v, want heuristic %v", got, Selectivity(eq))
 	}
 }
 

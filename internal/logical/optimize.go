@@ -9,11 +9,16 @@ import (
 
 // Stats is the catalog surface the optimizer consults: base-table
 // schemas for predicate re-typing and projection pruning, row counts
-// for join-input reordering. A nil Stats disables the passes that need
-// it; the structural passes still run.
+// and per-column statistics (NDV, histograms) for selectivity
+// estimation and join-input reordering. A nil Stats disables the
+// passes that need it; the structural passes still run.
 type Stats interface {
 	Schema(tbl string) (table.Schema, bool)
 	Card(tbl string) (int, bool)
+	// TableStats returns the per-column statistics of a base table, or
+	// nil when none are kept (the caller falls back to the fixed
+	// selectivity heuristic).
+	TableStats(tbl string) *table.TableStats
 }
 
 type catalogStats struct{ c *table.Catalog }
@@ -32,6 +37,10 @@ func (s catalogStats) Card(tbl string) (int, bool) {
 		return 0, false
 	}
 	return t.Len(), true
+}
+
+func (s catalogStats) TableStats(tbl string) *table.TableStats {
+	return s.c.StatsOf(tbl)
 }
 
 // CatalogStats adapts a table.Catalog to the optimizer's Stats surface.
@@ -466,28 +475,30 @@ func copySet(in map[string]bool) map[string]bool {
 }
 
 // Selectivity is the deterministic per-predicate row-fraction
-// heuristic shared by the optimizer and every backend cost model
-// without per-column statistics.
+// heuristic used when no per-column statistics exist — the shared
+// fallback of SelectivityWith.
 func Selectivity(p table.Pred) float64 {
-	switch p.Op {
-	case table.OpEq:
-		return 0.1
-	case table.OpNe:
-		return 0.9
-	case table.OpContains:
-		return 0.5
-	default: // range comparisons
-		return 1.0 / 3
-	}
+	return table.DefaultSelectivity(p)
 }
 
-// reorderPass reorders join-input evaluation by catalog cardinality:
-// when the driving (left) side is the larger input and carries an
-// equality predicate on the join key, that predicate is seeded into
-// the smaller joined side's scan, so the join's lookup input shrinks
-// before it is ever read. The driving side's row order is untouched —
-// the larger side stays the hash-probe side before and after — so
-// results are bit-identical; only the joined side's scan gets cheaper.
+// SelectivityWith estimates p's row fraction from per-column
+// statistics (exact value counts, NDV, histogram interpolation) when
+// they can judge the predicate, falling back to the fixed heuristic.
+// It is the optimizer's name for table.TableStats.SelectivityOf — the
+// same estimator the federated backends consult — so planning-time
+// and lowering-time estimates agree.
+func SelectivityWith(ts *table.TableStats, p table.Pred) float64 {
+	return ts.SelectivityOf(p)
+}
+
+// reorderPass reorders join-input evaluation by estimated filtered
+// cardinality: when the driving (left) side is the larger input and
+// carries an equality predicate on the join key, that predicate is
+// seeded into the smaller joined side's scan, so the join's lookup
+// input shrinks before it is ever read. The driving side's row order
+// is untouched — the larger side stays the hash-probe side before and
+// after — so results are bit-identical; only the joined side's scan
+// gets cheaper.
 func reorderPass(o *Optimized, st Stats) []string {
 	if st == nil {
 		return nil
@@ -534,6 +545,14 @@ func reorderPass(o *Optimized, st Stats) []string {
 // hash join builds on the right and probes the left both before and
 // after, and shrinking the right input cannot perturb row order. A
 // non-strict gate would let equal cardinalities flip the build side.
+//
+// Within that safety gate, per-column statistics decide whether each
+// seed pays: the driving side's cardinality as filtered by the
+// predicates above the join must still exceed the seeded right side's
+// estimate. When stats show the "larger" driving table filtering down
+// below the lookup side, the seed is skipped (with a trace note) —
+// the per-row predicate tax on the right scan would outweigh a join
+// that is already probe-bound small.
 func seedJoin(j *Node, above []*Node, st Stats) []string {
 	left := j.In[0]
 	for left != nil && left.Op == OpProject { // projection keeps row count
@@ -555,7 +574,23 @@ func seedJoin(j *Node, above []*Node, st Stats) []string {
 		return nil
 	}
 
+	// Estimated driving-side cardinality after every above-join
+	// predicate that resolves against its schema (the join keeps the
+	// driving side's column names; renamed right-side collisions do
+	// not resolve here).
+	leftStats := st.TableStats(left.Table)
+	leftSchema, _ := st.Schema(left.Table)
+	estLeft := float64(leftCard)
+	for _, f := range above {
+		for _, p := range f.Preds {
+			if leftSchema.ColIndex(p.Col) >= 0 {
+				estLeft *= SelectivityWith(leftStats, p)
+			}
+		}
+	}
+
 	// Existing right-side predicates, to skip duplicates and estimate.
+	rightStats := st.TableStats(rightScan.Table)
 	var rightFilter *Node
 	existing := make(map[string]bool)
 	estBefore := float64(rightCard)
@@ -568,7 +603,7 @@ func seedJoin(j *Node, above []*Node, st Stats) []string {
 		}
 		for _, p := range c.Preds {
 			existing[predKey(p)] = true
-			estBefore *= Selectivity(p)
+			estBefore *= SelectivityWith(rightStats, p)
 		}
 	}
 
@@ -580,6 +615,12 @@ func seedJoin(j *Node, above []*Node, st Stats) []string {
 			}
 			seeded := table.Pred{Col: j.RightCol, Op: table.OpEq, Val: p.Val}
 			if existing[predKey(seeded)] {
+				continue
+			}
+			estAfter := estBefore * SelectivityWith(rightStats, seeded)
+			if estLeft <= estAfter {
+				notes = append(notes, fmt.Sprintf("skip seed %s with %s (driving est %d <= seeded est %d rows)",
+					rightScan.Table, seeded, estRows(estLeft), estRows(estAfter)))
 				continue
 			}
 			existing[predKey(seeded)] = true
@@ -599,7 +640,6 @@ func seedJoin(j *Node, above []*Node, st Stats) []string {
 				}
 			}
 			rightFilter.Preds = append(rightFilter.Preds, seeded)
-			estAfter := estBefore * Selectivity(seeded)
 			notes = append(notes, fmt.Sprintf("seed %s with %s (est %d -> %d rows)",
 				rightScan.Table, seeded, estRows(estBefore), estRows(estAfter)))
 			estBefore = estAfter

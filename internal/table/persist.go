@@ -7,11 +7,40 @@ import (
 )
 
 // persistTable is the on-disk form of one table: schema plus rows in
-// display encoding (NULL as JSON null).
+// display encoding (NULL as JSON null), plus the per-column statistics
+// built at its last Put, so a loaded catalog plans with the same
+// estimates it was saved with.
 type persistTable struct {
-	Name    string      `json:"name"`
-	Columns []Column    `json:"columns"`
-	Rows    [][]*string `json:"rows"`
+	Name    string         `json:"name"`
+	Columns []Column       `json:"columns"`
+	Rows    [][]*string    `json:"rows"`
+	Stats   []persistStats `json:"stats,omitempty"`
+}
+
+// persistStats is the on-disk form of one column's statistics. Values
+// round-trip through their display strings, typed by the column they
+// belong to.
+type persistStats struct {
+	Col   string          `json:"col"`
+	Rows  int             `json:"rows"`
+	Nulls int             `json:"nulls,omitempty"`
+	NDV   int             `json:"ndv"`
+	Min   *string         `json:"min,omitempty"`
+	Max   *string         `json:"max,omitempty"`
+	Hist  []persistBucket `json:"hist,omitempty"`
+	Exact []persistCount  `json:"exact,omitempty"`
+}
+
+type persistBucket struct {
+	Lower string `json:"lo"`
+	Upper string `json:"hi"`
+	Count int    `json:"n"`
+	NDV   int    `json:"ndv"`
+}
+
+type persistCount struct {
+	Val   string `json:"v"`
+	Count int    `json:"n"`
 }
 
 // persistCatalog is the on-disk form of a catalog.
@@ -41,6 +70,7 @@ func (c *Catalog) WriteJSON(w io.Writer) error {
 			}
 			pt.Rows = append(pt.Rows, pr)
 		}
+		pt.Stats = persistTableStats(c.StatsOf(name))
 		p.Tables = append(p.Tables, pt)
 	}
 	if err := json.NewEncoder(w).Encode(p); err != nil {
@@ -49,7 +79,38 @@ func (c *Catalog) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadCatalogJSON reconstructs a catalog written by WriteJSON.
+func persistTableStats(ts *TableStats) []persistStats {
+	if ts == nil {
+		return nil
+	}
+	out := make([]persistStats, len(ts.Cols))
+	for i, cs := range ts.Cols {
+		ps := persistStats{Col: cs.Col, Rows: cs.Rows, Nulls: cs.Nulls, NDV: cs.NDV}
+		if !cs.Min.IsNull() {
+			s := cs.Min.String()
+			ps.Min = &s
+		}
+		if !cs.Max.IsNull() {
+			s := cs.Max.String()
+			ps.Max = &s
+		}
+		for _, b := range cs.Hist {
+			ps.Hist = append(ps.Hist, persistBucket{
+				Lower: b.Lower.String(), Upper: b.Upper.String(), Count: b.Count, NDV: b.NDV,
+			})
+		}
+		for _, vc := range cs.Exact {
+			ps.Exact = append(ps.Exact, persistCount{Val: vc.Val.String(), Count: vc.Count})
+		}
+		out[i] = ps
+	}
+	return out
+}
+
+// ReadCatalogJSON reconstructs a catalog written by WriteJSON,
+// restoring serialized per-column statistics (or rebuilding them for
+// files written before statistics existed) so planning over a loaded
+// catalog reproduces the saved system's physical plans.
 func ReadCatalogJSON(r io.Reader) (*Catalog, error) {
 	var p persistCatalog
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
@@ -78,7 +139,61 @@ func ReadCatalogJSON(r io.Reader) (*Catalog, error) {
 				return nil, fmt.Errorf("table: read catalog %s row %d: %w", pt.Name, ri, err)
 			}
 		}
-		c.Put(t)
+		if pt.Stats == nil {
+			c.Put(t)
+			continue
+		}
+		ts, err := parseTableStats(t, pt.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("table: read catalog %s: %w", pt.Name, err)
+		}
+		c.putWithStats(t, ts)
 	}
 	return c, nil
+}
+
+func parseTableStats(t *Table, cols []persistStats) (*TableStats, error) {
+	ts := &TableStats{Table: t.Name, Rows: t.Len(), Cols: make([]ColStats, len(cols))}
+	for i, ps := range cols {
+		ci := t.Schema.ColIndex(ps.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("stats for unknown column %s: %w", ps.Col, ErrNoColumn)
+		}
+		typ := t.Schema[ci].Type
+		cs := ColStats{Col: ps.Col, Rows: ps.Rows, Nulls: ps.Nulls, NDV: ps.NDV}
+		var err error
+		if cs.Min, err = parseStatValue(typ, ps.Min); err != nil {
+			return nil, err
+		}
+		if cs.Max, err = parseStatValue(typ, ps.Max); err != nil {
+			return nil, err
+		}
+		for _, pb := range ps.Hist {
+			lo, err := Parse(typ, pb.Lower)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := Parse(typ, pb.Upper)
+			if err != nil {
+				return nil, err
+			}
+			cs.Hist = append(cs.Hist, Bucket{Lower: lo, Upper: hi, Count: pb.Count, NDV: pb.NDV})
+		}
+		for _, pc := range ps.Exact {
+			v, err := Parse(typ, pc.Val)
+			if err != nil {
+				return nil, err
+			}
+			cs.Exact = append(cs.Exact, ValueCount{Val: v, Count: pc.Count})
+		}
+		ts.Cols[i] = cs
+	}
+	return ts, nil
+}
+
+func parseStatValue(typ ColType, s *string) (Value, error) {
+	if s == nil {
+		return Null(typ), nil
+	}
+	return Parse(typ, *s)
 }

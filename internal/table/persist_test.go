@@ -2,6 +2,7 @@ package table
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,43 @@ func TestCatalogJSONRoundTrip(t *testing.T) {
 	}
 	if bt.Rows[0][2].Str() != "2024-05-01" {
 		t.Errorf("date cell: %v", bt.Rows[0][2])
+	}
+}
+
+// TestCatalogJSONRoundTripsStats proves per-column statistics
+// serialize and restore identically (modulo the epoch stamp, which is
+// the loaded catalog's own), so a loaded system plans with the exact
+// estimates the saved one used — no rebuild drift.
+func TestCatalogJSONRoundTripsStats(t *testing.T) {
+	c := NewCatalog()
+	c.Put(statsFixture())
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"stats"`) {
+		t.Fatal("statistics not serialized")
+	}
+	back, err := ReadCatalogJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := back.StatsOf("sales"), c.StatsOf("sales")
+	if got == nil {
+		t.Fatal("loaded catalog has no statistics")
+	}
+	if !reflect.DeepEqual(clearEpochs(got), clearEpochs(want)) {
+		t.Errorf("statistics drifted through persistence:\n%+v\nvs\n%+v", got, want)
+	}
+	// Pre-statistics files (no "stats" field) rebuild from rows.
+	legacy := `{"tables":[{"name":"t","columns":[{"Name":"a","Type":1}],"rows":[["1"],["2"],["2"]]}]}`
+	lc, err := ReadCatalogJSON(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := lc.StatsOf("t")
+	if ts == nil || ts.Col("a").NDV != 2 {
+		t.Errorf("legacy file did not rebuild statistics: %+v", ts)
 	}
 }
 

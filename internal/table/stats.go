@@ -1,0 +1,347 @@
+package table
+
+import (
+	"sort"
+	"strings"
+)
+
+// Statistics shape parameters. Exact mode keeps full per-value counts
+// for low-cardinality columns (the workload's entity/quarter/category
+// columns), making equality and CONTAINS estimates exact; everything
+// else falls back to NDV division and equi-depth histogram
+// interpolation.
+const (
+	// StatsMaxExact is the NDV ceiling below which a column keeps
+	// exact per-value counts.
+	StatsMaxExact = 64
+	// StatsBuckets is the number of equi-depth histogram buckets.
+	StatsBuckets = 8
+)
+
+// ValueCount is one distinct column value and its occurrence count.
+type ValueCount struct {
+	Val   Value
+	Count int
+}
+
+// Bucket is one equi-depth histogram bucket over a column's sorted
+// non-null values: it covers every value v with Lower ≤ v ≤ Upper.
+// Buckets partition the value domain (a distinct value never straddles
+// two buckets), so bucket counts sum to the column's non-null rows.
+type Bucket struct {
+	Lower Value // smallest value in the bucket
+	Upper Value // largest value in the bucket
+	Count int   // rows in the bucket
+	NDV   int   // distinct values in the bucket
+}
+
+// ColStats summarizes one column for cardinality estimation: null and
+// distinct counts, value bounds, an equi-depth histogram, and — for
+// low-NDV columns — exact per-value counts.
+type ColStats struct {
+	Col   string
+	Rows  int // table rows at build time (including nulls)
+	Nulls int
+	NDV   int   // distinct non-null values
+	Min   Value // NULL when the column has no non-null values
+	Max   Value
+	Hist  []Bucket
+	Exact []ValueCount // full distinct-value counts when NDV ≤ StatsMaxExact, ascending
+}
+
+// TableStats is the per-column statistics of one table, stamped with
+// the catalog epoch it was built at. Built by Catalog.Put; consumed by
+// the logical optimizer's selectivity model and every federated
+// backend's Estimate.
+type TableStats struct {
+	Table string
+	Rows  int
+	Epoch uint64
+	Cols  []ColStats // schema order
+}
+
+// Col returns the statistics of the named column (case-insensitive),
+// or nil.
+func (ts *TableStats) Col(name string) *ColStats {
+	if ts == nil {
+		return nil
+	}
+	for i := range ts.Cols {
+		if strings.EqualFold(ts.Cols[i].Col, name) {
+			return &ts.Cols[i]
+		}
+	}
+	return nil
+}
+
+// BuildStats computes per-column statistics for the table. The build
+// is deterministic for fixed rows: values sort by the engine's total
+// Compare order and every derived quantity (NDV, bucket boundaries,
+// exact counts) follows from that order alone.
+func BuildStats(t *Table) *TableStats {
+	ts := &TableStats{Table: t.Name, Rows: len(t.Rows), Cols: make([]ColStats, len(t.Schema))}
+	for ci, col := range t.Schema {
+		ts.Cols[ci] = buildColStats(col.Name, t.Rows, ci)
+	}
+	return ts
+}
+
+func buildColStats(name string, rows [][]Value, ci int) ColStats {
+	cs := ColStats{Col: name, Rows: len(rows)}
+	vals := make([]Value, 0, len(rows))
+	for _, r := range rows {
+		if r[ci].IsNull() {
+			cs.Nulls++
+			continue
+		}
+		vals = append(vals, r[ci])
+	}
+	if len(vals) == 0 {
+		return cs
+	}
+	sort.SliceStable(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+
+	// Distinct runs over the sorted values: (value, count) pairs in
+	// ascending order. NDV, exact counts and histogram buckets all
+	// derive from them.
+	type run struct {
+		val   Value
+		count int
+	}
+	runs := []run{{val: vals[0], count: 1}}
+	for _, v := range vals[1:] {
+		if Equal(v, runs[len(runs)-1].val) {
+			runs[len(runs)-1].count++
+		} else {
+			runs = append(runs, run{val: v, count: 1})
+		}
+	}
+	cs.NDV = len(runs)
+	if cs.NDV <= StatsMaxExact {
+		cs.Exact = make([]ValueCount, cs.NDV)
+		for i, r := range runs {
+			cs.Exact[i] = ValueCount{Val: r.val, Count: r.count}
+		}
+	}
+
+	// Equi-depth buckets: fill to the target depth, closing only on a
+	// distinct-value boundary so no value straddles buckets.
+	depth := (len(vals) + StatsBuckets - 1) / StatsBuckets
+	var b *Bucket
+	for _, r := range runs {
+		if b == nil {
+			cs.Hist = append(cs.Hist, Bucket{Lower: r.val})
+			b = &cs.Hist[len(cs.Hist)-1]
+		}
+		b.Upper = r.val
+		b.Count += r.count
+		b.NDV++
+		if b.Count >= depth {
+			b = nil
+		}
+	}
+	return cs
+}
+
+// EqCount returns the exact number of rows equal to v when the column
+// keeps exact per-value counts; ok is false otherwise.
+func (cs *ColStats) EqCount(v Value) (count int, ok bool) {
+	if cs == nil || cs.Exact == nil {
+		return 0, false
+	}
+	for _, vc := range cs.Exact {
+		if Equal(vc.Val, v) {
+			return vc.Count, true
+		}
+	}
+	return 0, true // exact counts cover every distinct value: absent means zero
+}
+
+// Selectivity estimates the fraction of the column's rows (nulls
+// included in the denominator, never in the numerator — NULL satisfies
+// no comparison) matching the predicate. ok is false when the
+// statistics cannot judge the operator, in which case the caller
+// should fall back to the fixed heuristic.
+func (cs *ColStats) Selectivity(p Pred) (frac float64, ok bool) {
+	if cs == nil {
+		return 0, false
+	}
+	if cs.Rows == 0 {
+		return 0, true
+	}
+	if p.Val.IsNull() {
+		return 0, true // NULL literal matches nothing
+	}
+	rows := float64(cs.Rows)
+	nonNull := float64(cs.Rows - cs.Nulls)
+	if nonNull == 0 {
+		return 0, true
+	}
+	switch p.Op {
+	case OpEq:
+		return cs.eqFraction(p.Val), true
+	case OpNe:
+		f := nonNull/rows - cs.eqFraction(p.Val)
+		if f < 0 {
+			f = 0
+		}
+		return f, true
+	case OpLt, OpLe, OpGt, OpGe:
+		matched, ok := cs.rangeCount(p)
+		if !ok {
+			return 0, false
+		}
+		return clampFrac(matched / rows), true
+	case OpContains:
+		if cs.Exact == nil {
+			return 0, false // substring frequency needs the value set
+		}
+		needle := strings.ToLower(p.Val.String())
+		matched := 0
+		for _, vc := range cs.Exact {
+			if strings.Contains(strings.ToLower(vc.Val.String()), needle) {
+				matched += vc.Count
+			}
+		}
+		return float64(matched) / rows, true
+	default:
+		return 0, false
+	}
+}
+
+// eqFraction is the equality fraction: exact when per-value counts are
+// kept, out-of-bounds zero, else the uniform 1/NDV share of non-null
+// rows.
+func (cs *ColStats) eqFraction(v Value) float64 {
+	rows := float64(cs.Rows)
+	if n, ok := cs.EqCount(v); ok {
+		return float64(n) / rows
+	}
+	if Compare(v, cs.Min) < 0 || Compare(v, cs.Max) > 0 {
+		return 0
+	}
+	nonNull := float64(cs.Rows - cs.Nulls)
+	return nonNull / float64(cs.NDV) / rows
+}
+
+// rangeCount estimates how many rows satisfy a range predicate: exact
+// counts when available, else full buckets plus linear interpolation
+// inside the boundary bucket (numeric columns) or a half-bucket
+// assumption (ordered non-numeric columns).
+func (cs *ColStats) rangeCount(p Pred) (float64, bool) {
+	if cs.Exact != nil {
+		matched := 0
+		for _, vc := range cs.Exact {
+			c := Compare(vc.Val, p.Val)
+			keep := false
+			switch p.Op {
+			case OpLt:
+				keep = c < 0
+			case OpLe:
+				keep = c <= 0
+			case OpGt:
+				keep = c > 0
+			case OpGe:
+				keep = c >= 0
+			}
+			if keep {
+				matched += vc.Count
+			}
+		}
+		return float64(matched), true
+	}
+	if len(cs.Hist) == 0 {
+		return 0, false
+	}
+	// below estimates rows with value < p.Val (OpLt/OpGe boundary) or
+	// ≤ p.Val (OpLe/OpGt boundary); without exact counts the equality
+	// mass at the boundary is folded into the interpolation.
+	var below float64
+	for _, b := range cs.Hist {
+		switch {
+		case Compare(p.Val, b.Lower) < 0:
+			// bucket entirely above the boundary
+		case Compare(p.Val, b.Upper) >= 0:
+			below += float64(b.Count)
+		default:
+			below += float64(b.Count) * interpolate(b.Lower, b.Upper, p.Val)
+		}
+	}
+	nonNull := float64(cs.Rows - cs.Nulls)
+	switch p.Op {
+	case OpLt, OpLe:
+		return below, true
+	default: // OpGt, OpGe
+		return nonNull - below, true
+	}
+}
+
+// interpolate returns the fraction of a bucket's rows assumed below v,
+// linearly for numeric bounds and half the bucket otherwise.
+func interpolate(lower, upper, v Value) float64 {
+	if lower.IsNumeric() && upper.IsNumeric() && v.IsNumeric() {
+		lo, hi := lower.Float(), upper.Float()
+		if hi > lo {
+			return clampFrac((v.Float() - lo) / (hi - lo))
+		}
+	}
+	return 0.5
+}
+
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// DefaultSelectivity is the fixed per-predicate row-fraction heuristic
+// used wherever per-column statistics are unavailable (unknown
+// columns, statistics-free backends). It is the pre-statistics cost
+// model, kept as the shared fallback so every estimator degrades to
+// the same deterministic guess.
+func DefaultSelectivity(p Pred) float64 {
+	switch p.Op {
+	case OpEq:
+		return 0.1
+	case OpNe:
+		return 0.9
+	case OpContains:
+		return 0.5
+	default: // range comparisons
+		return 1.0 / 3
+	}
+}
+
+// SelectivityOf estimates p's row fraction from the column's
+// statistics when they can judge it, falling back to
+// DefaultSelectivity. A nil receiver is the statistics-free case.
+func (ts *TableStats) SelectivityOf(p Pred) float64 {
+	if ts != nil {
+		if f, ok := ts.Col(p.Col).Selectivity(p); ok {
+			return f
+		}
+	}
+	return DefaultSelectivity(p)
+}
+
+// EstimateRows applies the selectivities of a predicate conjunction
+// (independence assumed) to n rows, keeping at least one expected row
+// for any non-empty input.
+func (ts *TableStats) EstimateRows(n int, preds []Pred) int {
+	if n == 0 {
+		return 0
+	}
+	f := float64(n)
+	for _, p := range preds {
+		f *= ts.SelectivityOf(p)
+	}
+	if out := int(f); out >= 1 {
+		return out
+	}
+	return 1
+}

@@ -242,24 +242,46 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // Catalog is a named collection of tables — the structured half of the
-// heterogeneous database.
+// heterogeneous database. Alongside every table it keeps the
+// per-column statistics (BuildStats) the cost-based planning stack
+// consumes, rebuilt incrementally: each Put refreshes only the stats
+// of the table it registers.
 type Catalog struct {
 	tables map[string]*Table
+	stats  map[string]*TableStats
 	epoch  uint64
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), stats: make(map[string]*TableStats)}
 }
 
-// Put registers a table, replacing any existing table of that name, and
-// advances the catalog epoch. Callers that mutate a registered table in
-// place must re-Put it so epoch-keyed consumers (plan caches, scan
-// indexes) observe the change.
+// Put registers a table, replacing any existing table of that name,
+// advances the catalog epoch, and rebuilds the table's per-column
+// statistics (stamped with the new epoch). Callers that mutate a
+// registered table in place must re-Put it so epoch-keyed consumers
+// (plan caches, scan indexes, statistics) observe the change.
 func (c *Catalog) Put(t *Table) {
-	c.tables[strings.ToLower(t.Name)] = t
+	c.putWithStats(t, BuildStats(t))
+}
+
+// putWithStats registers a table with precomputed statistics — the
+// persistence loader's entry, which restores the stats it serialized
+// instead of rebuilding them.
+func (c *Catalog) putWithStats(t *Table, ts *TableStats) {
+	key := strings.ToLower(t.Name)
+	c.tables[key] = t
 	c.epoch++
+	ts.Epoch = c.epoch
+	c.stats[key] = ts
+}
+
+// StatsOf returns the per-column statistics built at the named table's
+// last Put, or nil for an unknown table. The returned statistics are
+// shared and must not be mutated.
+func (c *Catalog) StatsOf(name string) *TableStats {
+	return c.stats[strings.ToLower(name)]
 }
 
 // Epoch counts catalog mutations. Anything derived from catalog
