@@ -23,6 +23,8 @@ import (
 	"repro/internal/retrieval"
 	"repro/internal/semop"
 	"repro/internal/slm"
+	"repro/internal/sql"
+	"repro/internal/table"
 	"repro/internal/vector"
 	"repro/internal/workload"
 )
@@ -446,6 +448,113 @@ func BenchmarkPreIRJoinAggregate(b *testing.B) {
 	}
 	b.ReportMetric(float64(scanned), "rows_scanned/op")
 }
+
+// BenchmarkPrunedFilteredAggregate executes a filtered aggregate whose
+// range predicate provably matches nothing: every fragment's zone map
+// refutes it at plan time, so the backend scan is skipped entirely and
+// rows_scanned/op is exactly 0 (benchguard-gated — an equality
+// predicate would already hit an empty index bucket, so the shape uses
+// a range predicate only zone maps can refute).
+func BenchmarkPrunedFilteredAggregate(b *testing.B) {
+	c := ingestCorpus()
+	ner := slm.NewNER()
+	c.Register(ner)
+	h, err := core.NewHybrid(c.Sources, ner, core.DefaultHybridOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const query = "SELECT SUM(change_pct) AS total FROM metric_changes WHERE change_pct > 1000000"
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := sql.Compile(stmt, h.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := logical.Optimize(node, logical.CatalogStats(h.Catalog()))
+	want, err := sql.Exec(h.Catalog(), query) // unpruned reference
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scanned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, run, err := h.Federation().ExecuteIR(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = sumScanned(run)
+		if res.Len() != want.Len() {
+			b.Fatalf("pruned result diverges: %d rows vs %d", res.Len(), want.Len())
+		}
+	}
+	b.StopTimer()
+	if scanned != 0 {
+		b.Fatalf("non-matching predicate scanned %d rows, want 0", scanned)
+	}
+	b.ReportMetric(float64(scanned), "rows_scanned/op")
+}
+
+// statsPutRows builds the shared row set for the statistics-maintenance
+// benchmarks: a low-NDV string column, a unique int column (the
+// expensive sort) and a float column with nulls.
+func statsPutRows(n int) [][]table.Value {
+	products := []string{"Alpha", "Beta", "Gamma", "Delta"}
+	rows := make([][]table.Value, n)
+	for i := range rows {
+		amount := table.F(float64(i % 997))
+		if i%53 == 0 {
+			amount = table.Null(table.TypeFloat)
+		}
+		rows[i] = []table.Value{table.S(products[i%len(products)]), table.I(int64(i)), amount}
+	}
+	return rows
+}
+
+// benchStatsPuts measures the append-heavy ingest shape: one base Put
+// of 1024 rows, then 32 batches of 8 appended rows each followed by a
+// re-Put. With poison, every re-Put first replaces a prefix row slice,
+// defeating the append-only detection and forcing the full O(n log n)
+// statistics rebuild — the pre-incremental cost.
+func benchStatsPuts(b *testing.B, poison bool) {
+	const base, batches, perBatch = 1024, 32, 8
+	rows := statsPutRows(base + batches*perBatch)
+	schema := table.Schema{
+		{Name: "product", Type: table.TypeString},
+		{Name: "id", Type: table.TypeInt},
+		{Name: "amount", Type: table.TypeFloat},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := table.New("puts", schema)
+		t.Rows = append([][]table.Value(nil), rows[:base]...)
+		c := table.NewCatalog()
+		c.Put(t)
+		for batch := 0; batch < batches; batch++ {
+			t.Rows = append(t.Rows, rows[base+batch*perBatch:base+(batch+1)*perBatch]...)
+			if poison {
+				t.Rows[0] = append([]table.Value(nil), t.Rows[0]...)
+			}
+			c.Put(t)
+		}
+		if c.StatsOf("puts").Rows != len(rows) {
+			b.Fatal("stats out of date")
+		}
+	}
+}
+
+// BenchmarkIncrementalPut is the append-only ingest path: statistics
+// merge only each batch's delta and zone maps extend only the open
+// tail fragment. Compare ns/op against BenchmarkFullRebuildPut — the
+// benchguard baseline pins the incremental path staying a multiple
+// cheaper.
+func BenchmarkIncrementalPut(b *testing.B) { benchStatsPuts(b, false) }
+
+// BenchmarkFullRebuildPut forces the slow path on every re-Put (an
+// in-place row replacement invalidates the append-only detection), so
+// each Put pays the full statistics rebuild.
+func BenchmarkFullRebuildPut(b *testing.B) { benchStatsPuts(b, true) }
 
 // BenchmarkEstimateAccuracy runs every bindable workload question of
 // both domains through the federated planner and reports the maximum

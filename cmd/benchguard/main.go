@@ -3,12 +3,15 @@
 //
 // Parse mode — read bench output, write ns/op per benchmark as JSON:
 //
-//	go test -run xxx -bench . -benchtime 3x . | benchguard -parse - -out BENCH_ci.json
+//	go test -run xxx -benchmem -bench . -benchtime 3x . | benchguard -parse - -out BENCH_ci.json
 //
 // Benchmarks that report a rows_scanned/op metric (the pushdown
-// benchmarks) also emit a "<name>|rows_scanned" entry, and benchmarks
+// benchmarks) also emit a "<name>|rows_scanned" entry, benchmarks
 // reporting q_error_max (the estimate-accuracy harness) emit a
-// "<name>|q_error_max" entry.
+// "<name>|q_error_max" entry, and -benchmem runs emit a
+// "<name>|allocs_op" entry per benchmark (gated with the regular
+// tolerance but never machine-normalized — allocation counts do not
+// scale with machine speed).
 //
 // Compare mode — fail (exit 1) when any benchmark present in both
 // files regressed by more than -tolerance (fraction, default 0.25):
@@ -54,10 +57,14 @@ type Report map[string]float64
 
 // scannedSuffix and qErrorSuffix mark machine-independent entries
 // (scanned rows, estimate-accuracy q-error), which compare exactly
-// (no normalization, zero tolerance).
+// (no normalization, zero tolerance). allocsSuffix entries (-benchmem
+// allocs/op) are machine-speed-independent too — they gate with the
+// regular tolerance (allocation counts can shift slightly across Go
+// releases) but are never normalized by the machine factor.
 const (
 	scannedSuffix = "|rows_scanned"
 	qErrorSuffix  = "|q_error_max"
+	allocsSuffix  = "|allocs_op"
 )
 
 // exactEntry reports whether the named entry gates exactly.
@@ -168,6 +175,12 @@ func ParseBench(r io.Reader) (Report, error) {
 					return nil, fmt.Errorf("bad q_error_max in %q: %w", sc.Text(), err)
 				}
 				report[name+qErrorSuffix] = q
+			case "allocs/op":
+				a, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+				}
+				report[name+allocsSuffix] = a
 			}
 		}
 	}
@@ -202,7 +215,7 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 	if normalize {
 		logSum, n := 0.0, 0
 		for _, name := range names {
-			if exactEntry(name) {
+			if exactEntry(name) || strings.HasSuffix(name, allocsSuffix) {
 				continue // machine-independent: never normalized
 			}
 			if cur, found := current[name]; found && baseline[name] > 0 && cur > 0 {
@@ -226,6 +239,8 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 			unit = "rows"
 		case strings.HasSuffix(name, qErrorSuffix):
 			unit = "q"
+		case strings.HasSuffix(name, allocsSuffix):
+			unit = "allocs"
 		}
 		if !found {
 			lines = append(lines, fmt.Sprintf("MISSING  %-44s baseline %s %s, absent from current run", name, fmtVal(name, base), unit))
@@ -234,12 +249,23 @@ func Compare(baseline, current Report, tolerance float64, normalize bool) (lines
 		}
 		// Exact entries are deterministic: compare raw values with zero
 		// tolerance, so any pushdown or cost-model regression fails the
-		// job.
+		// job. allocs/op keeps the tolerance (Go releases shift counts a
+		// little) but never the machine-speed normalization.
 		tol, adjusted := tolerance, cur/scale
 		if exact {
 			tol, adjusted = 0, cur
+		} else if strings.HasSuffix(name, allocsSuffix) {
+			adjusted = cur
 		}
 		delta := (adjusted - base) / base
+		if base == 0 {
+			// A zero baseline (the pruned-scan gate) regresses on any
+			// increase and matches only another zero.
+			delta = 0
+			if adjusted > 0 {
+				delta = math.Inf(1)
+			}
+		}
 		verdict := "ok      "
 		if delta > tol {
 			verdict = "REGRESSED"

@@ -12,6 +12,7 @@
 //	uniquery -demo ecommerce -batch questions.txt -parallel 8
 //	uniquery -demo ecommerce -explain -q "..."   # show the federated physical plan
 //	uniquery -demo ecommerce -sql "SELECT product, AVG(stars) AS result FROM ratings GROUP BY product"
+//	uniquery -demo ecommerce -stats sales   # dump stats + fragment zone maps
 //
 // The optional vocab file registers domain entities, one per line:
 // "product: Product Alpha" / "drug: Drug A" / "side_effect: nausea".
@@ -46,6 +47,7 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "LRU answer cache entries, invalidated on ingest (0 = off)")
 	explain := flag.Bool("explain", false, "print the federated EXPLAIN (logical → physical plan, backend choice, est vs actual rows) with each answer")
 	showTables := flag.Bool("tables", false, "list catalog tables after build")
+	statsTable := flag.String("stats", "", "dump a table's per-column statistics and per-fragment zone maps (the planner's pruning inputs)")
 	saveDir := flag.String("save", "", "persist the built index+catalog to this directory")
 	exportKB := flag.String("export-knowledge", "", "write inferred knowledge triples (TSV) to this file")
 	flag.Parse()
@@ -64,6 +66,14 @@ func main() {
 		st.Nodes, st.Edges, st.Chunks, st.Entities, st.Cues, st.ExtractedRows, st.BuildTime)
 	if *showTables {
 		fmt.Printf("tables: %s\n", strings.Join(sys.Tables(), ", "))
+	}
+	if *statsTable != "" {
+		desc, err := sys.DescribeTable(*statsTable)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(desc)
 	}
 	if *saveDir != "" {
 		if err := sys.Save(*saveDir); err != nil {

@@ -200,6 +200,16 @@ func (h *Hybrid) fedEpoch() uint64 {
 	return h.catalog.Epoch() + uint64(h.graph.NodeCount()) + uint64(h.graph.EdgeCount())
 }
 
+// graphEpoch versions only what the graph-evidence views derive from.
+// The views used to key on the combined federation epoch, which also
+// moves on catalog-only mutations (extraction merges, CSV re-Puts) —
+// rematerializing an unchanged graph for no reason. Keying on the
+// graph terms alone skips those rebuilds; plan-cache invalidation
+// still uses the combined fedEpoch.
+func (h *Hybrid) graphEpoch() uint64 {
+	return uint64(h.graph.NodeCount()) + uint64(h.graph.EdgeCount())
+}
+
 // initFederation assembles the default backend set: the in-memory
 // catalog (indexed scans), the SQL dialect driver over the same
 // catalog, and the graph-evidence views.
@@ -207,7 +217,7 @@ func (h *Hybrid) initFederation() {
 	h.fed = federate.New(h.fedEpoch, federate.Options{Workers: h.opts.Workers},
 		federate.NewMemory(h.catalog),
 		federate.NewSQL(h.catalog),
-		federate.NewGraphEvidence(h.graph, h.fedEpoch))
+		federate.NewGraphEvidence(h.graph, h.graphEpoch))
 }
 
 // Federation exposes the federated executor (EXPLAIN, plan-cache

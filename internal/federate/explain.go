@@ -44,6 +44,10 @@ func Explain(run *Run) string {
 			i, fr.Table, fr.Est.Out, fr.ActOut, QError(fr.Est.Out, fr.ActOut))
 	}
 	b.WriteByte('\n')
+	if line := prunedLine(run); line != "" {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
 	b.WriteString("physical:\n")
 	for i, fr := range run.Fragments {
 		fmt.Fprintf(&b, "  scan[%d]: backend=%s table=%s push=%s",
@@ -68,6 +72,28 @@ func Explain(run *Run) string {
 		fmt.Fprintf(&b, "  post: %s\n", strings.Join(post, " -> "))
 	}
 	fmt.Fprintf(&b, "  result: %d rows", run.RowsOut)
+	return b.String()
+}
+
+// prunedLine renders the zone-map pruning decisions: per scan, how
+// many of the table's fragments the pushed conjunction provably
+// refuted. Pruning is decided at plan time from the epoch's zone maps,
+// so the line is deterministic at any worker count. Scans routed to
+// backends without zone maps are omitted; the line disappears entirely
+// when no scan had zone maps to consult.
+func prunedLine(run *Run) string {
+	var b strings.Builder
+	for i, fr := range run.Fragments {
+		if fr.ZoneTotal == 0 {
+			continue
+		}
+		if b.Len() == 0 {
+			b.WriteString("pruned:   ")
+		} else {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "scan[%d] %d/%d fragments", i, fr.ZonePruned, fr.ZoneTotal)
+	}
 	return b.String()
 }
 

@@ -75,7 +75,8 @@ type Estimate struct {
 
 // Fragment is the unit of work the planner hands to one backend: a
 // scan of a single table carrying whatever predicates, projection and
-// aggregation the backend advertised it can absorb.
+// aggregation the backend advertised it can absorb, plus the surviving
+// row ranges after zone-map fragment pruning.
 type Fragment struct {
 	Backend string       // chosen backend name (filled by the planner)
 	Table   string       // base table to scan
@@ -84,6 +85,28 @@ type Fragment struct {
 	GroupBy []string     // pushed-down aggregation group keys
 	Aggs    []table.Agg  // pushed-down aggregates
 	Est     Estimate     // planning-time estimate for this fragment
+
+	// Ranges are the ascending surviving row ranges after the planner
+	// pruned fragments whose zone maps refute the pushed conjunction.
+	// nil means scan everything; an empty non-nil slice means every
+	// fragment was refuted and the backend must read zero rows. Set
+	// only for backends implementing ZoneMapped (which thereby declare
+	// they honor ranges).
+	Ranges []table.RowRange
+	// ZonePruned/ZoneTotal report the pruning decision for EXPLAIN's
+	// "pruned:" line: ZonePruned of ZoneTotal fragments were refuted.
+	// ZoneTotal is 0 when the serving backend exposes no zone maps.
+	ZonePruned, ZoneTotal int
+}
+
+// ZoneMapped is the optional Backend extension for zone-map fragment
+// pruning: a backend that exposes per-fragment zone maps for its
+// tables (nil when the table has none) and honors Fragment.Ranges in
+// Scan — reading only the surviving row ranges, in ascending order, so
+// results stay bit-identical to an unpruned scan. All three built-in
+// backends implement it.
+type ZoneMapped interface {
+	Zones(tbl string) *table.Zones
 }
 
 // Result is a fragment's output plus scan accounting: Scanned counts

@@ -36,8 +36,10 @@ type GraphEvidence struct {
 	mu     sync.Mutex
 	epoch  uint64
 	fresh  bool
+	remats int // materialization count, for the epoch-guard tests
 	tables map[string]*table.Table
 	stats  map[string]*table.TableStats
+	zones  map[string]*table.Zones
 }
 
 // NewGraphEvidence returns a backend over g. epochFn versions the
@@ -61,12 +63,15 @@ func (ge *GraphEvidence) Caps() Caps { return CapFilter }
 func (ge *GraphEvidence) CanPush(string, table.Pred) bool { return true }
 
 // materialize returns the named evidence table and its per-column
-// statistics, rebuilding the set when the graph epoch has moved.
-// Unserved names return immediately — the planner probes every
-// backend for every table, and a miss must not trigger an O(graph)
-// rebuild on the answer hot path. Statistics are built with the same
-// table.BuildStats the catalog uses, so graph-view estimates share
-// the one cost model.
+// statistics, rebuilding the set only when the supplied epoch has
+// moved since the last build — consecutive plans over an unchanged
+// graph reuse the same views, stats and zone maps (Remats counts
+// rebuilds so tests can pin that). Unserved names return immediately —
+// the planner probes every backend for every table, and a miss must
+// not trigger an O(graph) rebuild on the answer hot path. Statistics
+// and zone maps are built with the same table.BuildStats/BuildZones
+// the catalog uses, so graph-view estimates and pruning share the one
+// cost model.
 func (ge *GraphEvidence) materialize(name string) (*table.Table, *table.TableStats, bool) {
 	name = strings.ToLower(name)
 	if name != GraphEntitiesTable && name != GraphTriplesTable {
@@ -77,17 +82,39 @@ func (ge *GraphEvidence) materialize(name string) (*table.Table, *table.TableSta
 	if e := ge.epochFn(); !ge.fresh || e != ge.epoch {
 		ge.epoch = e
 		ge.fresh = true
+		ge.remats++
 		ge.tables = map[string]*table.Table{
 			GraphEntitiesTable: ge.buildEntities(),
 			GraphTriplesTable:  ge.buildTriples(),
 		}
 		ge.stats = make(map[string]*table.TableStats, len(ge.tables))
+		ge.zones = make(map[string]*table.Zones, len(ge.tables))
 		for n, t := range ge.tables {
 			ge.stats[n] = table.BuildStats(t)
+			ge.zones[n] = table.BuildZones(t)
 		}
 	}
 	t, ok := ge.tables[name]
 	return t, ge.stats[name], ok
+}
+
+// Remats reports how many times the evidence views have been
+// materialized — exactly once per distinct epoch value observed.
+func (ge *GraphEvidence) Remats() int {
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	return ge.remats
+}
+
+// Zones implements ZoneMapped: the materialized view's fragment zone
+// maps, built alongside the view at the current epoch.
+func (ge *GraphEvidence) Zones(tbl string) *table.Zones {
+	if _, _, ok := ge.materialize(tbl); !ok {
+		return nil
+	}
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	return ge.zones[strings.ToLower(tbl)]
 }
 
 func (ge *GraphEvidence) buildEntities() *table.Table {
@@ -137,11 +164,20 @@ func (ge *GraphEvidence) Estimate(tbl string, preds []table.Pred) (Estimate, boo
 	return estimateFromStats(ts, t.Len(), preds, 16, 1), true
 }
 
-// Scan implements Backend.
+// Scan implements Backend. Zone-pruned fragments read only the
+// surviving row ranges of the materialized view, in ascending order —
+// identical rows to a full filtered scan, fewer rows visited.
 func (ge *GraphEvidence) Scan(f Fragment) (Result, error) {
 	t, _, ok := ge.materialize(f.Table)
 	if !ok {
 		return Result{}, ErrNoBackend
+	}
+	if f.Ranges != nil {
+		cur, scanned, err := table.FilterRanges(t, f.Ranges, f.Preds...)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Table: cur, Scanned: scanned}, nil
 	}
 	cur := t
 	if len(f.Preds) > 0 {

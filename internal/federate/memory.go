@@ -37,6 +37,10 @@ func (m *Memory) Caps() Caps { return CapFilter | CapProject | CapAggregate }
 // CanPush implements Backend: any predicate the table engine evaluates.
 func (m *Memory) CanPush(string, table.Pred) bool { return true }
 
+// Zones implements ZoneMapped: the catalog's per-fragment zone maps,
+// maintained incrementally by Catalog.Put.
+func (m *Memory) Zones(tbl string) *table.Zones { return m.catalog.ZonesOf(tbl) }
+
 // colIndex maps a column value's hash key to the ascending row indexes
 // holding it. Ascending order matters: an index-driven scan must yield
 // rows in the same order a full-table filter would, so aggregates
@@ -155,9 +159,14 @@ func estEqBucket(ts *table.TableStats, total int, p table.Pred) int {
 	return ts.EstimateRows(total, []table.Pred{p})
 }
 
-// Scan implements Backend: index-accelerated filter, then aggregation,
-// then projection — the same operator order as the unfederated
-// executor, over the same engine, so results are identical.
+// Scan implements Backend: zone-pruned, index-accelerated filter, then
+// aggregation, then projection — the same operator order as the
+// unfederated executor, over the same engine, so results are
+// identical. When the planner restricted the fragment to surviving row
+// ranges, only those rows are read (an equality-index bucket is
+// intersected with the ranges first); the pruned fragments are
+// provably empty under the pushed conjunction, so skipping them cannot
+// change the output.
 func (m *Memory) Scan(f Fragment) (Result, error) {
 	t, err := m.catalog.Get(f.Table)
 	if err != nil {
@@ -169,6 +178,9 @@ func (m *Memory) Scan(f Fragment) (Result, error) {
 	if len(f.Preds) > 0 {
 		pick, bucket := m.pickIndex(t, f.Preds)
 		if pick >= 0 {
+			if f.Ranges != nil {
+				bucket = intersectAscending(bucket, f.Ranges)
+			}
 			// Bucket rows already satisfy preds[pick]; evaluate only the
 			// residue, in ascending row order (== full-filter order).
 			var rest []table.Pred
@@ -195,11 +207,21 @@ func (m *Memory) Scan(f Fragment) (Result, error) {
 				}
 			}
 			cur, scanned = out, len(bucket)
+		} else if f.Ranges != nil {
+			cur, scanned, err = table.FilterRanges(t, f.Ranges, f.Preds...)
+			if err != nil {
+				return Result{}, err
+			}
 		} else {
 			cur, err = table.Filter(t, f.Preds...)
 			if err != nil {
 				return Result{}, err
 			}
+		}
+	} else if f.Ranges != nil {
+		cur, scanned, err = table.FilterRanges(t, f.Ranges)
+		if err != nil {
+			return Result{}, err
 		}
 	}
 	if len(f.Aggs) > 0 {
@@ -215,6 +237,26 @@ func (m *Memory) Scan(f Fragment) (Result, error) {
 		}
 	}
 	return Result{Table: cur, Scanned: scanned}, nil
+}
+
+// intersectAscending keeps the row indexes that fall inside the
+// ascending, disjoint ranges; both inputs are ascending, so one merge
+// walk suffices and the output preserves row order.
+func intersectAscending(rows []int, ranges []table.RowRange) []int {
+	out := rows[:0:0]
+	j := 0
+	for _, ri := range rows {
+		for j < len(ranges) && ranges[j].End <= ri {
+			j++
+		}
+		if j == len(ranges) {
+			break
+		}
+		if ri >= ranges[j].Start {
+			out = append(out, ri)
+		}
+	}
+	return out
 }
 
 // IndexStats reports how many equality indexes are currently built, for

@@ -178,34 +178,6 @@ type PhysicalPlan struct {
 	key   string
 }
 
-// estGroupRows estimates how many group rows an aggregation over in
-// input rows produces: one for a global aggregate, else the product of
-// the group keys' distinct counts, capped at the input estimate
-// (grouping cannot create rows).
-func estGroupRows(ts *table.TableStats, in int, groupBy []string) int {
-	if in == 0 {
-		return 0
-	}
-	if len(groupBy) == 0 {
-		return 1
-	}
-	groups := 1
-	for _, col := range groupBy {
-		ndv := in // unknown column: assume no collapsing
-		if cs := ts.Col(col); cs != nil && cs.NDV > 0 {
-			ndv = cs.NDV
-		}
-		if groups >= (in+ndv-1)/ndv { // groups*ndv would overshoot in
-			return in
-		}
-		groups *= ndv
-	}
-	if groups > in {
-		return in
-	}
-	return groups
-}
-
 // splitPush partitions preds into the subset backend b absorbs and the
 // residue the federation layer must evaluate.
 func splitPush(b Backend, tbl string, preds []table.Pred) (push, rest []table.Pred) {
@@ -324,7 +296,7 @@ func (e *Executor) lower(n *logical.Node, pp *PhysicalPlan) (*logical.Node, erro
 					// The fragment now returns group rows, not filtered
 					// rows: re-estimate its output from the group keys'
 					// distinct counts.
-					frag.Est.Out = estGroupRows(e.Stats().TableStats(frag.Table), frag.Est.Out, n.GroupBy)
+					frag.Est.Out = logical.EstimateGroupRows(e.Stats().TableStats(frag.Table), frag.Est.Out, n.GroupBy)
 					pp.AggPushed = true
 					return input, nil
 				}
@@ -398,6 +370,9 @@ func (e *Executor) lowerScan(scan *logical.Node, offer []table.Pred, pp *Physica
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if err := e.pruneFragment(&frag, scan); err != nil {
+		return nil, nil, nil, err
+	}
 	colsPushed := false
 	if len(scan.Cols) > 0 {
 		if b := e.backend(frag.Backend); b != nil && b.Caps().Has(CapProject) {
@@ -417,6 +392,48 @@ func (e *Executor) lowerScan(scan *logical.Node, offer []table.Pred, pp *Physica
 			Proj: append([]string(nil), scan.Cols...), In: []*logical.Node{input}}
 	}
 	return input, &pp.Frags[len(pp.Frags)-1], rest, nil
+}
+
+// pruneFragment consults the chosen backend's zone maps (when it
+// implements ZoneMapped) and restricts the fragment to the row ranges
+// its pushed conjunction cannot be refuted on. Pruning happens at plan
+// time — zone maps are a pure function of the data epoch the plan
+// caches under — so the decision (and EXPLAIN's "pruned:" line) is
+// deterministic at any worker count. A scan carrying an explicit row
+// range (the SQL dialect's ROWS clause) intersects it with the
+// survivors; such a scan requires a range-honoring backend.
+func (e *Executor) pruneFragment(frag *Fragment, scan *logical.Node) error {
+	zb, _ := e.backend(frag.Backend).(ZoneMapped)
+	if zb == nil {
+		if scan.RowEnd > 0 {
+			return fmt.Errorf("federate: backend %s cannot serve row-ranged scan of %s", frag.Backend, scan.Table)
+		}
+		return nil
+	}
+	z := zb.Zones(frag.Table)
+	if z == nil || len(z.Maps) == 0 {
+		if scan.RowEnd > 0 {
+			frag.Ranges = []table.RowRange{{Start: scan.RowStart, End: scan.RowEnd}}
+		}
+		return nil
+	}
+	keep, pruned := z.Prune(frag.Preds)
+	frag.ZoneTotal = len(z.Maps)
+	frag.ZonePruned = pruned
+	if scan.RowEnd > 0 {
+		keep = table.IntersectRanges(keep, []table.RowRange{{Start: scan.RowStart, End: scan.RowEnd}})
+	} else if pruned == 0 {
+		return nil // nothing refuted: plain full scan, no range plumbing
+	}
+	frag.Ranges = keep
+	surv := table.RangesLen(keep)
+	if surv < frag.Est.Scanned {
+		frag.Est.Scanned = surv
+	}
+	if surv < frag.Est.Out {
+		frag.Est.Out = surv
+	}
+	return nil
 }
 
 func wrapFilter(in *logical.Node, preds []table.Pred) *logical.Node {

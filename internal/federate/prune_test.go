@@ -1,0 +1,266 @@
+package federate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/logical"
+	"repro/internal/semop"
+	"repro/internal/slm"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// prunableCatalog builds a catalog whose events table spans several
+// fragments with zone-friendly layout: seq is monotone (disjoint
+// per-fragment ranges), region is constant per fragment (equality
+// pruning), and amount stays bounded (out-of-range refutation).
+func prunableCatalog(rows int) *table.Catalog {
+	c := table.NewCatalog()
+	events := table.New("events", table.Schema{
+		{Name: "region", Type: table.TypeString},
+		{Name: "seq", Type: table.TypeInt},
+		{Name: "amount", Type: table.TypeFloat},
+	})
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < rows; i++ {
+		events.MustAppend([]table.Value{
+			table.S(regions[(i/table.FragmentRows)%len(regions)]),
+			table.I(int64(i)),
+			table.F(float64(i % 500)),
+		})
+	}
+	c.Put(events)
+	return c
+}
+
+// runPruned executes the tree federated (pruned) and against the bare
+// catalog (the unpruned reference) and asserts bit-identical results.
+func runPruned(t *testing.T, e *Executor, c *table.Catalog, root *logical.Node) *Run {
+	t.Helper()
+	opt := logical.Optimize(root, logical.CatalogStats(c))
+	got, run, err := e.ExecuteIR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := logical.Exec(opt.Root, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Fatalf("pruned execution diverges from unpruned:\n%s\nvs\n%s", render(got), render(want))
+	}
+	return run
+}
+
+func filterScan(tbl string, preds ...table.Pred) *logical.Node {
+	return &logical.Node{Op: logical.OpFilter, Preds: preds,
+		In: []*logical.Node{{Op: logical.OpScan, Table: tbl}}}
+}
+
+// TestZonePruneSkipsRefutedFragments drives the memory backend through
+// full, partial and no pruning, pinning rows actually scanned.
+func TestZonePruneSkipsRefutedFragments(t *testing.T) {
+	rows := 3*table.FragmentRows + 50
+	c := prunableCatalog(rows)
+	e := New(c.Epoch, Options{}, NewMemory(c))
+
+	// Non-matching range predicate: every fragment refuted, zero rows
+	// scanned, whole backend scan skipped.
+	run := runPruned(t, e, c, filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(1e9)}))
+	fr := run.Fragments[0]
+	if fr.ActScanned != 0 {
+		t.Errorf("non-matching predicate scanned %d rows, want 0", fr.ActScanned)
+	}
+	if fr.ZonePruned != 4 || fr.ZoneTotal != 4 {
+		t.Errorf("pruned %d/%d fragments, want 4/4", fr.ZonePruned, fr.ZoneTotal)
+	}
+
+	// Range hitting one fragment: the others are refuted by seq bounds.
+	lo := int64(2 * table.FragmentRows)
+	run = runPruned(t, e, c, filterScan("events",
+		table.Pred{Col: "seq", Op: table.OpGe, Val: table.I(lo)},
+		table.Pred{Col: "seq", Op: table.OpLt, Val: table.I(lo + 10)}))
+	fr = run.Fragments[0]
+	if fr.ActScanned != table.FragmentRows {
+		t.Errorf("one-fragment range scanned %d rows, want %d", fr.ActScanned, table.FragmentRows)
+	}
+	if fr.ZonePruned != 3 {
+		t.Errorf("pruned %d fragments, want 3", fr.ZonePruned)
+	}
+
+	// Per-fragment-constant equality: only the matching fragment scans.
+	run = runPruned(t, e, c, filterScan("events", table.Pred{Col: "region", Op: table.OpEq, Val: table.S("west")}))
+	if fr = run.Fragments[0]; fr.ActScanned != table.FragmentRows {
+		t.Errorf("region equality scanned %d rows, want %d", fr.ActScanned, table.FragmentRows)
+	}
+
+	// Matching-everything predicate: nothing pruned, full scan.
+	run = runPruned(t, e, c, filterScan("events", table.Pred{Col: "seq", Op: table.OpGe, Val: table.I(0)}))
+	if fr = run.Fragments[0]; fr.ActScanned != rows || fr.ZonePruned != 0 {
+		t.Errorf("unprunable predicate scanned %d (pruned %d), want full %d / 0", fr.ActScanned, fr.ZonePruned, rows)
+	}
+
+	// EXPLAIN carries the pruning decision.
+	run = runPruned(t, e, c, filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(1e9)}))
+	if !strings.Contains(Explain(run), "pruned:   scan[0] 4/4 fragments") {
+		t.Errorf("EXPLAIN misses the pruned line:\n%s", Explain(run))
+	}
+}
+
+// TestZonePruneWithEqualityIndex pins the interplay of the equality
+// index and fragment pruning: the bucket is intersected with the
+// surviving ranges, never scanning outside them.
+func TestZonePruneWithEqualityIndex(t *testing.T) {
+	c := prunableCatalog(4 * table.FragmentRows)
+	e := New(c.Epoch, Options{}, NewMemory(c))
+	// region = west lives only in fragment 1; seq < FragmentRows refutes
+	// it, so bucket ∩ ranges is empty even though the bucket has rows.
+	run := runPruned(t, e, c, filterScan("events",
+		table.Pred{Col: "region", Op: table.OpEq, Val: table.S("west")},
+		table.Pred{Col: "seq", Op: table.OpLt, Val: table.I(int64(table.FragmentRows))}))
+	if fr := run.Fragments[0]; fr.ActScanned != 0 {
+		t.Errorf("contradictory conjunction scanned %d rows, want 0", fr.ActScanned)
+	}
+}
+
+// TestSQLBackendFragmentRangedSelects routes a pruned scan to the SQL
+// backend, which must express the surviving fragments as ranged
+// SELECT text (ROWS a TO b) — including the locally-reassembled
+// aggregate — and still match the unpruned reference bit-exactly.
+func TestSQLBackendFragmentRangedSelects(t *testing.T) {
+	rows := 3*table.FragmentRows + 50
+	c := prunableCatalog(rows)
+	e := New(c.Epoch, Options{}, NewSQL(c)) // sole provider: everything routes to sql
+
+	lo := int64(table.FragmentRows)
+	pred := table.Pred{Col: "seq", Op: table.OpGe, Val: table.I(lo)}
+	hi := table.Pred{Col: "seq", Op: table.OpLt, Val: table.I(lo + 20)}
+
+	run := runPruned(t, e, c, filterScan("events", pred, hi))
+	if fr := run.Fragments[0]; fr.ActScanned != table.FragmentRows || fr.Backend != "sql" {
+		t.Errorf("sql ranged scan read %d rows via %s, want %d via sql", fr.ActScanned, fr.Backend, table.FragmentRows)
+	}
+
+	// Pushed group-by aggregate over a pruned scan: the backend runs
+	// ranged filter SELECTs and aggregates the assembly locally.
+	agg := &logical.Node{Op: logical.OpAggregate,
+		GroupBy: []string{"region"},
+		Aggs:    []table.Agg{{Func: table.AggSum, Col: "amount", As: "total"}},
+		In:      []*logical.Node{filterScan("events", table.Pred{Col: "seq", Op: table.OpGe, Val: table.I(int64(2 * table.FragmentRows))})}}
+	run = runPruned(t, e, c, agg)
+	if !run.Plan.AggPushed {
+		t.Error("aggregate not pushed into the pruned sql fragment")
+	}
+	if fr := run.Fragments[0]; fr.ActScanned != rows-2*table.FragmentRows {
+		t.Errorf("pruned agg scan read %d rows, want %d", fr.ActScanned, rows-2*table.FragmentRows)
+	}
+
+	// All fragments refuted: zero SELECTs, empty aggregate, zero rows.
+	// (The literal must be a plain decimal — exponent forms don't lex
+	// in the dialect, so they are not pushable and would not prune.)
+	run = runPruned(t, e, c, &logical.Node{Op: logical.OpAggregate,
+		Aggs: []table.Agg{{Func: table.AggSum, Col: "amount", As: "total"}},
+		In:   []*logical.Node{filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(999999)})}})
+	if fr := run.Fragments[0]; fr.ActScanned != 0 {
+		t.Errorf("fully-pruned sql scan read %d rows, want 0", fr.ActScanned)
+	}
+}
+
+// TestGraphBackendPrunesViews pins zone pruning on the materialized
+// graph views: an out-of-bounds degree predicate reads zero rows.
+func TestGraphBackendPrunesViews(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		if err := g.AddNode(graph.Node{ID: fmt.Sprintf("entity:%d", i), Type: graph.NodeEntity,
+			Label: fmt.Sprintf("Drug %d", i), Attrs: map[string]string{"etype": "drug"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(func() uint64 { return 1 }, Options{}, NewGraphEvidence(g, func() uint64 { return 1 }))
+	root := filterScan(GraphEntitiesTable, table.Pred{Col: "degree", Op: table.OpGt, Val: table.I(1 << 40)})
+	opt := logical.Optimize(root, e.Stats())
+	res, run, err := e.ExecuteIR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("impossible degree filter returned %d rows", res.Len())
+	}
+	if fr := run.Fragments[0]; fr.ActScanned != 0 || fr.ZonePruned != fr.ZoneTotal || fr.ZoneTotal == 0 {
+		t.Errorf("graph view scan = %d rows, pruned %d/%d; want 0 rows, all fragments pruned",
+			fr.ActScanned, fr.ZonePruned, fr.ZoneTotal)
+	}
+}
+
+// TestGraphViewsRematerializeOncePerEpoch pins the epoch guard: any
+// number of plans against an unchanged epoch materializes the views
+// exactly once; an epoch move rebuilds exactly once more.
+func TestGraphViewsRematerializeOncePerEpoch(t *testing.T) {
+	g := graph.New()
+	if err := g.AddNode(graph.Node{ID: "entity:0", Type: graph.NodeEntity, Label: "Drug A",
+		Attrs: map[string]string{"etype": "drug"}}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := uint64(1)
+	ge := NewGraphEvidence(g, func() uint64 { return epoch })
+	e := New(func() uint64 { return epoch }, Options{}, ge)
+
+	root := filterScan(GraphEntitiesTable, table.Pred{Col: "etype", Op: table.OpEq, Val: table.S("drug")})
+	for i := 0; i < 5; i++ {
+		if _, _, err := e.ExecuteIR(logical.Optimize(root, e.Stats())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ge.Remats(); got != 1 {
+		t.Fatalf("views materialized %d times at one epoch, want 1", got)
+	}
+	epoch++
+	if _, _, err := e.ExecuteIR(logical.Optimize(root, e.Stats())); err != nil {
+		t.Fatal(err)
+	}
+	if got := ge.Remats(); got != 2 {
+		t.Fatalf("views materialized %d times after one epoch move, want 2", got)
+	}
+}
+
+// TestPrunedExecutionMatchesUnprunedWorkload is the pruning-parity
+// harness: every bindable workload question of both domains executes
+// through the zone-pruning federated planner and must return exactly
+// the rows the unpruned single-store executor returns.
+func TestPrunedExecutionMatchesUnprunedWorkload(t *testing.T) {
+	corpora := []*workload.Corpus{
+		workload.ECommerce(workload.DefaultECommerceOptions()),
+		workload.Healthcare(workload.DefaultHealthcareOptions()),
+	}
+	bound := 0
+	for _, c := range corpora {
+		ner := slm.NewNER()
+		c.Register(ner)
+		cat := workloadCatalog(t, c, ner)
+		e := New(cat.Epoch, Options{}, NewMemory(cat), NewSQL(cat))
+		for _, q := range c.Queries {
+			plan, err := semop.Bind(semop.Parse(q.Text, ner), cat)
+			if err != nil {
+				continue
+			}
+			bound++
+			got, _, err := e.Execute(plan)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", c.Name, q.Text, err)
+			}
+			want, err := semop.Exec(plan, cat)
+			if err != nil {
+				t.Fatalf("%s: %q: unpruned reference: %v", c.Name, q.Text, err)
+			}
+			if render(got) != render(want) {
+				t.Errorf("%s: %q: pruned execution diverges:\n%s\nvs\n%s", c.Name, q.Text, render(got), render(want))
+			}
+		}
+	}
+	if bound == 0 {
+		t.Fatal("no workload question bound — parity harness vacuous")
+	}
+}

@@ -107,8 +107,18 @@ func (s *SQL) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
 	return estimateFromStats(s.catalog.StatsOf(tbl), t.Len(), preds, s.Fixed, s.PerRow), true
 }
 
+// Zones implements ZoneMapped: the catalog's per-fragment zone maps.
+func (s *SQL) Zones(tbl string) *table.Zones { return s.catalog.ZonesOf(tbl) }
+
 // Render lowers the fragment to one SELECT statement in the dialect.
 func (s *SQL) Render(f Fragment) string {
+	return s.render(f, nil)
+}
+
+// render lowers the fragment to one SELECT, optionally restricted to a
+// physical row range via the dialect's ROWS a TO b clause — the text
+// form a fragment-ranged scan crosses the backend boundary in.
+func (s *SQL) render(f Fragment, r *table.RowRange) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	switch {
@@ -132,6 +142,9 @@ func (s *SQL) Render(f Fragment) string {
 		b.WriteString("*")
 	}
 	fmt.Fprintf(&b, " FROM %s", f.Table)
+	if r != nil {
+		fmt.Fprintf(&b, " ROWS %d TO %d", r.Start, r.End)
+	}
 	if len(f.Preds) > 0 {
 		wheres := make([]string, len(f.Preds))
 		for i, p := range f.Preds {
@@ -156,14 +169,64 @@ func renderPred(p table.Pred) string {
 // Scan implements Backend: render, parse, execute. The statement
 // executes over the same table engine the memory backend uses, so a
 // fragment routed here returns identical rows in identical order.
+//
+// A zone-pruned fragment becomes one ranged SELECT per surviving row
+// range (the ROWS a TO b dialect clause), concatenated in ascending
+// order — the same row multiset and order a full filtered scan
+// produces, reading only the surviving rows. Aggregation cannot be
+// split across ranges (an aggregate of per-range aggregates is not the
+// aggregate of the union), so the ranged SELECTs carry only filters
+// and the backend aggregates the assembled rows locally through the
+// identical engine.
 func (s *SQL) Scan(f Fragment) (Result, error) {
 	t, err := s.catalog.Get(f.Table)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := sql.Exec(s.catalog, s.Render(f))
-	if err != nil {
-		return Result{}, fmt.Errorf("federate: sql backend: %w", err)
+	if f.Ranges == nil {
+		res, err := sql.Exec(s.catalog, s.Render(f))
+		if err != nil {
+			return Result{}, fmt.Errorf("federate: sql backend: %w", err)
+		}
+		return Result{Table: res, Scanned: t.Len()}, nil
 	}
-	return Result{Table: res, Scanned: t.Len()}, nil
+
+	ranged := Fragment{Table: f.Table, Preds: f.Preds}
+	if len(f.Aggs) == 0 {
+		ranged.Columns = f.Columns
+	}
+	var cur *table.Table
+	scanned := 0
+	for _, r := range f.Ranges {
+		r := r
+		part, err := sql.Exec(s.catalog, s.render(ranged, &r))
+		if err != nil {
+			return Result{}, fmt.Errorf("federate: sql backend: %w", err)
+		}
+		scanned += r.Len()
+		if cur == nil {
+			cur = part
+		} else {
+			cur.Rows = append(cur.Rows, part.Rows...)
+		}
+	}
+	if cur == nil { // every fragment pruned: empty result, zero rows read
+		cur = table.New(t.Name, t.Schema)
+		if len(f.Aggs) == 0 && len(f.Columns) > 0 {
+			if cur, err = table.Project(cur, f.Columns...); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if len(f.Aggs) > 0 {
+		if cur, err = table.Aggregate(cur, f.GroupBy, f.Aggs); err != nil {
+			return Result{}, err
+		}
+		if len(f.Columns) > 0 {
+			if cur, err = table.Project(cur, f.Columns...); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return Result{Table: cur, Scanned: scanned}, nil
 }

@@ -31,7 +31,7 @@ func Run(n *Node, src Source) (*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return table.HashJoin(left, right, n.LeftCol, n.RightCol)
+		return table.HashJoinHint(left, right, n.LeftCol, n.RightCol, n.EstOut)
 	}
 	in, err := Run(n.Child(), src)
 	if err != nil {
@@ -39,7 +39,7 @@ func Run(n *Node, src Source) (*table.Table, error) {
 	}
 	switch n.Op {
 	case OpFilter:
-		return table.Filter(in, n.Preds...)
+		return table.FilterHint(in, n.EstOut, n.Preds...)
 	case OpProject:
 		out, err := table.Project(in, n.Proj...)
 		if err != nil {
@@ -52,7 +52,7 @@ func Run(n *Node, src Source) (*table.Table, error) {
 		}
 		return out, nil
 	case OpAggregate:
-		return table.Aggregate(in, n.GroupBy, n.Aggs)
+		return table.AggregateHint(in, n.GroupBy, n.Aggs, n.EstOut)
 	case OpSort:
 		return table.Sort(in, n.Keys...)
 	case OpLimit:
@@ -92,7 +92,8 @@ func runCompare(n *Node, in *table.Table) (*table.Table, error) {
 }
 
 // Exec runs the tree against a single catalog: every Scan resolves to
-// a catalog table, with the node's pruned column set applied first.
+// a catalog table, with the node's row range (the SQL dialect's ROWS
+// clause) applied before its pruned column set.
 func Exec(n *Node, c *table.Catalog) (*table.Table, error) {
 	return Run(n, func(leaf *Node) (*table.Table, error) {
 		if leaf.Op != OpScan {
@@ -102,9 +103,26 @@ func Exec(n *Node, c *table.Catalog) (*table.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		if leaf.RowEnd > 0 {
+			t = sliceRows(t, leaf.RowStart, leaf.RowEnd)
+		}
 		if len(leaf.Cols) > 0 {
 			return table.Project(t, leaf.Cols...)
 		}
 		return t, nil
 	})
+}
+
+// sliceRows views the physical row range [start, end) of a table,
+// clamped to its bounds.
+func sliceRows(t *table.Table, start, end int) *table.Table {
+	if end > t.Len() {
+		end = t.Len()
+	}
+	if start > end {
+		start = end
+	}
+	out := table.New(t.Name, t.Schema)
+	out.Rows = t.Rows[start:end]
+	return out
 }

@@ -39,6 +39,9 @@ func fingerprintNode(b *strings.Builder, n *Node) {
 	switch n.Op {
 	case OpScan, OpInput:
 		str(strings.ToLower(n.Table))
+		if n.RowEnd > 0 {
+			str("@" + strconv.Itoa(n.RowStart) + ":" + strconv.Itoa(n.RowEnd))
+		}
 		strs(n.Cols)
 	case OpFilter:
 		fingerprintPreds(b, n.Preds)

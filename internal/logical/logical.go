@@ -85,6 +85,17 @@ type Node struct {
 	Table string   // base table (Scan) or display name (Input)
 	Index int      // fragment index (Input)
 	Cols  []string // Scan: pruned column set in schema order (nil = all)
+	// Scan row range [RowStart, RowEnd): the physical-row slice the
+	// scan reads (the SQL dialect's ROWS a TO b clause — how the
+	// federated SQL backend expresses fragment-ranged scans as text).
+	// RowEnd == 0 means the whole table.
+	RowStart, RowEnd int
+
+	// EstOut is the optimizer's estimated output cardinality (rows),
+	// stamped by the estimate pass and consumed as an allocation
+	// pre-sizing hint by the interpreter. 0 means unknown. Never part
+	// of the fingerprint — it cannot change results.
+	EstOut int
 
 	// Filter, and the common predicates of Compare
 	Preds []table.Pred
@@ -161,10 +172,14 @@ func (n *Node) render(b *strings.Builder) {
 	switch n.Op {
 	case OpScan:
 		if len(n.Cols) > 0 {
-			fmt.Fprintf(b, "Scan(%s[%s])", n.Table, strings.Join(n.Cols, ","))
+			fmt.Fprintf(b, "Scan(%s[%s]", n.Table, strings.Join(n.Cols, ","))
 		} else {
-			fmt.Fprintf(b, "Scan(%s)", n.Table)
+			fmt.Fprintf(b, "Scan(%s", n.Table)
 		}
+		if n.RowEnd > 0 {
+			fmt.Fprintf(b, " rows[%d:%d]", n.RowStart, n.RowEnd)
+		}
+		b.WriteByte(')')
 	case OpInput:
 		fmt.Fprintf(b, "Input[%d](%s)", n.Index, n.Table)
 	case OpFilter:

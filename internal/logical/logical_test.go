@@ -476,3 +476,91 @@ func TestExecNilPlan(t *testing.T) {
 		t.Error("nil plan executed without error")
 	}
 }
+
+// TestEstimatePassStampsHints pins the estimate pass: EstOut hints
+// follow the statistics (scan cardinality, filter selectivity, group
+// NDVs), never surface in the rule trace, and never change results.
+func TestEstimatePassStampsHints(t *testing.T) {
+	c := table.NewCatalog()
+	tb := table.New("wide", table.Schema{
+		{Name: "k", Type: table.TypeString},
+		{Name: "n", Type: table.TypeInt},
+	})
+	for i := 0; i < 1000; i++ {
+		tb.MustAppend([]table.Value{table.S(fmt.Sprintf("k%d", i%10)), table.I(int64(i))})
+	}
+	c.Put(tb)
+
+	root := &Node{Op: OpAggregate, GroupBy: []string{"k"},
+		Aggs: []table.Agg{{Func: table.AggSum, Col: "n", As: "total"}},
+		In: []*Node{{Op: OpFilter,
+			Preds: []table.Pred{{Col: "n", Op: table.OpLt, Val: table.I(500)}},
+			In:    []*Node{{Op: OpScan, Table: "wide"}}}}}
+	opt := Optimize(root, CatalogStats(c))
+	for _, note := range opt.Trace {
+		if strings.Contains(note, "estimate") {
+			t.Errorf("estimate pass leaked into the rule trace: %q", note)
+		}
+	}
+	filter := opt.Root.Child()
+	scan := filter.Child()
+	if scan.EstOut != 1000 {
+		t.Errorf("scan EstOut = %d, want 1000", scan.EstOut)
+	}
+	if filter.EstOut < 300 || filter.EstOut > 700 {
+		t.Errorf("filter EstOut = %d, want ≈500 from the histogram", filter.EstOut)
+	}
+	if opt.Root.EstOut != 10 {
+		t.Errorf("aggregate EstOut = %d, want group-key NDV 10", opt.Root.EstOut)
+	}
+
+	// Hints must not change results.
+	withHints, err := Exec(opt.Root, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := opt.Root.Clone()
+	walk(stripped, func(n *Node) { n.EstOut = 0 })
+	withoutHints, err := Exec(stripped, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withHints.String() != withoutHints.String() {
+		t.Fatalf("EstOut hints changed results:\n%s\nvs\n%s", withHints, withoutHints)
+	}
+
+	// And they must pay: the presized interpreter allocates strictly
+	// less than the same tree with hints stripped.
+	hinted := testing.AllocsPerRun(20, func() {
+		if _, err := Exec(opt.Root, c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bare := testing.AllocsPerRun(20, func() {
+		if _, err := Exec(stripped, c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if hinted >= bare {
+		t.Errorf("presizing does not cut allocations: %v with hints vs %v without", hinted, bare)
+	}
+}
+
+// TestProvablyEmpty pins the optimizer-facing proof surface.
+func TestProvablyEmpty(t *testing.T) {
+	c := testCatalog()
+	ts := c.StatsOf("sales") // revenue in [60,240]
+	if !ProvablyEmpty(ts, []table.Pred{{Col: "revenue", Op: table.OpGt, Val: table.F(240)}}) {
+		t.Error("out-of-bounds range not proven empty")
+	}
+	if ProvablyEmpty(ts, []table.Pred{{Col: "revenue", Op: table.OpGe, Val: table.F(240)}}) {
+		t.Error("boundary range wrongly proven empty")
+	}
+	if ProvablyEmpty(nil, []table.Pred{{Col: "revenue", Op: table.OpGt, Val: table.F(1e9)}}) {
+		t.Error("nil statistics cannot prove anything")
+	}
+	// SelectivityWith surfaces the proof as an exact zero.
+	if f := SelectivityWith(ts, table.Pred{Col: "revenue", Op: table.OpGt, Val: table.F(240)}); f != 0 {
+		t.Errorf("refuted predicate selectivity = %v, want 0", f)
+	}
+}

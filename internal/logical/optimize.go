@@ -92,6 +92,10 @@ func Optimize(root *Node, st Stats) *Optimized {
 		{"prune", prunePass},
 		{"reorder", reorderPass},
 		{"compare_rewrite", comparePass},
+		// estimate runs last, over the final tree shape: it only stamps
+		// EstOut pre-sizing hints and never emits trace notes (hints
+		// cannot change results, so they are not a "rule" in EXPLAIN).
+		{"estimate", estimatePass},
 	}
 	for _, p := range passes {
 		for _, note := range p.run(o, st) {
@@ -482,13 +486,143 @@ func Selectivity(p table.Pred) float64 {
 }
 
 // SelectivityWith estimates p's row fraction from per-column
-// statistics (exact value counts, NDV, histogram interpolation) when
-// they can judge the predicate, falling back to the fixed heuristic.
-// It is the optimizer's name for table.TableStats.SelectivityOf — the
-// same estimator the federated backends consult — so planning-time
-// and lowering-time estimates agree.
+// statistics (exact value counts, NDV, histogram interpolation, and
+// the zone-bound refutation check that collapses provably-empty
+// predicates to exactly zero) when they can judge the predicate,
+// falling back to the fixed heuristic. It is the optimizer's name for
+// table.TableStats.SelectivityOf — the same estimator the federated
+// backends consult — so planning-time and lowering-time estimates
+// agree.
 func SelectivityWith(ts *table.TableStats, p table.Pred) float64 {
 	return ts.SelectivityOf(p)
+}
+
+// ProvablyEmpty reports whether the table statistics prove that the
+// predicate conjunction selects no rows: the literal falls outside the
+// column's min/max zone bounds, an exact value set shows zero
+// occurrences, or the table is empty. A true result is a proof (not an
+// estimate): the fragment pruner and the planner may skip the scan
+// entirely and return the empty result directly.
+func ProvablyEmpty(ts *table.TableStats, preds []table.Pred) bool {
+	return ts.Refutes(preds)
+}
+
+// EstimateGroupRows estimates how many group rows an aggregation over
+// in input rows produces: one for a global aggregate, else the product
+// of the group keys' distinct counts, capped at the input estimate
+// (grouping cannot create rows). Shared by the federated planner's
+// pushed-aggregate re-estimate and the estimate pass's pre-sizing
+// hints.
+func EstimateGroupRows(ts *table.TableStats, in int, groupBy []string) int {
+	if in == 0 {
+		return 0
+	}
+	if len(groupBy) == 0 {
+		return 1
+	}
+	groups := 1
+	for _, col := range groupBy {
+		ndv := in // unknown column: assume no collapsing
+		if cs := ts.Col(col); cs != nil && cs.NDV > 0 {
+			ndv = cs.NDV
+		}
+		if groups >= (in+ndv-1)/ndv { // groups*ndv would overshoot in
+			return in
+		}
+		groups *= ndv
+	}
+	if groups > in {
+		return in
+	}
+	return groups
+}
+
+// estimatePass stamps every node's EstOut with a cardinality estimate
+// derived from the catalog statistics — the interpreter's allocation
+// pre-sizing hints. Estimates follow the planner's model (per-column
+// selectivities with independence, group-key NDV products) but are
+// hints only: they never change results and never appear in the trace.
+func estimatePass(o *Optimized, st Stats) []string {
+	if st == nil {
+		return nil
+	}
+	estimateNode(o.Root, st)
+	return nil
+}
+
+// estimateNode computes (and stamps) a node's output-cardinality
+// estimate bottom-up. Predicates estimate against the statistics of
+// the driving chain's base table; columns that resolve nowhere fall
+// back to the fixed heuristic inside SelectivityOf.
+func estimateNode(n *Node, st Stats) int {
+	if n == nil {
+		return 0
+	}
+	est := 0
+	switch n.Op {
+	case OpScan:
+		if card, ok := st.Card(n.Table); ok {
+			est = card
+			if n.RowEnd > 0 && n.RowEnd-n.RowStart < est {
+				est = n.RowEnd - n.RowStart
+			}
+		}
+	case OpInput:
+		est = 0 // fragment outputs are sized by the physical planner
+	case OpFilter:
+		in := estimateNode(n.Child(), st)
+		est = baseStats(n.Child(), st).EstimateRows(in, n.Preds)
+	case OpJoin:
+		left := estimateNode(n.In[0], st)
+		right := estimateNode(n.In[1], st)
+		// Keyed joins rarely exceed the probe side, and the compilers'
+		// join shapes (semi-join against a distinct key set) rarely
+		// exceed the smaller input either; the smaller input is the
+		// cheap, usually-sufficient pre-sizing cap — undershooting only
+		// costs a slice growth, overshooting wastes real memory.
+		est = left
+		if right > 0 && (left == 0 || right < left) {
+			est = right
+		}
+	case OpAggregate:
+		in := estimateNode(n.Child(), st)
+		est = EstimateGroupRows(baseStats(n.Child(), st), in, n.GroupBy)
+	case OpCompare:
+		in := estimateNode(n.Child(), st)
+		est = EstimateGroupRows(baseStats(n.Child(), st), in, []string{n.CompareCol})
+	case OpLimit:
+		in := estimateNode(n.Child(), st)
+		est = n.N
+		if in > 0 && in < est {
+			est = in
+		}
+	default:
+		est = estimateNode(n.Child(), st)
+		for _, in := range n.In[1:] {
+			estimateNode(in, st)
+		}
+	}
+	if est < 0 {
+		est = 0
+	}
+	n.EstOut = est
+	return est
+}
+
+// baseStats finds the statistics of the driving chain's base table —
+// the table whose columns a predicate most plausibly references — or
+// nil when the chain bottoms out at an Input or join.
+func baseStats(n *Node, st Stats) *table.TableStats {
+	for n != nil {
+		if n.Op == OpScan {
+			return st.TableStats(n.Table)
+		}
+		if n.Op == OpJoin || n.Op == OpInput {
+			return nil
+		}
+		n = n.Child()
+	}
+	return nil
 }
 
 // reorderPass reorders join-input evaluation by estimated filtered

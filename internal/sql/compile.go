@@ -19,7 +19,8 @@ func Compile(stmt *Stmt, c *table.Catalog) (*logical.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur := &logical.Node{Op: logical.OpScan, Table: base.Name}
+	cur := &logical.Node{Op: logical.OpScan, Table: base.Name,
+		RowStart: stmt.RowStart, RowEnd: stmt.RowEnd}
 	rel, schema := base.Name, base.Schema
 
 	if stmt.Join != nil {

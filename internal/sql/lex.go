@@ -1,7 +1,7 @@
 // Package sql implements a small SQL dialect over the table engine:
 //
 //	SELECT [DISTINCT] cols | agg(col) [AS name] ...
-//	FROM table
+//	FROM table [ROWS a TO b]
 //	[JOIN table2 ON t1.col = t2.col]
 //	[WHERE pred [AND pred]...]
 //	[GROUP BY col, ...]
@@ -44,6 +44,7 @@ var keywords = map[string]bool{
 	"ASC": true, "JOIN": true, "ON": true, "DISTINCT": true, "COUNT": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "CONTAINS": true,
 	"NOT": true, "NULL": true, "TRUE": true, "FALSE": true, "INNER": true,
+	"ROWS": true, "TO": true,
 }
 
 // lex tokenizes a SQL string. Errors carry byte positions.

@@ -48,11 +48,16 @@ type Stmt struct {
 	Items    []SelectItem
 	Distinct bool
 	From     string
-	Join     *JoinClause
-	Wheres   []Where
-	GroupBy  []string
-	OrderBy  []OrderKey
-	Limit    int // 0 = none
+	// RowStart/RowEnd restrict the FROM table to the physical row range
+	// [RowStart, RowEnd) — the ROWS a TO b clause the federated SQL
+	// backend uses to express fragment-ranged scans as text. RowEnd 0
+	// means the whole table.
+	RowStart, RowEnd int
+	Join             *JoinClause
+	Wheres           []Where
+	GroupBy          []string
+	OrderBy          []OrderKey
+	Limit            int // 0 = none
 }
 
 type parser struct {
@@ -134,6 +139,25 @@ func (p *parser) selectStmt() (*Stmt, error) {
 		return nil, err
 	}
 	stmt.From = from
+
+	if p.cur().kind == tokKeyword && p.cur().text == "ROWS" {
+		p.pos++
+		start, err := p.rowBound()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		end, err := p.rowBound()
+		if err != nil {
+			return nil, err
+		}
+		if end <= start {
+			return nil, p.errf("empty ROWS range %d TO %d", start, end)
+		}
+		stmt.RowStart, stmt.RowEnd = start, end
+	}
 
 	if p.cur().kind == tokKeyword && (p.cur().text == "JOIN" || p.cur().text == "INNER") {
 		if p.cur().text == "INNER" {
@@ -220,6 +244,18 @@ func (p *parser) selectStmt() (*Stmt, error) {
 		stmt.Limit = n
 	}
 	return stmt, nil
+}
+
+// rowBound parses one non-negative integer bound of a ROWS clause.
+func (p *parser) rowBound() (int, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected ROWS bound, got %q", p.cur().text)
+	}
+	n, err := strconv.Atoi(p.next().text)
+	if err != nil || n < 0 {
+		return 0, p.errf("bad ROWS bound")
+	}
+	return n, nil
 }
 
 var aggKeywords = map[string]table.AggFunc{

@@ -259,3 +259,38 @@ func TestRoundTripThroughString(t *testing.T) {
 		t.Errorf("render:\n%s", s)
 	}
 }
+
+func TestRowsRange(t *testing.T) {
+	// ROWS a TO b restricts the FROM table to physical rows [a, b) —
+	// the clause the federated SQL backend renders fragment-ranged
+	// scans with.
+	res := mustExec(t, "SELECT product FROM sales ROWS 1 TO 3")
+	if res.Len() != 2 {
+		t.Fatalf("ROWS 1 TO 3 returned %d rows, want 2", res.Len())
+	}
+	if res.Rows[0][0].Str() != "Alpha" || res.Rows[1][0].Str() != "Beta" {
+		t.Errorf("ROWS slice returned wrong rows:\n%s", res)
+	}
+	// Out-of-bounds ranges clamp.
+	if res := mustExec(t, "SELECT * FROM sales ROWS 2 TO 99"); res.Len() != 2 {
+		t.Errorf("clamped range returned %d rows, want 2", res.Len())
+	}
+	// Composes with WHERE and aggregation over the sliced rows only.
+	res = mustExec(t, "SELECT SUM(revenue) AS total FROM sales ROWS 0 TO 2 WHERE product = 'Alpha'")
+	if res.Len() != 1 || res.Rows[0][0].Float() != 220 {
+		t.Errorf("ranged aggregate:\n%s", res)
+	}
+}
+
+func TestRowsRangeErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM sales ROWS 3 TO 3",
+		"SELECT * FROM sales ROWS 4 TO 2",
+		"SELECT * FROM sales ROWS x TO 2",
+		"SELECT * FROM sales ROWS 1 2",
+	} {
+		if _, err := Exec(testCatalog(), q); err == nil {
+			t.Errorf("%q: expected error", q)
+		}
+	}
+}

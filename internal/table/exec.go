@@ -89,7 +89,20 @@ func (p Pred) Eval(schema Schema, row []Value) (bool, error) {
 
 // Filter returns the rows satisfying all predicates (conjunction).
 func Filter(t *Table, preds ...Pred) (*Table, error) {
+	return FilterHint(t, 0, preds...)
+}
+
+// FilterHint is Filter with a result-size hint (rows, from the
+// optimizer's cardinality estimate) used to pre-size the output slice;
+// 0 means no hint. The hint never changes results, only allocation.
+func FilterHint(t *Table, hint int, preds ...Pred) (*Table, error) {
 	out := New(t.Name, t.Schema)
+	if hint > 0 {
+		if hint > len(t.Rows) {
+			hint = len(t.Rows)
+		}
+		out.Rows = make([][]Value, 0, hint)
+	}
 	for _, row := range t.Rows {
 		keep := true
 		for _, p := range preds {
@@ -107,6 +120,41 @@ func Filter(t *Table, preds ...Pred) (*Table, error) {
 		}
 	}
 	return out, nil
+}
+
+// FilterRanges filters only the rows inside the given ascending,
+// disjoint row ranges — the scan shape fragment pruning produces: the
+// pruned fragments are provably empty under the predicates, so the
+// result (rows and order) is identical to a full-table Filter while
+// only the surviving rows are read. scanned reports how many rows were
+// actually visited.
+func FilterRanges(t *Table, ranges []RowRange, preds ...Pred) (out *Table, scanned int, err error) {
+	out = New(t.Name, t.Schema)
+	for _, r := range ranges {
+		end := r.End
+		if end > len(t.Rows) {
+			end = len(t.Rows)
+		}
+		for ri := r.Start; ri < end; ri++ {
+			scanned++
+			row := t.Rows[ri]
+			keep := true
+			for _, p := range preds {
+				ok, err := p.Eval(t.Schema, row)
+				if err != nil {
+					return nil, scanned, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, scanned, nil
 }
 
 // Project returns only the named columns, in the given order.
@@ -137,6 +185,14 @@ func Project(t *Table, cols ...string) (*Table, error) {
 // side. Output schema is left columns followed by right columns, with
 // right-side name collisions prefixed by the right table name.
 func HashJoin(left, right *Table, leftCol, rightCol string) (*Table, error) {
+	return HashJoinHint(left, right, leftCol, rightCol, 0)
+}
+
+// HashJoinHint is HashJoin with a result-size hint (rows, from the
+// optimizer's cardinality estimate) used to pre-size the output slice;
+// 0 means no hint. The build map is always pre-sized from the actual
+// build-side length. The hint never changes results, only allocation.
+func HashJoinHint(left, right *Table, leftCol, rightCol string, hint int) (*Table, error) {
 	li := left.Schema.ColIndex(leftCol)
 	if li < 0 {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, left.Name, leftCol)
@@ -146,10 +202,13 @@ func HashJoin(left, right *Table, leftCol, rightCol string) (*Table, error) {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, right.Name, rightCol)
 	}
 	out := New(left.Name+"_join_"+right.Name, joinSchema(left, right))
+	if hint > 0 {
+		out.Rows = make([][]Value, 0, hint)
+	}
 
 	// Build on the smaller input, probe with the larger.
 	if len(left.Rows) <= len(right.Rows) {
-		build := make(map[string][][]Value)
+		build := make(map[string][][]Value, len(left.Rows))
 		for _, lr := range left.Rows {
 			if lr[li].IsNull() {
 				continue
@@ -166,7 +225,7 @@ func HashJoin(left, right *Table, leftCol, rightCol string) (*Table, error) {
 			}
 		}
 	} else {
-		build := make(map[string][][]Value)
+		build := make(map[string][][]Value, len(right.Rows))
 		for _, rr := range right.Rows {
 			if rr[ri].IsNull() {
 				continue
@@ -275,6 +334,14 @@ type Agg struct {
 // every function except COUNT(""). Group order is deterministic
 // (sorted by key values).
 func Aggregate(t *Table, groupBy []string, aggs []Agg) (*Table, error) {
+	return AggregateHint(t, groupBy, aggs, 0)
+}
+
+// AggregateHint is Aggregate with a group-count hint (from the
+// optimizer's group-key NDV estimate) used to pre-size the accumulator
+// map and ordering slice; 0 means no hint. The hint never changes
+// results, only allocation.
+func AggregateHint(t *Table, groupBy []string, aggs []Agg, hint int) (*Table, error) {
 	groupIdx := make([]int, len(groupBy))
 	for i, c := range groupBy {
 		idx := t.Schema.ColIndex(c)
@@ -309,8 +376,11 @@ func Aggregate(t *Table, groupBy []string, aggs []Agg) (*Table, error) {
 		mins   []Value
 		maxs   []Value
 	}
-	groups := make(map[string]*accum)
+	groups := make(map[string]*accum, hint)
 	var order []string
+	if hint > 0 {
+		order = make([]string, 0, hint)
+	}
 	for _, row := range t.Rows {
 		var kb strings.Builder
 		key := make([]Value, len(groupIdx))

@@ -120,3 +120,52 @@ func TestReadCatalogJSONErrors(t *testing.T) {
 		t.Error("bad cell accepted")
 	}
 }
+
+func TestCatalogJSONRoundTripsZones(t *testing.T) {
+	c := NewCatalog()
+	c.Put(zonesFixture(2*FragmentRows + 9))
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"zones"`) {
+		t.Fatal("zone maps not serialized")
+	}
+	back, err := ReadCatalogJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := back.ZonesOf("sales"), c.ZonesOf("sales")
+	if got == nil {
+		t.Fatal("loaded catalog has no zone maps")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("zone maps drifted through persistence:\n%+v\nvs\n%+v", got, want)
+	}
+	// Pre-zones files rebuild deterministically from rows, so pruning
+	// decisions cannot depend on file vintage.
+	legacy := `{"tables":[{"name":"t","columns":[{"Name":"a","Type":1}],"rows":[["1"],["2"],["2"]],"stats":[{"col":"a","rows":3,"ndv":2,"min":"1","max":"2"}]}]}`
+	lc, err := ReadCatalogJSON(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, _ := lc.Get("t")
+	if z := lc.ZonesOf("t"); z == nil || !reflect.DeepEqual(z, BuildZones(lt)) {
+		t.Errorf("legacy file did not rebuild zone maps: %+v", z)
+	}
+}
+
+func TestReadCatalogJSONRejectsCorruptZones(t *testing.T) {
+	for _, zones := range []string{
+		`[{"lo":-1,"hi":2,"cols":[]}]`,                          // negative start
+		`[{"lo":0,"hi":9,"cols":[]}]`,                           // end past the rows
+		`[{"lo":2,"hi":2,"cols":[]}]`,                           // empty fragment
+		`[{"lo":0,"hi":2,"cols":[]},{"lo":1,"hi":3,"cols":[]}]`, // overlap
+	} {
+		in := `{"tables":[{"name":"t","columns":[{"Name":"a","Type":1}],"rows":[["1"],["2"],["3"]],` +
+			`"stats":[{"col":"a","rows":3,"ndv":3,"min":"1","max":"3"}],"zones":` + zones + `}]}`
+		if _, err := ReadCatalogJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("corrupt zones %s loaded without error", zones)
+		}
+	}
+}

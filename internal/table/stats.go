@@ -1,6 +1,7 @@
 package table
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -79,69 +80,144 @@ func (ts *TableStats) Col(name string) *ColStats {
 // Compare order and every derived quantity (NDV, bucket boundaries,
 // exact counts) follows from that order alone.
 func BuildStats(t *Table) *TableStats {
-	ts := &TableStats{Table: t.Name, Rows: len(t.Rows), Cols: make([]ColStats, len(t.Schema))}
-	for ci, col := range t.Schema {
-		ts.Cols[ci] = buildColStats(col.Name, t.Rows, ci)
-	}
+	ts, _ := buildStatsRuns(t)
 	return ts
 }
 
-func buildColStats(name string, rows [][]Value, ci int) ColStats {
-	cs := ColStats{Col: name, Rows: len(rows)}
-	vals := make([]Value, 0, len(rows))
+// buildStatsRuns is BuildStats plus the per-column distinct runs
+// (ascending (value, count) pairs covering every non-null cell) the
+// statistics derive from. Catalog.Put retains the runs so an
+// append-only re-Put can merge only the appended rows instead of
+// re-sorting the whole column.
+func buildStatsRuns(t *Table) (*TableStats, [][]ValueCount) {
+	ts := &TableStats{Table: t.Name, Rows: len(t.Rows), Cols: make([]ColStats, len(t.Schema))}
+	runs := make([][]ValueCount, len(t.Schema))
+	for ci, col := range t.Schema {
+		vals, nulls := collectCol(t.Rows, ci)
+		runs[ci] = runsOf(vals)
+		ts.Cols[ci] = finishColStats(col.Name, len(t.Rows), nulls, runs[ci])
+	}
+	return ts, runs
+}
+
+// collectCol gathers a column's non-null values in the engine's total
+// Compare order (stable, so ties keep row order) plus its null count.
+func collectCol(rows [][]Value, ci int) (vals []Value, nulls int) {
+	vals = make([]Value, 0, len(rows))
 	for _, r := range rows {
 		if r[ci].IsNull() {
-			cs.Nulls++
+			nulls++
 			continue
 		}
 		vals = append(vals, r[ci])
 	}
-	if len(vals) == 0 {
-		return cs
-	}
 	sort.SliceStable(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
-	cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+	return vals, nulls
+}
 
-	// Distinct runs over the sorted values: (value, count) pairs in
-	// ascending order. NDV, exact counts and histogram buckets all
-	// derive from them.
-	type run struct {
-		val   Value
-		count int
+// runsOf collapses sorted values into ascending distinct runs. The
+// representative of a run is its first value in the stable order —
+// i.e. the earliest-row value among equals — which is what makes
+// incremental merging (older runs first) bit-equivalent to a full
+// rebuild.
+func runsOf(vals []Value) []ValueCount {
+	if len(vals) == 0 {
+		return nil
 	}
-	runs := []run{{val: vals[0], count: 1}}
+	runs := []ValueCount{{Val: vals[0], Count: 1}}
 	for _, v := range vals[1:] {
-		if Equal(v, runs[len(runs)-1].val) {
-			runs[len(runs)-1].count++
+		if Equal(v, runs[len(runs)-1].Val) {
+			runs[len(runs)-1].Count++
 		} else {
-			runs = append(runs, run{val: v, count: 1})
+			runs = append(runs, ValueCount{Val: v, Count: 1})
 		}
 	}
+	return runs
+}
+
+// mergeRuns merges two ascending distinct-run lists into a fresh one.
+// Where a value appears in both, the older list's representative wins
+// (its rows came first), reproducing exactly the runs a full stable
+// sort of the combined rows would produce.
+func mergeRuns(old, delta []ValueCount) []ValueCount {
+	if len(delta) == 0 {
+		return old
+	}
+	out := make([]ValueCount, 0, len(old)+len(delta))
+	i, j := 0, 0
+	for i < len(old) && j < len(delta) {
+		switch c := Compare(old[i].Val, delta[j].Val); {
+		case c < 0:
+			out = append(out, old[i])
+			i++
+		case c > 0:
+			out = append(out, delta[j])
+			j++
+		default:
+			out = append(out, ValueCount{Val: old[i].Val, Count: old[i].Count + delta[j].Count})
+			i++
+			j++
+		}
+	}
+	out = append(out, old[i:]...)
+	out = append(out, delta[j:]...)
+	return out
+}
+
+// finishColStats derives one column's statistics from its distinct
+// runs — the one derivation shared by the full build and the
+// incremental merge, so the two paths are bit-equivalent by
+// construction (pinned by FuzzIncrementalStats).
+func finishColStats(name string, totalRows, nulls int, runs []ValueCount) ColStats {
+	cs := ColStats{Col: name, Rows: totalRows, Nulls: nulls}
+	if len(runs) == 0 {
+		return cs
+	}
+	nonNull := 0
+	for _, r := range runs {
+		nonNull += r.Count
+	}
+	cs.Min, cs.Max = runs[0].Val, runs[len(runs)-1].Val
 	cs.NDV = len(runs)
 	if cs.NDV <= StatsMaxExact {
 		cs.Exact = make([]ValueCount, cs.NDV)
-		for i, r := range runs {
-			cs.Exact[i] = ValueCount{Val: r.val, Count: r.count}
-		}
+		copy(cs.Exact, runs)
 	}
 
 	// Equi-depth buckets: fill to the target depth, closing only on a
 	// distinct-value boundary so no value straddles buckets.
-	depth := (len(vals) + StatsBuckets - 1) / StatsBuckets
+	depth := (nonNull + StatsBuckets - 1) / StatsBuckets
 	var b *Bucket
 	for _, r := range runs {
 		if b == nil {
-			cs.Hist = append(cs.Hist, Bucket{Lower: r.val})
+			cs.Hist = append(cs.Hist, Bucket{Lower: r.Val})
 			b = &cs.Hist[len(cs.Hist)-1]
 		}
-		b.Upper = r.val
-		b.Count += r.count
+		b.Upper = r.Val
+		b.Count += r.Count
 		b.NDV++
 		if b.Count >= depth {
 			b = nil
 		}
 	}
 	return cs
+}
+
+// extendStatsRuns rebuilds the statistics of a table whose first
+// oldRows rows are unchanged since prev was built: only the appended
+// rows are collected and sorted, then merged into the retained runs.
+// For d appended rows this costs O(d log d + NDV) per column instead
+// of the full O(n log n) re-sort, and produces statistics bit-equal to
+// BuildStats over the final rows.
+func extendStatsRuns(prev *TableStats, prevRuns [][]ValueCount, t *Table, oldRows int) (*TableStats, [][]ValueCount) {
+	ts := &TableStats{Table: t.Name, Rows: len(t.Rows), Cols: make([]ColStats, len(t.Schema))}
+	runs := make([][]ValueCount, len(t.Schema))
+	for ci, col := range t.Schema {
+		vals, deltaNulls := collectCol(t.Rows[oldRows:], ci)
+		runs[ci] = mergeRuns(prevRuns[ci], runsOf(vals))
+		ts.Cols[ci] = finishColStats(col.Name, len(t.Rows), prev.Cols[ci].Nulls+deltaNulls, runs[ci])
+	}
+	return ts, runs
 }
 
 // EqCount returns the exact number of rows equal to v when the column
@@ -178,6 +254,12 @@ func (cs *ColStats) Selectivity(p Pred) (frac float64, ok bool) {
 	if nonNull == 0 {
 		return 0, true
 	}
+	if cs.Refutes(p) {
+		// Table-level zone bounds prove the predicate empty: the exact
+		// zero the fragment pruner acts on, surfaced through the same
+		// selectivity model the optimizer and planner consult.
+		return 0, true
+	}
 	switch p.Op {
 	case OpEq:
 		return cs.eqFraction(p.Val), true
@@ -208,6 +290,74 @@ func (cs *ColStats) Selectivity(p Pred) (frac float64, ok bool) {
 	default:
 		return 0, false
 	}
+}
+
+// Refutes reports whether the column statistics prove that no row can
+// satisfy p — the table-level analogue of ZoneCol.Refutes, using the
+// column's min/max bounds and (when kept) exact value counts. Only
+// sound proofs qualify: histogram interpolation never refutes.
+func (cs *ColStats) Refutes(p Pred) bool {
+	if cs == nil {
+		return false
+	}
+	if p.Val.IsNull() {
+		return true
+	}
+	if cs.Rows == 0 || cs.Rows == cs.Nulls {
+		return true // no non-null cell to satisfy anything
+	}
+	switch p.Op {
+	case OpEq:
+		if cs.Exact != nil {
+			n, _ := cs.EqCount(p.Val)
+			return n == 0
+		}
+		return Compare(p.Val, cs.Min) < 0 || Compare(p.Val, cs.Max) > 0
+	case OpNe:
+		if cs.Exact != nil {
+			return len(cs.Exact) == 1 && Equal(cs.Exact[0].Val, p.Val)
+		}
+		return Equal(cs.Min, cs.Max) && Equal(cs.Min, p.Val)
+	case OpLt:
+		return Compare(cs.Min, p.Val) >= 0
+	case OpLe:
+		return Compare(cs.Min, p.Val) > 0
+	case OpGt:
+		return Compare(cs.Max, p.Val) <= 0
+	case OpGe:
+		return Compare(cs.Max, p.Val) < 0
+	case OpContains:
+		if cs.Exact == nil {
+			return false
+		}
+		needle := strings.ToLower(p.Val.String())
+		for _, vc := range cs.Exact {
+			if strings.Contains(strings.ToLower(vc.Val.String()), needle) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Refutes reports whether the statistics prove the predicate
+// conjunction returns no rows: an empty table, or any single conjunct
+// refuted by its column's statistics.
+func (ts *TableStats) Refutes(preds []Pred) bool {
+	if ts == nil {
+		return false
+	}
+	if ts.Rows == 0 {
+		return true
+	}
+	for _, p := range preds {
+		if ts.Col(p.Col).Refutes(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // eqFraction is the equality fraction: exact when per-value counts are
@@ -327,6 +477,26 @@ func (ts *TableStats) SelectivityOf(p Pred) float64 {
 		}
 	}
 	return DefaultSelectivity(p)
+}
+
+// Describe renders the table statistics for diagnostics (uniquery
+// -stats): one line per column with row/null/NDV counts, bounds, and
+// histogram/exact-set sizes.
+func (ts *TableStats) Describe() string {
+	if ts == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats: table %s rows=%d epoch=%d\n", ts.Table, ts.Rows, ts.Epoch)
+	for _, cs := range ts.Cols {
+		fmt.Fprintf(&b, "  %-16s ndv=%d nulls=%d min=%s max=%s buckets=%d",
+			cs.Col, cs.NDV, cs.Nulls, cs.Min, cs.Max, len(cs.Hist))
+		if cs.Exact != nil {
+			fmt.Fprintf(&b, " exact=%d", len(cs.Exact))
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // EstimateRows applies the selectivities of a predicate conjunction

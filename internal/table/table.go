@@ -243,38 +243,124 @@ func (t *Table) WriteCSV(w io.Writer) error {
 
 // Catalog is a named collection of tables — the structured half of the
 // heterogeneous database. Alongside every table it keeps the
-// per-column statistics (BuildStats) the cost-based planning stack
-// consumes, rebuilt incrementally: each Put refreshes only the stats
-// of the table it registers.
+// per-column statistics (BuildStats) and per-fragment zone maps
+// (BuildZones) the cost-based planning stack consumes, maintained
+// incrementally: an append-only re-Put merges delta statistics for
+// only the rows it appended and extends the zone maps of only the
+// fragments it touched, while any other mutation falls back to a full
+// rebuild.
 type Catalog struct {
 	tables map[string]*Table
 	stats  map[string]*TableStats
+	zones  map[string]*Zones
+	state  map[string]*tableState
 	epoch  uint64
+}
+
+// tableState is what Put retains to recognize (and serve) the
+// append-only fast path: an independent snapshot of the row-slice
+// headers the current statistics were built from, the schema at build
+// time, and the per-column distinct runs the incremental merge extends.
+type tableState struct {
+	rows   [][]Value
+	schema Schema
+	runs   [][]ValueCount
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table), stats: make(map[string]*TableStats)}
+	return &Catalog{
+		tables: make(map[string]*Table),
+		stats:  make(map[string]*TableStats),
+		zones:  make(map[string]*Zones),
+		state:  make(map[string]*tableState),
+	}
 }
 
 // Put registers a table, replacing any existing table of that name,
-// advances the catalog epoch, and rebuilds the table's per-column
-// statistics (stamped with the new epoch). Callers that mutate a
-// registered table in place must re-Put it so epoch-keyed consumers
-// (plan caches, scan indexes, statistics) observe the change.
+// advances the catalog epoch, and refreshes the table's per-column
+// statistics and fragment zone maps (stamped with the new epoch).
+// Callers that mutate a registered table in place must re-Put it so
+// epoch-keyed consumers (plan caches, scan indexes, statistics, zone
+// maps) observe the change.
+//
+// When the re-Put is append-only — the schema is unchanged and the
+// previously registered rows are the same row slices, with new rows
+// only appended (the engine never edits a row after Append, so
+// identical headers mean identical content) — statistics merge only
+// the appended rows' delta and zone maps extend only the open tail
+// fragment: O(delta) work instead of the O(n log n) full rebuild,
+// which remains the slow path for every other mutation shape. Both
+// paths yield bit-identical results (FuzzIncrementalStats).
 func (c *Catalog) Put(t *Table) {
-	c.putWithStats(t, BuildStats(t))
+	key := strings.ToLower(t.Name)
+	var (
+		ts   *TableStats
+		runs [][]ValueCount
+		z    *Zones
+	)
+	if st := c.state[key]; st != nil && schemaEqual(st.schema, t.Schema) && rowsPrefixUnchanged(t.Rows, st.rows) {
+		ts, runs = extendStatsRuns(c.stats[key], st.runs, t, len(st.rows))
+		z = ExtendZones(c.zones[key], t)
+	} else {
+		ts, runs = buildStatsRuns(t)
+		z = BuildZones(t)
+	}
+	c.state[key] = &tableState{
+		rows:   append([][]Value(nil), t.Rows...),
+		schema: append(Schema(nil), t.Schema...),
+		runs:   runs,
+	}
+	c.putWithStats(t, ts, z)
 }
 
-// putWithStats registers a table with precomputed statistics — the
-// persistence loader's entry, which restores the stats it serialized
-// instead of rebuilding them.
-func (c *Catalog) putWithStats(t *Table, ts *TableStats) {
+// rowsPrefixUnchanged reports whether cur still starts with exactly
+// the row slices of prev: same count or more, with every prefix row
+// being the identical slice header (base pointer and length). Rows are
+// immutable once appended, so header identity implies content
+// identity; a replaced, truncated or widened row changes its header
+// and forces the full rebuild.
+func rowsPrefixUnchanged(cur, prev [][]Value) bool {
+	if len(cur) < len(prev) {
+		return false
+	}
+	for i, p := range prev {
+		if !sameRowSlice(cur[i], p) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameRowSlice(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+func schemaEqual(a, b Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// putWithStats registers a table with precomputed statistics and zone
+// maps — the persistence loader's entry, which restores what it
+// serialized instead of rebuilding.
+func (c *Catalog) putWithStats(t *Table, ts *TableStats, z *Zones) {
 	key := strings.ToLower(t.Name)
 	c.tables[key] = t
 	c.epoch++
 	ts.Epoch = c.epoch
 	c.stats[key] = ts
+	c.zones[key] = z
 }
 
 // StatsOf returns the per-column statistics built at the named table's
@@ -282,6 +368,13 @@ func (c *Catalog) putWithStats(t *Table, ts *TableStats) {
 // shared and must not be mutated.
 func (c *Catalog) StatsOf(name string) *TableStats {
 	return c.stats[strings.ToLower(name)]
+}
+
+// ZonesOf returns the fragment zone maps built at the named table's
+// last Put, or nil for an unknown table. The returned zones are shared
+// and must not be mutated.
+func (c *Catalog) ZonesOf(name string) *Zones {
+	return c.zones[strings.ToLower(name)]
 }
 
 // Epoch counts catalog mutations. Anything derived from catalog

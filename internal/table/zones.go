@@ -1,0 +1,310 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Zone-map shape parameters. Every table partitions into fixed-size
+// row fragments; each fragment carries a per-column summary (min/max
+// bounds, null count, and — while the fragment stays low-cardinality —
+// the exact distinct-value set). Scans consult the summaries to skip
+// fragments a pushed predicate conjunction provably cannot match.
+const (
+	// FragmentRows is the fixed fragment size, in rows. The last
+	// fragment of a table may be shorter.
+	FragmentRows = 256
+	// ZoneMaxVals is the distinct-value ceiling below which a fragment
+	// column keeps its exact value set (enabling equality, inequality
+	// and CONTAINS refutation beyond what min/max bounds can prove).
+	ZoneMaxVals = 8
+)
+
+// RowRange is a half-open row interval [Start, End).
+type RowRange struct {
+	Start, End int
+}
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int { return r.End - r.Start }
+
+// ZoneCol is one column's summary within a fragment.
+type ZoneCol struct {
+	Col   string
+	Nulls int
+	Min   Value // NULL when the fragment has no non-null values
+	Max   Value
+	Vals  []Value // ascending distinct non-null values; valid only when Exact
+	Exact bool    // Vals holds every distinct non-null value of the fragment
+}
+
+// ZoneMap is one fragment's zone map: the row range it covers plus a
+// summary per schema column.
+type ZoneMap struct {
+	Start, End int
+	Cols       []ZoneCol // schema order
+}
+
+// Zones is the per-fragment zone-map set of one table, built (and
+// extended incrementally for append-only Puts) by Catalog.Put. Like
+// TableStats, a Zones value is immutable once published: extension
+// produces a fresh Zones sharing the sealed fragments.
+type Zones struct {
+	Table string
+	Rows  int // rows covered
+	Maps  []ZoneMap
+}
+
+// BuildZones computes the zone maps of every fragment. Deterministic
+// for fixed rows.
+func BuildZones(t *Table) *Zones {
+	z := &Zones{Table: t.Name}
+	return extendZonesFrom(z, t, 0)
+}
+
+// ExtendZones extends z with the rows appended since it was built,
+// reusing every sealed fragment's map and rebuilding only the open
+// tail fragment. The caller must have established that the first
+// z.Rows rows are unchanged (Catalog.Put's append-only check); any
+// other shape must rebuild with BuildZones. A nil z builds from
+// scratch.
+func ExtendZones(z *Zones, t *Table) *Zones {
+	if z == nil || z.Rows > len(t.Rows) {
+		return BuildZones(t)
+	}
+	sealed := len(z.Maps)
+	if sealed > 0 && z.Maps[sealed-1].End-z.Maps[sealed-1].Start < FragmentRows {
+		sealed-- // partial tail fragment: rebuild it with the new rows
+	}
+	nz := &Zones{Table: t.Name, Maps: z.Maps[:sealed:sealed]}
+	return extendZonesFrom(nz, t, sealed*FragmentRows)
+}
+
+// extendZonesFrom appends fragment maps covering rows [from, len).
+func extendZonesFrom(z *Zones, t *Table, from int) *Zones {
+	for start := from; start < len(t.Rows); start += FragmentRows {
+		end := start + FragmentRows
+		if end > len(t.Rows) {
+			end = len(t.Rows)
+		}
+		z.Maps = append(z.Maps, buildZoneMap(t, start, end))
+	}
+	z.Rows = len(t.Rows)
+	return z
+}
+
+func buildZoneMap(t *Table, start, end int) ZoneMap {
+	zm := ZoneMap{Start: start, End: end, Cols: make([]ZoneCol, len(t.Schema))}
+	for ci, col := range t.Schema {
+		zc := ZoneCol{Col: col.Name, Exact: true}
+		for ri := start; ri < end; ri++ {
+			v := t.Rows[ri][ci]
+			if v.IsNull() {
+				zc.Nulls++
+				continue
+			}
+			if zc.Min.IsNull() || Compare(v, zc.Min) < 0 {
+				zc.Min = v
+			}
+			if zc.Max.IsNull() || Compare(v, zc.Max) > 0 {
+				zc.Max = v
+			}
+			if zc.Exact {
+				zc.Vals, zc.Exact = zoneInsert(zc.Vals, v)
+			}
+		}
+		if !zc.Exact {
+			zc.Vals = nil
+		}
+		zm.Cols[ci] = zc
+	}
+	return zm
+}
+
+// zoneInsert adds v to the ascending distinct set, reporting overflow
+// (set abandoned) when the set would exceed ZoneMaxVals.
+func zoneInsert(vals []Value, v Value) ([]Value, bool) {
+	lo := 0
+	for lo < len(vals) {
+		c := Compare(vals[lo], v)
+		if c == 0 {
+			return vals, true
+		}
+		if c > 0 {
+			break
+		}
+		lo++
+	}
+	if len(vals) >= ZoneMaxVals {
+		return nil, false
+	}
+	vals = append(vals, Value{})
+	copy(vals[lo+1:], vals[lo:])
+	vals[lo] = v
+	return vals, true
+}
+
+// Col returns the named column's summary (case-insensitive), or nil.
+func (zm *ZoneMap) Col(name string) *ZoneCol {
+	for i := range zm.Cols {
+		if strings.EqualFold(zm.Cols[i].Col, name) {
+			return &zm.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Refutes reports whether the zone proves that no row of the fragment
+// can satisfy p. The rules are sound with respect to Pred.Eval: NULL
+// cells (and NULL literals) never satisfy any comparison, bounds use
+// the same total Compare order Eval uses, and CONTAINS/equality tests
+// on exact value sets replay Eval's own matching.
+func (zc *ZoneCol) Refutes(p Pred) bool {
+	if zc == nil {
+		return false
+	}
+	if p.Val.IsNull() {
+		return true // NULL literal matches nothing
+	}
+	if zc.Min.IsNull() {
+		return true // every cell in the fragment is NULL
+	}
+	switch p.Op {
+	case OpEq:
+		if zc.Exact {
+			return !zoneHas(zc.Vals, p.Val)
+		}
+		return Compare(p.Val, zc.Min) < 0 || Compare(p.Val, zc.Max) > 0
+	case OpNe:
+		// Refuted only when every non-null value equals the literal.
+		if zc.Exact {
+			return len(zc.Vals) == 1 && Equal(zc.Vals[0], p.Val)
+		}
+		return Equal(zc.Min, zc.Max) && Equal(zc.Min, p.Val)
+	case OpLt:
+		return Compare(zc.Min, p.Val) >= 0
+	case OpLe:
+		return Compare(zc.Min, p.Val) > 0
+	case OpGt:
+		return Compare(zc.Max, p.Val) <= 0
+	case OpGe:
+		return Compare(zc.Max, p.Val) < 0
+	case OpContains:
+		if !zc.Exact {
+			return false // substring matching needs the value set
+		}
+		needle := strings.ToLower(p.Val.String())
+		for _, v := range zc.Vals {
+			if strings.Contains(strings.ToLower(v.String()), needle) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func zoneHas(vals []Value, v Value) bool {
+	for _, x := range vals {
+		if Equal(x, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Refutes reports whether the fragment's zone map proves the predicate
+// conjunction empty: any single refuted conjunct refutes the whole
+// fragment. Predicates on columns the map does not cover refute
+// nothing.
+func (zm *ZoneMap) Refutes(preds []Pred) bool {
+	for _, p := range preds {
+		if zm.Col(p.Col).Refutes(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prune partitions the table's fragments under a pushed predicate
+// conjunction: keep is the merged, ascending row ranges of fragments
+// the zone maps cannot refute (never nil — empty means every fragment
+// is provably empty), pruned counts refuted fragments. Deterministic
+// for fixed zones and predicates.
+func (z *Zones) Prune(preds []Pred) (keep []RowRange, pruned int) {
+	keep = make([]RowRange, 0, len(z.Maps))
+	for _, zm := range z.Maps {
+		if zm.Refutes(preds) {
+			pruned++
+			continue
+		}
+		if n := len(keep); n > 0 && keep[n-1].End == zm.Start {
+			keep[n-1].End = zm.End
+		} else {
+			keep = append(keep, RowRange{Start: zm.Start, End: zm.End})
+		}
+	}
+	return keep, pruned
+}
+
+// IntersectRanges intersects two ascending disjoint range lists,
+// returning their (never-nil) ascending intersection. Used to combine
+// zone-pruned fragments with an explicit scan row range.
+func IntersectRanges(a, b []RowRange) []RowRange {
+	out := make([]RowRange, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := a[i].Start, a[i].End
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if lo < hi {
+			out = append(out, RowRange{Start: lo, End: hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// RangesLen sums the row counts of a range list.
+func RangesLen(ranges []RowRange) int {
+	n := 0
+	for _, r := range ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// Describe renders the zone maps for diagnostics (uniquery -stats):
+// one line per fragment with each column's bounds, null count and
+// exact value set.
+func (z *Zones) Describe() string {
+	if z == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "zones: %d fragments of up to %d rows over %d rows\n", len(z.Maps), FragmentRows, z.Rows)
+	for i, zm := range z.Maps {
+		fmt.Fprintf(&b, "  frag[%d] rows [%d,%d)\n", i, zm.Start, zm.End)
+		for _, zc := range zm.Cols {
+			fmt.Fprintf(&b, "    %-16s nulls=%d min=%s max=%s", zc.Col, zc.Nulls, zc.Min, zc.Max)
+			if zc.Exact {
+				vals := make([]string, len(zc.Vals))
+				for vi, v := range zc.Vals {
+					vals[vi] = v.String()
+				}
+				fmt.Fprintf(&b, " vals=[%s]", strings.Join(vals, ","))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

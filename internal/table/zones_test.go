@@ -1,0 +1,306 @@
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// zonesFixture builds a table spanning several fragments with a
+// low-NDV string column, a monotone int column (distinct per row, so
+// per-fragment ranges are disjoint) and a float column with nulls.
+func zonesFixture(rows int) *Table {
+	t := New("sales", Schema{
+		{Name: "product", Type: TypeString},
+		{Name: "seq", Type: TypeInt},
+		{Name: "revenue", Type: TypeFloat},
+	})
+	products := []string{"Alpha", "Beta", "Gamma"}
+	for i := 0; i < rows; i++ {
+		rev := F(float64(100 + i))
+		if i%97 == 13 {
+			rev = Null(TypeFloat)
+		}
+		t.MustAppend([]Value{S(products[i%len(products)]), I(int64(i)), rev})
+	}
+	return t
+}
+
+func TestBuildZonesFragments(t *testing.T) {
+	tb := zonesFixture(2*FragmentRows + 40)
+	z := BuildZones(tb)
+	if len(z.Maps) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(z.Maps))
+	}
+	if z.Rows != tb.Len() {
+		t.Fatalf("zones cover %d rows, want %d", z.Rows, tb.Len())
+	}
+	zm := z.Maps[1]
+	if zm.Start != FragmentRows || zm.End != 2*FragmentRows {
+		t.Fatalf("fragment 1 covers [%d,%d), want [%d,%d)", zm.Start, zm.End, FragmentRows, 2*FragmentRows)
+	}
+	seq := zm.Col("seq")
+	if seq == nil || seq.Min.Int() != FragmentRows || seq.Max.Int() != 2*FragmentRows-1 {
+		t.Fatalf("seq bounds = [%v,%v], want [%d,%d]", seq.Min, seq.Max, FragmentRows, 2*FragmentRows-1)
+	}
+	if seq.Exact {
+		t.Error("256 distinct ints kept an exact set beyond ZoneMaxVals")
+	}
+	prod := zm.Col("product")
+	if prod == nil || !prod.Exact || len(prod.Vals) != 3 {
+		t.Fatalf("product zone = %+v, want exact 3-value set", prod)
+	}
+	if z.Maps[2].End-z.Maps[2].Start != 40 {
+		t.Errorf("tail fragment holds %d rows, want 40", z.Maps[2].End-z.Maps[2].Start)
+	}
+}
+
+func TestZoneRefutes(t *testing.T) {
+	tb := zonesFixture(FragmentRows)
+	zm := BuildZones(tb).Maps[0]
+	cases := []struct {
+		pred    Pred
+		refuted bool
+	}{
+		{Pred{Col: "seq", Op: OpGt, Val: I(999)}, true},
+		{Pred{Col: "seq", Op: OpGe, Val: I(255)}, false},
+		{Pred{Col: "seq", Op: OpGe, Val: I(256)}, true},
+		{Pred{Col: "seq", Op: OpLt, Val: I(0)}, true},
+		{Pred{Col: "seq", Op: OpLe, Val: I(0)}, false},
+		{Pred{Col: "seq", Op: OpEq, Val: I(-3)}, true},
+		{Pred{Col: "product", Op: OpEq, Val: S("Delta")}, true},
+		{Pred{Col: "product", Op: OpEq, Val: S("Beta")}, false},
+		{Pred{Col: "product", Op: OpNe, Val: S("Alpha")}, false},
+		{Pred{Col: "product", Op: OpContains, Val: S("amm")}, false},
+		{Pred{Col: "product", Op: OpContains, Val: S("zzz")}, true},
+		{Pred{Col: "product", Op: OpEq, Val: Null(TypeString)}, true},
+		{Pred{Col: "no_such", Op: OpEq, Val: S("x")}, false},
+	}
+	for _, tc := range cases {
+		if got := zm.Col(tc.pred.Col).Refutes(tc.pred); got != tc.refuted {
+			t.Errorf("refutes(%s) = %v, want %v", tc.pred, got, tc.refuted)
+		}
+	}
+	// A refuted fragment must genuinely be empty under the predicate.
+	for _, tc := range cases {
+		if !tc.refuted || zm.Col(tc.pred.Col) == nil {
+			continue
+		}
+		got, err := Filter(tb, tc.pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 0 {
+			t.Errorf("refuted predicate %s matches %d rows — unsound", tc.pred, got.Len())
+		}
+	}
+}
+
+// TestPruneMatchesFilter is the soundness property: for a battery of
+// predicates, filtering only the surviving ranges returns exactly the
+// rows a full-table filter returns, in the same order.
+func TestPruneMatchesFilter(t *testing.T) {
+	tb := zonesFixture(3*FragmentRows + 17)
+	z := BuildZones(tb)
+	preds := [][]Pred{
+		{{Col: "seq", Op: OpLt, Val: I(100)}},
+		{{Col: "seq", Op: OpGe, Val: I(700)}},
+		{{Col: "seq", Op: OpGt, Val: I(int64(tb.Len() + 5))}},
+		{{Col: "seq", Op: OpGe, Val: I(300)}, {Col: "seq", Op: OpLt, Val: I(400)}},
+		{{Col: "product", Op: OpEq, Val: S("Beta")}},
+		{{Col: "product", Op: OpEq, Val: S("Zeta")}},
+		{{Col: "revenue", Op: OpGt, Val: F(1e9)}},
+		{{Col: "revenue", Op: OpLe, Val: F(150)}},
+	}
+	for _, ps := range preds {
+		keep, pruned := z.Prune(ps)
+		if pruned+countRanges(keep, z) != len(z.Maps) {
+			t.Errorf("%v: pruned %d + kept ranges do not cover %d fragments", ps, pruned, len(z.Maps))
+		}
+		want, err := Filter(tb, ps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, scanned, err := FilterRanges(tb, keep, ps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("%v: pruned filter returns %d rows, full filter %d", ps, got.Len(), want.Len())
+		}
+		if scanned != RangesLen(keep) {
+			t.Errorf("%v: scanned %d, want %d", ps, scanned, RangesLen(keep))
+		}
+		if pruned > 0 && scanned >= tb.Len() {
+			t.Errorf("%v: pruning %d fragments did not reduce the scan", ps, pruned)
+		}
+	}
+}
+
+// countRanges counts how many fragments the kept ranges span (ranges
+// merge adjacent fragments, so expand against the fragment grid).
+func countRanges(keep []RowRange, z *Zones) int {
+	n := 0
+	for _, zm := range z.Maps {
+		for _, r := range keep {
+			if zm.Start >= r.Start && zm.End <= r.End {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func TestIntersectRanges(t *testing.T) {
+	a := []RowRange{{0, 256}, {512, 768}}
+	b := []RowRange{{100, 600}}
+	got := IntersectRanges(a, b)
+	want := []RowRange{{100, 256}, {512, 600}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+	if out := IntersectRanges(a, nil); len(out) != 0 {
+		t.Fatalf("intersect with empty = %v, want empty", out)
+	}
+}
+
+// TestCatalogPutIncrementalBitEquivalence drives the append-only fast
+// path directly through Catalog.Put and pins its statistics and zone
+// maps to the full rebuild, including across the fragment-seal
+// boundary and after an in-place mutation forces the slow path.
+func TestCatalogPutIncrementalBitEquivalence(t *testing.T) {
+	tb := zonesFixture(FragmentRows - 5)
+	c := NewCatalog()
+	c.Put(tb)
+
+	assertEqualFullBuild := func(step string) {
+		t.Helper()
+		if got, want := clearEpochs(c.StatsOf("sales")), clearEpochs(BuildStats(tb)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: incremental stats diverge from full rebuild:\n%+v\nvs\n%+v", step, got, want)
+		}
+		if got, want := c.ZonesOf("sales"), BuildZones(tb); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: incremental zones diverge from full rebuild:\n%+v\nvs\n%+v", step, got, want)
+		}
+	}
+
+	// Appends crossing the fragment boundary, re-Put each batch.
+	for batch := 0; batch < 4; batch++ {
+		for i := 0; i < 7; i++ {
+			tb.MustAppend([]Value{S("Delta"), I(int64(10000 + batch*10 + i)), F(float64(batch))})
+		}
+		c.Put(tb)
+		assertEqualFullBuild(fmt.Sprintf("append batch %d", batch))
+	}
+
+	// In-place mutation (replaced row slice) must fall back to the full
+	// rebuild and still agree.
+	tb.Rows[3] = append([]Value(nil), tb.Rows[3]...)
+	tb.Rows[3][0] = S("Mutated")
+	c.Put(tb)
+	assertEqualFullBuild("in-place mutation")
+
+	// Schema widening (extract.Merge's shape: new column, rows extended
+	// in place) must also fall back.
+	tb.Schema = append(tb.Schema, Column{Name: "extra", Type: TypeInt})
+	for i := range tb.Rows {
+		tb.Rows[i] = append(tb.Rows[i], Null(TypeInt))
+	}
+	c.Put(tb)
+	assertEqualFullBuild("schema widening")
+}
+
+// FuzzIncrementalStats pins bit-equivalence between the incremental
+// statistics/zone-map maintenance and the full rebuild across random
+// Put sequences: appends (the fast path), in-place row replacements
+// and re-Puts of rebuilt tables (the slow path), interleaved
+// arbitrarily. After every Put the catalog's statistics and zone maps
+// must equal a from-scratch BuildStats/BuildZones of the final rows.
+func FuzzIncrementalStats(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 250, 251, 0, 9}, uint8(3))
+	f.Add(bytes.Repeat([]byte{7, 130, 255, 0, 64, 65}, 120), uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, step uint8) {
+		tb := New("fuzz", Schema{
+			{Name: "k", Type: TypeString},
+			{Name: "n", Type: TypeInt},
+			{Name: "f", Type: TypeFloat},
+		})
+		c := NewCatalog()
+		c.Put(tb)
+		every := int(step%7) + 1
+		for i, b := range data {
+			switch {
+			case b < 230 || tb.Len() == 0:
+				k := S(fmt.Sprintf("v%d", b%23))
+				n := I(int64(int(b) - 100))
+				fv := F(float64(b) / 3)
+				if b%19 == 0 {
+					k = Null(TypeString)
+				}
+				if b%11 == 0 {
+					fv = Null(TypeFloat)
+				}
+				tb.MustAppend([]Value{k, n, fv})
+			case b < 243:
+				// In-place replacement: new row slice at an existing index.
+				ri := int(b) % tb.Len()
+				row := append([]Value(nil), tb.Rows[ri]...)
+				row[1] = I(int64(b))
+				tb.Rows[ri] = row
+			default:
+				// Rebuild the table object wholesale (same name, copied
+				// rows): the registered headers all change.
+				nt := New("fuzz", tb.Schema)
+				nt.Rows = append([][]Value(nil), tb.Rows...)
+				tb = nt
+			}
+			if (i+1)%every == 0 {
+				c.Put(tb)
+				if got, want := clearEpochs(c.StatsOf("fuzz")), clearEpochs(BuildStats(tb)); !reflect.DeepEqual(got, want) {
+					t.Fatalf("op %d: incremental stats diverge from full rebuild:\n%+v\nvs\n%+v", i, got, want)
+				}
+				if got, want := c.ZonesOf("fuzz"), BuildZones(tb); !reflect.DeepEqual(got, want) {
+					t.Fatalf("op %d: incremental zones diverge from full rebuild:\n%+v\nvs\n%+v", i, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestStatsRefutes pins the table-level zone-bound refutation feeding
+// SelectivityWith's exact zeros and logical.ProvablyEmpty.
+func TestStatsRefutes(t *testing.T) {
+	ts := BuildStats(statsFixture()) // revenue in [100,240], units 0..15, product 3 values
+	refuted := []Pred{
+		{Col: "revenue", Op: OpGt, Val: F(240)},
+		{Col: "revenue", Op: OpGe, Val: F(241)},
+		{Col: "revenue", Op: OpLt, Val: F(100)},
+		{Col: "units", Op: OpEq, Val: I(99)},
+		{Col: "product", Op: OpContains, Val: S("xyz")},
+		{Col: "product", Op: OpEq, Val: Null(TypeString)},
+	}
+	for _, p := range refuted {
+		if !ts.Col(p.Col).Refutes(p) {
+			t.Errorf("stats failed to refute %s", p)
+		}
+		if f, ok := ts.Col(p.Col).Selectivity(p); !ok || f != 0 {
+			t.Errorf("selectivity(%s) = %v,%v, want exact 0", p, f, ok)
+		}
+	}
+	kept := []Pred{
+		{Col: "revenue", Op: OpGe, Val: F(240)},
+		{Col: "revenue", Op: OpLe, Val: F(100)},
+		{Col: "units", Op: OpEq, Val: I(15)},
+		{Col: "product", Op: OpNe, Val: S("Alpha")},
+	}
+	for _, p := range kept {
+		if ts.Col(p.Col).Refutes(p) {
+			t.Errorf("stats wrongly refuted satisfiable %s", p)
+		}
+	}
+	if !ts.Refutes([]Pred{{Col: "units", Op: OpLt, Val: I(5)}, {Col: "revenue", Op: OpGt, Val: F(1e6)}}) {
+		t.Error("conjunction with one refuted conjunct not refuted")
+	}
+}

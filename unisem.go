@@ -424,6 +424,21 @@ func (s *System) Table(name string) (string, error) {
 	return t.String(), nil
 }
 
+// DescribeTable renders a catalog table's planner metadata — the
+// per-column statistics and per-fragment zone maps behind cost
+// estimates and scan pruning (uniquery's -stats flag). Useful for
+// debugging why a fragment was or was not pruned.
+func (s *System) DescribeTable(name string) (string, error) {
+	if !s.built {
+		return "", ErrNotBuilt
+	}
+	cat := s.hybrid.Catalog()
+	if _, err := cat.Get(name); err != nil {
+		return "", err
+	}
+	return cat.StatsOf(name).Describe() + "\n" + cat.ZonesOf(name).Describe(), nil
+}
+
 // Ingest adds one unstructured document to a *built* system without a
 // rebuild: the graph index, extracted tables and retrieval priors all
 // update incrementally (the paper's real-time analytics direction).

@@ -193,3 +193,23 @@ func TestAddCSVErrors(t *testing.T) {
 		t.Error("broken xml accepted")
 	}
 }
+
+func TestDescribeTableDumpsStatsAndZones(t *testing.T) {
+	sys := buildDemo(t)
+	name := sys.Tables()[0]
+	desc, err := sys.DescribeTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stats: table " + name, "ndv=", "zones:", "frag[0]"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("DescribeTable(%s) missing %q:\n%s", name, want, desc)
+		}
+	}
+	if _, err := sys.DescribeTable("no_such_table"); err == nil {
+		t.Error("DescribeTable of unknown table did not error")
+	}
+	if _, err := New().DescribeTable(name); err == nil {
+		t.Error("DescribeTable before Build did not error")
+	}
+}
