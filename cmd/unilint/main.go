@@ -1,0 +1,118 @@
+// Command unilint runs the repo's invariant analyzers (see
+// internal/analysis) over Go packages. It works two ways:
+//
+//	unilint ./...                 # standalone, from the module root
+//	go vet -vettool=$(which unilint) ./...
+//
+// Standalone mode resolves patterns with `go list`, type-checks from
+// source, prints findings to stdout and exits 1 if there are any. As a
+// vettool it speaks cmd/go's vet protocol: it answers -V=full and
+// -flags, then analyzes one vet.cfg unit per invocation, reporting
+// findings on stderr with exit status 2.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// version doubles as the vet cache key: cmd/go caches vet results
+// under the tool's -V=full line, so bump it whenever analyzer behavior
+// changes or stale cached verdicts may be served.
+const version = "0.6.0"
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// ≥3 fields with f[1]=="version"; the whole line becomes the
+			// tool's cache ID.
+			fmt.Printf("unilint version %s\n", version)
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: unilint [packages]")
+			for _, an := range analysis.All() {
+				fmt.Fprintf(os.Stderr, "  unilint/%s: %s\n", an.Name, an.Doc)
+			}
+			os.Exit(2)
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+func standalone(patterns []string) int {
+	units, err := analysis.LoadPatterns(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unilint:", err)
+		return 1
+	}
+	found := false
+	for _, u := range units {
+		diags, err := analysis.Run(u, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unilint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Println(d)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+func vettool(cfgPath string) int {
+	cfg, err := analysis.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unilint:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency loaded for facts only; unilint exports none.
+		if err := cfg.WriteVetx(); err != nil {
+			fmt.Fprintln(os.Stderr, "unilint:", err)
+			return 1
+		}
+		return 0
+	}
+	unit, err := cfg.Load()
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "unilint:", err)
+		return 1
+	}
+	diags, err := analysis.Run(unit, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unilint:", err)
+		return 1
+	}
+	if err := cfg.WriteVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, "unilint:", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 2
+	}
+	return 0
+}

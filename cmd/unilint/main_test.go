@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoIsClean runs the full suite over the module in-process, the
+// same check CI's lint job performs: the tree must carry no unilint
+// findings and no undocumented or dead ignore directives.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	units, err := analysis.LoadPatterns("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, u := range units {
+		diags, err := analysis.Run(u, analysis.All())
+		if err != nil {
+			t.Fatalf("run %s: %v", u.Pkg.Path(), err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestVetConfigRoundTrip exercises the -vettool path: a hand-built
+// vet.cfg over a fixture package must produce the fixture's findings.
+func TestVetConfigRoundTrip(t *testing.T) {
+	cfg := &analysis.VetConfig{
+		Compiler:   "source",
+		ImportPath: "vetfixture",
+		GoFiles:    []string{"../../internal/analysis/testdata/src/lockguard/lockguard.go"},
+	}
+	unit, err := cfg.Load()
+	if err != nil {
+		t.Fatalf("load vet unit: %v", err)
+	}
+	diags, err := analysis.Run(unit, analysis.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("want the fixture's 3 lockguard findings through the vet path, got %d: %v", len(diags), diags)
+	}
+}

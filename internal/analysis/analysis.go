@@ -1,0 +1,144 @@
+// Package analysis is the repo's static-analysis suite: a small,
+// dependency-free re-implementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) plus the four
+// project-specific analyzers that turn this codebase's proven bug
+// classes into mechanical findings:
+//
+//   - mapiter: a range over a map whose iteration order flows into an
+//     ordered sink (append to a slice, writes into a builder) without
+//     an intervening sort — the materializeCues bug class.
+//   - lockguard: struct fields annotated "// guarded by <mu>" accessed
+//     outside a <mu>.Lock/RLock critical section — the Ingest/Answer
+//     race class.
+//   - purepass: optimizer pass functions (and everything they call in
+//     package) must be deterministic — no time.*, no math/rand, no
+//     unordered map iteration feeding their output, no writes to
+//     package-level state.
+//   - epochkey: cache-shaped state (cache-named map fields or types)
+//     must incorporate an epoch in its key or invalidation path, so a
+//     new cache cannot silently serve stale results across ingests.
+//
+// The suite runs through cmd/unilint, standalone (`unilint ./...`) or
+// as a `go vet -vettool` backend, and each analyzer is pinned by
+// fixture packages under testdata/src (see RunFixture).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects the package in Pass and
+// reports findings through Pass.Report; the returned error is reserved
+// for analyzer malfunction, not findings.
+type Analyzer struct {
+	Name string // short name, reported as unilint/<Name>
+	Doc  string // one-line description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: unilint/%s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one type-checked unit ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, LockGuard, PurePass, EpochKey}
+}
+
+// ByName resolves an analyzer by its short name.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over one package and returns the surviving
+// findings: ignore directives (see ignore.go) filter matched findings
+// and themselves become findings when undocumented or unmatched. The
+// result is sorted by position, then analyzer, so output is
+// deterministic regardless of analyzer order or map iteration inside
+// the type checker.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = applyIgnores(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs every analyzer against its golden fixture: each
+// seeded bug line must be reported (matching its `// want` pattern)
+// and every fixed variant must stay silent.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			problems, err := CheckFixture(dir, a)
+			if err != nil {
+				t.Fatalf("CheckFixture(%s): %v", dir, err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestNegativeFixturesReport guards against the suite silently going
+// blind: every fixture must actually contain seeded bugs that its
+// analyzer reports before ignore filtering.
+func TestNegativeFixturesReport(t *testing.T) {
+	for _, a := range All() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		pkg, err := LoadDir(dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		diags, err := Run(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", a.Name, err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("%s: fixture produced no findings; the analyzer would pass a broken tree", a.Name)
+		}
+	}
+}
+
+// TestIgnoreDirectives checks the //lint:ignore machinery on its own
+// fixture. Want comments cannot express these cases (a want comment on
+// a directive line would become the directive's justification), so the
+// findings are asserted directly.
+func TestIgnoreDirectives(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "ignoredir")
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	diags, err := Run(pkg, []*Analyzer{MapIter, EpochKey})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d %s %s", d.Pos.Line, d.Analyzer, d.Message))
+	}
+	assertOne := func(substr string) {
+		t.Helper()
+		n := 0
+		for _, g := range got {
+			if strings.Contains(g, substr) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("want exactly one finding containing %q, got %d in:\n%s", substr, n, strings.Join(got, "\n"))
+		}
+	}
+	// The justified suppression must hold: no surviving mapiter finding
+	// from the `justified` function (its append is on line 15).
+	for _, g := range got {
+		if strings.HasPrefix(g, "15 ") {
+			t.Errorf("justified suppression did not hold: %s", g)
+		}
+	}
+	// The bare directive leaves its finding alive and is itself flagged.
+	assertOne("append to out inside a map range")
+	assertOne("undocumented ignore directive")
+	// Dead and misspelled directives are flagged.
+	assertOne("matches no unilint/mapiter finding")
+	assertOne("malformed ignore directive")
+	if len(got) != 4 {
+		t.Errorf("want exactly 4 findings, got %d:\n%s", len(got), strings.Join(got, "\n"))
+	}
+}

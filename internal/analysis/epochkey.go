@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochKey enforces the cache-invalidation convention from PR 2/5:
+// every cache of derived query state must incorporate a data epoch in
+// its key or invalidation path, so ingest can never leave stale plans,
+// answers or views behind. A struct is cache-shaped when
+//
+//   - its name contains "cache" (answerCache, planCache), or
+//   - it has a map field whose name contains "cache", or
+//   - it has a map field whose element type (after pointer deref) is
+//     plan-, answer- or table-valued (materialized views).
+//
+// A cache-shaped struct passes when an epoch is visible anywhere in its
+// definition or methods: a field or identifier whose name contains
+// "epoch", or a call to an Epoch() method. New caches that skip the
+// convention entirely are flagged at their type declaration.
+var EpochKey = &Analyzer{
+	Name: "epochkey",
+	Doc:  "caches of plan/answer/view state must key or invalidate by a data epoch",
+	Run:  runEpochKey,
+}
+
+func runEpochKey(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				reason := cacheShaped(pass, ts, st)
+				if reason == "" {
+					continue
+				}
+				if structMentionsEpoch(pass, ts, st) {
+					continue
+				}
+				pass.Reportf(ts.Pos(), "%s is cache-shaped (%s) but neither its fields nor its methods reference a data epoch; key or invalidate it by an Epoch()-derived value",
+					ts.Name.Name, reason)
+			}
+		}
+	}
+	return nil
+}
+
+// cacheShaped reports why the struct looks like a cache, or "".
+func cacheShaped(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) string {
+	if strings.Contains(strings.ToLower(ts.Name.Name), "cache") {
+		return "name contains \"cache\""
+	}
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		m, isMap := tv.Type.Underlying().(*types.Map)
+		if !isMap {
+			continue
+		}
+		for _, name := range field.Names {
+			if strings.Contains(strings.ToLower(name.Name), "cache") {
+				return "map field " + name.Name
+			}
+		}
+		if w := derivedStateElem(m.Elem()); w != "" {
+			name := "<embedded>"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			return "map field " + name + " holds " + w + " values"
+		}
+	}
+	return ""
+}
+
+// derivedStateElem recognizes map element types that hold derived
+// query state: plans, answers, or materialized tables/views.
+func derivedStateElem(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "plan") || strings.Contains(lower, "answer") || name == "Table" {
+		return name
+	}
+	return ""
+}
+
+// structMentionsEpoch reports whether the struct's fields or any of
+// its methods reference an epoch.
+func structMentionsEpoch(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if strings.Contains(strings.ToLower(name.Name), "epoch") {
+				return true
+			}
+		}
+	}
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return false
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if recvNamed(pass, fn) != obj {
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "epoch") {
+					found = true
+					return false
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvNamed resolves a method's receiver to the type-name object of
+// its named type (through a pointer), nil when unresolvable.
+func recvNamed(pass *Pass, fn *ast.FuncDecl) types.Object {
+	tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// expectation is one `// want "regex"` comment in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+const wantPrefix = "// want "
+
+// collectWants parses the fixture expectations: a comment of the form
+//
+//	// want `regex`     (or a double-quoted pattern)
+//
+// trailing a line asserts that exactly one finding whose message
+// matches the pattern is reported on that line.
+func collectWants(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, wantPrefix)
+				if idx < 0 {
+					continue
+				}
+				raw := strings.TrimSpace(c.Text[idx+len(wantPrefix):])
+				var pat string
+				switch {
+				case len(raw) >= 2 && raw[0] == '`':
+					pat = strings.Trim(raw, "`")
+				case len(raw) >= 2 && raw[0] == '"':
+					pat = strings.Trim(raw, `"`)
+				default:
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s: bad want pattern: %v", pos, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckFixture loads the fixture package at dir, runs the analyzers,
+// and returns one error string per mismatch between findings and the
+// `// want` expectations — empty means the fixture is satisfied. Tests
+// call this through RunFixture in analysistest_test.go.
+func CheckFixture(dir string, analyzers ...*Analyzer) ([]string, error) {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if !w.pattern.MatchString(d.Message) {
+				problems = append(problems, fmt.Sprintf("%s: message %q does not match want %q", d.Pos, d.Message, w.pattern))
+			}
+			w.matched = true
+			found = true
+			break
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern))
+		}
+	}
+	return problems, nil
+}

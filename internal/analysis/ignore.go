@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore directives.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:ignore unilint/<name> <written justification>
+//
+// on the flagged line or the line directly above it. The justification
+// is mandatory: a bare directive is itself a finding (the driver fails
+// on undocumented ignores), and so is a directive that matches nothing
+// — dead suppressions rot into silent blind spots.
+
+const ignorePrefix = "//lint:ignore "
+
+type ignoreDirective struct {
+	file     string
+	line     int    // line the directive suppresses (its own line + 1 for standalone comments)
+	analyzer string // short analyzer name ("" = malformed)
+	reason   string
+	pos      token.Pos // position of the comment, for reporting
+	used     bool
+}
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// A directive on its own line suppresses the next line; a trailing
+// directive suppresses its own line.
+func collectIgnores(pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		// Lines that hold non-comment code, to tell trailing directives
+		// from standalone ones.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			// Comment groups attached as doc comments are walked like any
+			// node; they are not code lines.
+			switch n.(type) {
+			case *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			codeLines[pkg.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				if !codeLines[pos.Line] {
+					d.line = pos.Line + 1
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				d.analyzer = strings.TrimPrefix(name, "unilint/")
+				d.reason = strings.TrimSpace(reason)
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diags against the package's ignore directives
+// and appends a finding for every directive that is undocumented or
+// matched nothing.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	directives := collectIgnores(pkg)
+	if len(directives) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.reason == "" || dir.analyzer != d.Analyzer {
+				continue
+			}
+			if dir.file == d.Pos.Filename && dir.line == d.Pos.Line {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		switch {
+		case dir.analyzer == "" || ByName(dir.analyzer) == nil:
+			kept = append(kept, Diagnostic{
+				Pos:      pkg.Fset.Position(dir.pos),
+				Analyzer: "ignore",
+				Message:  "malformed ignore directive: want //lint:ignore unilint/<analyzer> <reason>",
+			})
+		case dir.reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:      pkg.Fset.Position(dir.pos),
+				Analyzer: "ignore",
+				Message:  "undocumented ignore directive: a written justification is required",
+			})
+		case !dir.used:
+			kept = append(kept, Diagnostic{
+				Pos:      pkg.Fset.Position(dir.pos),
+				Analyzer: "ignore",
+				Message:  "ignore directive matches no unilint/" + dir.analyzer + " finding on the next line; delete it",
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loaders type-check with the standard library's source importer,
+// so the suite works offline and without export-data toolchains; the
+// one external invocation is `go list -json`, which resolves package
+// patterns exactly as the build does.
+
+// combinedImporter serves already-checked in-module packages first and
+// falls back to compiling dependencies from source.
+type combinedImporter struct {
+	local map[string]*types.Package
+	src   types.Importer
+}
+
+func (ci *combinedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ci.local[path]; ok {
+		return p, nil
+	}
+	return ci.src.Import(path)
+}
+
+func newCombined(fset *token.FileSet) *combinedImporter {
+	return &combinedImporter{
+		local: make(map[string]*types.Package),
+		src:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// parseFiles parses the given files (absolute paths) with comments.
+func parseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	out := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// LoadDir type-checks a single directory of Go files as one package —
+// the fixture loader. Files must only import the standard library.
+func LoadDir(dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, matches)
+	if err != nil {
+		return nil, err
+	}
+	return check(fset, files[0].Name.Name, files, newCombined(fset))
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func abs(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// LoadPatterns loads and type-checks every package matching the
+// patterns (as `go list` resolves them, relative to dir) and returns
+// one analysis unit per package: the package augmented with its
+// in-package test files, plus a separate unit for any external _test
+// package. Units come back sorted by import path.
+func LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	inModule := make(map[string]*listPackage, len(pkgs))
+	for _, p := range pkgs {
+		inModule[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := newCombined(fset)
+
+	// Pure packages first, in dependency order, so in-module imports
+	// resolve from the local map instead of re-compiling from source.
+	var order []*listPackage
+	visiting := make(map[string]bool)
+	done := make(map[string]bool)
+	var visit func(p *listPackage) error
+	visit = func(p *listPackage) error {
+		if done[p.ImportPath] {
+			return nil
+		}
+		if visiting[p.ImportPath] {
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		}
+		visiting[p.ImportPath] = true
+		for _, dep := range p.Imports {
+			if d, ok := inModule[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		visiting[p.ImportPath] = false
+		done[p.ImportPath] = true
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range order {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		files, err := parseFiles(fset, abs(p.Dir, p.GoFiles))
+		if err != nil {
+			return nil, err
+		}
+		pure, err := check(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[p.ImportPath] = pure.Pkg
+	}
+
+	// Analysis units: package + in-package tests, then the external
+	// test package against the augmented one.
+	var units []*Package
+	for _, p := range pkgs {
+		files, err := parseFiles(fset, abs(p.Dir, append(append([]string(nil), p.GoFiles...), p.TestGoFiles...)))
+		if err != nil {
+			return nil, err
+		}
+		augImp := &combinedImporter{local: imp.local, src: imp.src}
+		aug, err := check(fset, p.ImportPath, files, augImp)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, aug)
+
+		if len(p.XTestGoFiles) > 0 {
+			xfiles, err := parseFiles(fset, abs(p.Dir, p.XTestGoFiles))
+			if err != nil {
+				return nil, err
+			}
+			// The external test package sees the test-augmented package
+			// under test, exactly as `go test` compiles it.
+			xImp := &combinedImporter{local: map[string]*types.Package{p.ImportPath: aug.Pkg}, src: imp}
+			xt, err := check(fset, p.ImportPath+"_test", xfiles, xImp)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, xt)
+		}
+	}
+	return units, nil
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PurePass keeps the optimizer's "deterministic, traced,
+// result-preserving" contract (PR 3) honest: every function whose name
+// ends in "Pass" — the repo's registration convention for optimizer
+// rule passes (see logical.Optimize) — and every same-package function
+// it transitively calls must be a pure function of its inputs:
+//
+//   - no calls into time.* (wall-clock dependence);
+//   - no calls into math/rand or math/rand/v2 (nondeterminism);
+//   - no range over a map, unless the loop only redistributes entries
+//     into another map (order-insensitive) — order-sensitive traversal
+//     must go through sorted keys;
+//   - no writes to package-level variables (hidden state across runs).
+//
+// Calls that cross the package boundary are trusted: the contract is
+// enforced where the passes live.
+var PurePass = &Analyzer{
+	Name: "purepass",
+	Doc:  "optimizer pass functions must be deterministic and free of hidden state",
+	Run:  runPurePass,
+}
+
+func runPurePass(pass *Pass) error {
+	// Map function objects to their declarations for in-package
+	// traversal.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var seeds []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				decls[obj] = fn
+			}
+			if fn.Recv == nil && strings.HasSuffix(fn.Name.Name, "Pass") {
+				seeds = append(seeds, fn)
+			}
+		}
+	}
+
+	visited := make(map[*ast.FuncDecl]bool)
+	var inspect func(fn *ast.FuncDecl, root string)
+	inspect = func(fn *ast.FuncDecl, root string) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		where := fn.Name.Name
+		if where != root {
+			where += " (reached from " + root + ")"
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee := calleeObj(pass, n)
+				if callee == nil {
+					return true
+				}
+				// Only package-level functions count: methods such as
+				// time.Time.Unix are pure accessors on a value the pass
+				// was handed.
+				if pkg := callee.Pkg(); pkg != nil && callee.Signature().Recv() == nil {
+					switch pkg.Path() {
+					case "time":
+						pass.Reportf(n.Pos(), "optimizer pass %s calls time.%s; passes must not depend on the clock",
+							where, callee.Name())
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(n.Pos(), "optimizer pass %s calls %s.%s; passes must be deterministic",
+							where, pkg.Name(), callee.Name())
+					}
+				}
+				if callee.Pkg() == pass.Pkg {
+					if d, ok := decls[callee]; ok {
+						inspect(d, root)
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if mapToMapOnly(pass, n) {
+					return true
+				}
+				if collectThenSorted(pass, fn.Body, n) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "optimizer pass %s ranges over a map in iteration order; traverse sorted keys or restrict the body to map-to-map redistribution",
+					where)
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if obj := writtenPackageVar(pass, lhs); obj != nil {
+						pass.Reportf(n.Pos(), "optimizer pass %s writes package-level state %s; passes must not carry state between runs",
+							where, obj.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if obj := writtenPackageVar(pass, n.X); obj != nil {
+					pass.Reportf(n.Pos(), "optimizer pass %s writes package-level state %s; passes must not carry state between runs",
+						where, obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	for _, fn := range seeds {
+		inspect(fn, fn.Name.Name)
+	}
+	return nil
+}
+
+// calleeObj resolves the called function's object, nil for builtins,
+// conversions and indirect calls through variables.
+func calleeObj(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// mapToMapOnly reports whether every statement of the loop body only
+// assigns into map entries (or branches around such assignments) — the
+// one map-range shape whose result cannot depend on iteration order as
+// long as keys are distinct per iteration.
+func mapToMapOnly(pass *Pass, rng *ast.RangeStmt) bool {
+	var stmtsOK func(stmts []ast.Stmt) bool
+	stmtsOK = func(stmts []ast.Stmt) bool {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					idx, ok := lhs.(*ast.IndexExpr)
+					if !ok {
+						return false
+					}
+					tv, ok := pass.TypesInfo.Types[idx.X]
+					if !ok {
+						return false
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						return false
+					}
+				}
+			case *ast.IfStmt:
+				if s.Else != nil {
+					return false
+				}
+				if !stmtsOK(s.Body.List) {
+					return false
+				}
+			case *ast.BranchStmt:
+				// continue/break cannot leak order
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return stmtsOK(rng.Body.List)
+}
+
+// collectThenSorted reports whether the loop only appends into slices
+// that are each passed to a sort.* / slices.* sorting call later in
+// the same function body — the collect-keys-then-sort idiom, whose
+// final order is independent of map iteration order.
+func collectThenSorted(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	var stmtsOK func(stmts []ast.Stmt) bool
+	stmtsOK = func(stmts []ast.Stmt) bool {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(s.Lhs) || !sameExpr(call.Args[0], s.Lhs[i]) {
+						return false
+					}
+					if !sortedAfter(pass, body, rng.End(), types.ExprString(call.Args[0])) {
+						return false
+					}
+				}
+			case *ast.IfStmt:
+				if s.Else != nil || !stmtsOK(s.Body.List) {
+					return false
+				}
+			case *ast.BranchStmt:
+				// continue/break cannot leak order
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return stmtsOK(rng.Body.List)
+}
+
+// writtenPackageVar returns the package-level variable expr writes to,
+// nil when the target is local or blank.
+func writtenPackageVar(pass *Pass, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() != pass.Pkg {
+		return nil
+	}
+	if v.Parent() != pass.Pkg.Scope() {
+		return nil
+	}
+	return v
+}

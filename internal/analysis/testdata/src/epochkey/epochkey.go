@@ -1,0 +1,64 @@
+// Package epochkey is the unilint/epochkey fixture: cache-shaped
+// structs must reference a data epoch in their fields or methods.
+package epochkey
+
+import "sync"
+
+type plan struct {
+	fingerprint string
+	cost        float64
+}
+
+// planCache is cache-shaped by name and has no epoch anywhere.
+type planCache struct { // want `planCache is cache-shaped .* reference a data epoch`
+	mu      sync.Mutex
+	entries map[string]*plan
+}
+
+func (c *planCache) get(k string) *plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[k]
+}
+
+// viewSet holds plan-valued state under a non-cache name — still
+// cache-shaped via its map element type.
+type viewSet struct { // want `viewSet is cache-shaped .* reference a data epoch`
+	views map[string]*plan
+}
+
+// answerCache carries an epoch field — clean.
+type answerCache struct {
+	mu      sync.Mutex
+	epoch   uint64
+	entries map[string]string
+}
+
+type source struct {
+	epoch uint64
+}
+
+func (s *source) Epoch() uint64 { return s.epoch }
+
+// freshViews has no epoch field but validates against the source
+// epoch in a method — clean.
+type freshViews struct {
+	src   *source
+	stamp uint64
+	plans map[string]*plan
+}
+
+func (f *freshViews) get(k string) *plan {
+	if f.src.Epoch() != f.stamp {
+		f.plans = map[string]*plan{}
+		f.stamp = f.src.Epoch()
+		return nil
+	}
+	return f.plans[k]
+}
+
+// registry maps names to config strings — not derived query state,
+// never flagged.
+type registry struct {
+	byName map[string]string
+}

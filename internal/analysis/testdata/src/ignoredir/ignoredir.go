@@ -1,0 +1,49 @@
+// Package ignoredir exercises the //lint:ignore machinery. It is
+// checked by TestIgnoreDirectives directly (no want comments: a want
+// comment on a directive line would be parsed as its justification).
+package ignoredir
+
+import "fmt"
+
+// justified: the finding on the next line is suppressed with a
+// written reason and must not surface.
+func justified(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		//lint:ignore unilint/mapiter order is re-established by the caller before use
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// undocumented: a bare directive suppresses nothing and is itself a
+// finding, so the mapiter diagnostic survives alongside it.
+func undocumented(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore unilint/mapiter
+		out = append(out, k)
+	}
+	return out
+}
+
+// unused: a justified directive that matches no finding is dead and
+// flagged.
+func unused(xs []string) int {
+	//lint:ignore unilint/mapiter stale suppression left behind by a refactor
+	return len(xs)
+}
+
+// misspelled: the analyzer name must resolve.
+func misspelled(xs []string) int {
+	//lint:ignore unilint/mapitre typo in the analyzer name
+	return len(xs)
+}
+
+// docComment: a directive that is also a declaration's doc comment
+// still suppresses the finding on the declaration line.
+//
+//lint:ignore unilint/epochkey entries map is rebuilt from scratch on every load; nothing survives an epoch
+type scratchCache struct {
+	entries map[string]string
+}

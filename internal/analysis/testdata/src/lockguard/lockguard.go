@@ -1,0 +1,75 @@
+// Package lockguard is the unilint/lockguard fixture: guarded fields
+// accessed without their annotated mutex are flagged; locked,
+// *Locked-suffixed, and constructor accesses stay clean.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc holds the exclusive lock — clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// badRead touches the guarded field with no lock at all.
+func (c *counter) badRead() int {
+	return c.n // want `counter.n is guarded by mu but read without a prior c.mu.RLock or .Lock`
+}
+
+// badWrite mutates it lock-free.
+func (c *counter) badWrite(v int) {
+	c.n = v // want `counter.n is guarded by mu but written without a prior c.mu.Lock`
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val float64 // guarded by mu
+	hi  float64 // guarded by mu
+}
+
+// read under RLock — clean.
+func (g *gauge) read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// writeUnderRLock takes only the read lock but writes — flagged as a
+// write needing the exclusive lock.
+func (g *gauge) writeUnderRLock(v float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val = v // want `gauge.val is guarded by mu but written without a prior g.mu.Lock`
+}
+
+// set takes the exclusive lock and touches both fields — clean.
+func (g *gauge) set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val = v
+	if v > g.hi {
+		g.hi = v
+	}
+}
+
+// resetLocked documents via its suffix that the caller holds mu —
+// exempt.
+func (g *gauge) resetLocked() {
+	g.val = 0
+	g.hi = 0
+}
+
+// newGauge initializes a struct it just allocated; nothing else can
+// see it yet — exempt.
+func newGauge(v float64) *gauge {
+	g := &gauge{}
+	g.val = v
+	g.hi = v
+	return g
+}

@@ -1,0 +1,120 @@
+// Package mapiter is the unilint/mapiter fixture: each seeded bug line
+// carries a `// want` expectation; the fixed variants below it must
+// stay clean.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// emitRows appends map-derived rows to a returned slice without a
+// sort — the materializeCues bug shape.
+func emitRows(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v)) // want `append to out inside a map range`
+	}
+	return out
+}
+
+// explain writes EXPLAIN-style text in map iteration order; no later
+// sort can fix an ordered text sink.
+func explain(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `emits text in nondeterministic order`
+	}
+	return b.String()
+}
+
+// fprints emits rows over an io.Writer in map order.
+func fprints(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want `emits text in nondeterministic order`
+	}
+}
+
+// sortedKeys is the fixed variant: collect, then sort before use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedEmit renders deterministically by iterating sorted keys.
+func sortedEmit(m map[string]int) string {
+	var b strings.Builder
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// invert groups into per-key buckets — order-insensitive, clean.
+func invert(m map[string]int, buckets map[int][]string) {
+	for k, v := range m {
+		buckets[v] = append(buckets[v], k)
+	}
+}
+
+// viaSortSort passes the collected slice through sort.Sort — also
+// clean.
+type byLen []string
+
+func (s byLen) Len() int           { return len(s) }
+func (s byLen) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byLen) Less(i, j int) bool { return len(s[i]) < len(s[j]) }
+
+func viaSortSort(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Sort(byLen(out))
+	return out
+}
+
+// viaSortSlice collects structs and orders them with sort.Slice —
+// clean.
+type pair struct {
+	k string
+	v int
+}
+
+func viaSortSlice(m map[string]int) []pair {
+	out := make([]pair, 0, len(m))
+	for k, v := range m {
+		out = append(out, pair{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// sortPairs is an in-package sorting helper; its name marks it as one.
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+}
+
+// viaHelper defers ordering to a named sort helper — clean.
+func viaHelper(m map[string]int) []pair {
+	var out []pair
+	for k, v := range m {
+		out = append(out, pair{k, v})
+	}
+	sortPairs(out)
+	return out
+}
+
+// counts only totals values — no ordered sink, clean.
+func counts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+// Package purepass is the unilint/purepass fixture: functions named
+// *Pass (the optimizer-pass convention) and their same-package callees
+// must be deterministic and stateless.
+package purepass
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var hits int
+
+// clockPass depends on the wall clock.
+func clockPass(xs []int) []int {
+	if time.Now().Unix()%2 == 0 { // want `calls time.Now; passes must not depend on the clock`
+		return nil
+	}
+	return xs
+}
+
+// jitterPass injects randomness.
+func jitterPass(xs []int) []int {
+	i := rand.Intn(len(xs)) // want `calls rand.Intn; passes must be deterministic`
+	return xs[:i]
+}
+
+// statPass leaks state across runs through a package variable.
+func statPass(xs []int) []int {
+	hits++ // want `writes package-level state hits`
+	return xs
+}
+
+// orderPass lets map iteration order shape its output.
+func orderPass(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `ranges over a map in iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// deepPass is clean itself but reaches tick() in the same package.
+func deepPass(xs []int) []int {
+	return tick(xs)
+}
+
+func tick(xs []int) []int {
+	time.Sleep(0) // want `deepPass.*calls time.Sleep`
+	return xs
+}
+
+// sortedPass uses the collect-keys-then-sort idiom — clean.
+func sortedPass(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// copyPass redistributes map-to-map — order-insensitive, clean.
+func copyPass(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		if v == 0 {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// slicePass ranges over a slice, not a map — clean.
+func slicePass(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// ordinary is free to do anything: the convention only binds *Pass
+// functions and their callees.
+func ordinary() int64 {
+	hits++
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// VetConfig is the subset of cmd/go's vet.cfg the driver needs when
+// unilint runs as `go vet -vettool=unilint`. cmd/go hands the tool one
+// JSON file per package: the file set to analyze plus compiled export
+// data for every import, so no source re-typechecking is required.
+type VetConfig struct {
+	ID          string // package ID as cmd/go names it
+	Compiler    string // "gc"
+	Dir         string // package directory
+	ImportPath  string
+	GoFiles     []string          // absolute paths
+	ImportMap   map[string]string // source import path -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+
+	VetxOnly   bool   // dependency visited for facts only; skip analysis
+	VetxOutput string // facts output file the driver must create
+
+	SucceedOnTypecheckFailure bool // e.g. under go vet -e
+}
+
+// ReadVetConfig parses a vet.cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Load parses and type-checks the configured package against the
+// export data cmd/go supplied, returning it as one analysis unit.
+func (cfg *VetConfig) Load() (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	var imp types.Importer
+	if cfg.Compiler == "gc" {
+		// Resolve imports from the export data cmd/go listed.
+		lookup := func(path string) (io.ReadCloser, error) {
+			if canon, ok := cfg.ImportMap[path]; ok {
+				path = canon
+			}
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		imp = importer.ForCompiler(fset, "gc", lookup)
+	} else {
+		// The source importer does not take a lookup function.
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	return check(fset, cfg.ImportPath, files, imp)
+}
+
+// WriteVetx writes the (empty — unilint exports no facts) vetx file
+// cmd/go expects at cfg.VetxOutput.
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}

@@ -20,13 +20,14 @@ import (
 type answerCache struct {
 	mu       sync.Mutex
 	capacity int
-	epoch    uint64
-	order    *list.List               // front = most recent
-	entries  map[string]*list.Element // key -> element whose Value is *cacheEntry
-	hits     int64
-	misses   int64
+	epoch    uint64                   // guarded by mu
+	order    *list.List               // guarded by mu; front = most recent
+	entries  map[string]*list.Element // guarded by mu; key -> element whose Value is *cacheEntry
+	hits     int64                    // guarded by mu
+	misses   int64                    // guarded by mu
 }
 
+//lint:ignore unilint/epochkey cacheEntry is one LRU slot, not a cache; answerCache owns the epoch and drops all entries on bump
 type cacheEntry struct {
 	key string
 	ans Answer

@@ -24,10 +24,11 @@ func hybridFor(t *testing.T, c *workload.Corpus) *Hybrid {
 func TestHybridIngest(t *testing.T) {
 	c := workload.ECommerce(workload.DefaultECommerceOptions())
 	h := hybridFor(t, c)
-	if h.IndexStats.Nodes == 0 || h.IndexStats.Chunks == 0 {
-		t.Errorf("index stats: %+v", h.IndexStats)
+	stats, extracted := h.Stats()
+	if stats.Nodes == 0 || stats.Chunks == 0 {
+		t.Errorf("index stats: %+v", stats)
 	}
-	if h.ExtractCount == 0 {
+	if extracted == 0 {
 		t.Error("no extractions")
 	}
 	// Extraction must have created ratings and metric_changes tables.
@@ -267,7 +268,7 @@ func TestHybridAblationNoCues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.IndexStats.Cues != 0 {
+	if stats, _ := h.Stats(); stats.Cues != 0 {
 		t.Error("cues built despite ablation")
 	}
 	// Still answers (structured path unaffected).

@@ -84,8 +84,8 @@ type Hybrid struct {
 	// safe only when no Ingest can run concurrently; use Stats otherwise.
 	mu sync.RWMutex
 
-	IndexStats   index.Stats
-	ExtractCount int // extracted rows merged into the catalog
+	IndexStats   index.Stats // guarded by mu
+	ExtractCount int         // guarded by mu; extracted rows merged into the catalog
 }
 
 // NewHybrid ingests the sources and returns a ready system. The

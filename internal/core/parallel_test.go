@@ -31,13 +31,14 @@ func TestParallelBuildDeterminism(t *testing.T) {
 	seq, c := hybridWithWorkers(t, 1)
 	par, _ := hybridWithWorkers(t, 8)
 
-	ss, sp := seq.IndexStats, par.IndexStats
+	ss, seqExtracted := seq.Stats()
+	sp, parExtracted := par.Stats()
 	ss.BuildTime, sp.BuildTime = 0, 0 // wall-clock may differ; nothing else may
 	if ss != sp {
 		t.Errorf("IndexStats diverge:\n  seq %+v\n  par %+v", ss, sp)
 	}
-	if seq.ExtractCount != par.ExtractCount {
-		t.Errorf("ExtractCount: seq %d, par %d", seq.ExtractCount, par.ExtractCount)
+	if seqExtracted != parExtracted {
+		t.Errorf("ExtractCount: seq %d, par %d", seqExtracted, parExtracted)
 	}
 	if seq.Graph().NodeCount() != par.Graph().NodeCount() || seq.Graph().EdgeCount() != par.Graph().EdgeCount() {
 		t.Errorf("graph shape diverges: seq %d/%d, par %d/%d",

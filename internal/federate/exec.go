@@ -132,6 +132,19 @@ func (e *Executor) executeKeyed(opt *logical.Optimized, key string) (*table.Tabl
 	}
 
 	out, err := logical.Run(pp.Residual, func(leaf *logical.Node) (*table.Table, error) {
+		if leaf.Op == logical.OpEmpty {
+			// emptyfold proved the scan selects no rows; no fragment was
+			// routed. The binding schema stands in for the scan's output.
+			schema, ok := e.Stats().Schema(leaf.Table)
+			if !ok {
+				return nil, fmt.Errorf("federate: no schema for empty leaf %s", leaf.Table)
+			}
+			empty := table.New(leaf.Table, schema)
+			if len(leaf.Cols) > 0 {
+				return table.Project(empty, leaf.Cols...)
+			}
+			return empty, nil
+		}
 		if leaf.Op != logical.OpInput || leaf.Index >= len(results) {
 			return nil, fmt.Errorf("federate: unresolved %v leaf", leaf.Op)
 		}

@@ -34,12 +34,12 @@ type GraphEvidence struct {
 	epochFn func() uint64
 
 	mu     sync.Mutex
-	epoch  uint64
-	fresh  bool
-	remats int // materialization count, for the epoch-guard tests
-	tables map[string]*table.Table
-	stats  map[string]*table.TableStats
-	zones  map[string]*table.Zones
+	epoch  uint64                       // guarded by mu
+	fresh  bool                         // guarded by mu
+	remats int                          // guarded by mu; materialization count, for the epoch-guard tests
+	tables map[string]*table.Table      // guarded by mu
+	stats  map[string]*table.TableStats // guarded by mu
+	zones  map[string]*table.Zones      // guarded by mu
 }
 
 // NewGraphEvidence returns a backend over g. epochFn versions the

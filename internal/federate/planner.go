@@ -26,15 +26,15 @@ type Executor struct {
 	epochFn func() uint64
 
 	mu       sync.RWMutex
-	backends []Backend // sorted by name; ties in cost resolve by order
-	regGen   uint64    // bumped by Register; versions routing decisions
+	backends []Backend // guarded by mu; sorted by name; ties in cost resolve by order
+	regGen   uint64    // guarded by mu; bumped by Register; versions routing decisions
 
 	plans *planCache
 
 	bindMu    sync.Mutex
-	bindEpoch uint64
-	bindGen   uint64
-	binding   *table.Catalog
+	bindEpoch uint64         // guarded by bindMu
+	bindGen   uint64         // guarded by bindMu
+	binding   *table.Catalog // guarded by bindMu
 }
 
 // New returns an executor over the given backends. epochFn versions
@@ -483,9 +483,9 @@ func chainScan(n *logical.Node) (scan, filter *logical.Node) {
 type planCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[string]*PhysicalPlan
-	hits    int64
-	misses  int64
+	entries map[string]*PhysicalPlan // guarded by mu
+	hits    int64                    // guarded by mu
+	misses  int64                    // guarded by mu
 }
 
 func newPlanCache(capacity int) *planCache {

@@ -67,12 +67,32 @@ func TestZonePruneSkipsRefutedFragments(t *testing.T) {
 	c := prunableCatalog(rows)
 	e := New(c.Epoch, Options{}, NewMemory(c))
 
-	// Non-matching range predicate: every fragment refuted, zero rows
-	// scanned, whole backend scan skipped.
-	run := runPruned(t, e, c, filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(1e9)}))
+	// Out-of-bounds range predicate: table-wide statistics refute it, so
+	// emptyfold collapses the scan at plan time — no fragment is even
+	// routed to a backend, and the run returns an empty result.
+	opt := logical.Optimize(filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(1e9)}), logical.CatalogStats(c))
+	if opt.Root.Op != logical.OpEmpty {
+		t.Fatalf("statistically refuted scan not folded: %s", opt.Root)
+	}
+	got, run, err := e.ExecuteIR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Fragments) != 0 || got.Len() != 0 || run.RowsOut != 0 {
+		t.Errorf("folded scan routed %d fragments, returned %d rows; want 0/0", len(run.Fragments), got.Len())
+	}
+
+	// Cross-column conjunction: no single column's table-wide statistics
+	// refute it (east exists; seq >= FragmentRows is in bounds), so the
+	// scan survives to the planner — but every fragment's zones refute
+	// one conjunct (fragment 0 is the only east fragment and holds
+	// exactly seq < FragmentRows), so zone pruning skips all four.
+	run = runPruned(t, e, c, filterScan("events",
+		table.Pred{Col: "region", Op: table.OpEq, Val: table.S("east")},
+		table.Pred{Col: "seq", Op: table.OpGe, Val: table.I(int64(table.FragmentRows))}))
 	fr := run.Fragments[0]
 	if fr.ActScanned != 0 {
-		t.Errorf("non-matching predicate scanned %d rows, want 0", fr.ActScanned)
+		t.Errorf("zone-refuted conjunction scanned %d rows, want 0", fr.ActScanned)
 	}
 	if fr.ZonePruned != 4 || fr.ZoneTotal != 4 {
 		t.Errorf("pruned %d/%d fragments, want 4/4", fr.ZonePruned, fr.ZoneTotal)
@@ -104,7 +124,9 @@ func TestZonePruneSkipsRefutedFragments(t *testing.T) {
 	}
 
 	// EXPLAIN carries the pruning decision.
-	run = runPruned(t, e, c, filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(1e9)}))
+	run = runPruned(t, e, c, filterScan("events",
+		table.Pred{Col: "region", Op: table.OpEq, Val: table.S("east")},
+		table.Pred{Col: "seq", Op: table.OpGe, Val: table.I(int64(table.FragmentRows))}))
 	if !strings.Contains(Explain(run), "pruned:   scan[0] 4/4 fragments") {
 		t.Errorf("EXPLAIN misses the pruned line:\n%s", Explain(run))
 	}
@@ -158,40 +180,69 @@ func TestSQLBackendFragmentRangedSelects(t *testing.T) {
 		t.Errorf("pruned agg scan read %d rows, want %d", fr.ActScanned, rows-2*table.FragmentRows)
 	}
 
-	// All fragments refuted: zero SELECTs, empty aggregate, zero rows.
-	// (The literal must be a plain decimal — exponent forms don't lex
-	// in the dialect, so they are not pushable and would not prune.)
+	// All fragments zone-refuted: zero SELECTs, empty aggregate, zero
+	// rows. The conjunction must dodge table-wide refutation (west
+	// exists, seq < FragmentRows is in bounds) or emptyfold would
+	// collapse the scan before the SQL backend ever saw it.
 	run = runPruned(t, e, c, &logical.Node{Op: logical.OpAggregate,
 		Aggs: []table.Agg{{Func: table.AggSum, Col: "amount", As: "total"}},
-		In:   []*logical.Node{filterScan("events", table.Pred{Col: "amount", Op: table.OpGt, Val: table.F(999999)})}})
+		In: []*logical.Node{filterScan("events",
+			table.Pred{Col: "region", Op: table.OpEq, Val: table.S("west")},
+			table.Pred{Col: "seq", Op: table.OpLt, Val: table.I(int64(table.FragmentRows))})}})
 	if fr := run.Fragments[0]; fr.ActScanned != 0 {
 		t.Errorf("fully-pruned sql scan read %d rows, want 0", fr.ActScanned)
 	}
 }
 
 // TestGraphBackendPrunesViews pins zone pruning on the materialized
-// graph views: an out-of-bounds degree predicate reads zero rows.
+// graph views: a per-fragment-refuted conjunction reads zero rows,
+// and a statistically impossible predicate folds before routing.
 func TestGraphBackendPrunesViews(t *testing.T) {
 	g := graph.New()
-	for i := 0; i < 5; i++ {
-		if err := g.AddNode(graph.Node{ID: fmt.Sprintf("entity:%d", i), Type: graph.NodeEntity,
-			Label: fmt.Sprintf("Drug %d", i), Attrs: map[string]string{"etype": "drug"}}); err != nil {
+	for i := 0; i < 2*table.FragmentRows; i++ {
+		etype := "drug"
+		if i >= table.FragmentRows {
+			etype = "gene"
+		}
+		if err := g.AddNode(graph.Node{ID: fmt.Sprintf("entity:%04d", i), Type: graph.NodeEntity,
+			Label: fmt.Sprintf("E%04d", i), Attrs: map[string]string{"etype": etype}}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	e := New(func() uint64 { return 1 }, Options{}, NewGraphEvidence(g, func() uint64 { return 1 }))
-	root := filterScan(GraphEntitiesTable, table.Pred{Col: "degree", Op: table.OpGt, Val: table.I(1 << 40)})
+
+	// No single column refutes this conjunction over the whole view
+	// (drugs exist; the label bound is inside the entity range), so the
+	// scan reaches the backend — but each fragment's zones refute one
+	// conjunct: fragment 0 holds every drug yet only labels below the
+	// bound, fragment 1 the reverse.
+	root := filterScan(GraphEntitiesTable,
+		table.Pred{Col: "etype", Op: table.OpEq, Val: table.S("drug")},
+		table.Pred{Col: "entity", Op: table.OpGe, Val: table.S(fmt.Sprintf("E%04d", table.FragmentRows))})
 	opt := logical.Optimize(root, e.Stats())
 	res, run, err := e.ExecuteIR(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Len() != 0 {
-		t.Fatalf("impossible degree filter returned %d rows", res.Len())
+		t.Fatalf("contradictory conjunction returned %d rows", res.Len())
 	}
 	if fr := run.Fragments[0]; fr.ActScanned != 0 || fr.ZonePruned != fr.ZoneTotal || fr.ZoneTotal == 0 {
 		t.Errorf("graph view scan = %d rows, pruned %d/%d; want 0 rows, all fragments pruned",
 			fr.ActScanned, fr.ZonePruned, fr.ZoneTotal)
+	}
+
+	// An impossible degree bound is refuted by the view's table-wide
+	// statistics: emptyfold collapses the scan and no fragment is routed.
+	opt = logical.Optimize(filterScan(GraphEntitiesTable,
+		table.Pred{Col: "degree", Op: table.OpGt, Val: table.I(1 << 40)}), e.Stats())
+	res, run, err = e.ExecuteIR(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Fragments) != 0 || res.Len() != 0 {
+		t.Errorf("folded graph scan routed %d fragments, returned %d rows; want 0/0",
+			len(run.Fragments), res.Len())
 	}
 }
 

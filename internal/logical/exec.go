@@ -20,7 +20,7 @@ func Run(n *Node, src Source) (*table.Table, error) {
 		return nil, ErrEmptyPlan
 	}
 	switch n.Op {
-	case OpScan, OpInput:
+	case OpScan, OpInput, OpEmpty:
 		return src(n)
 	case OpJoin:
 		left, err := Run(n.In[0], src)
@@ -96,20 +96,34 @@ func runCompare(n *Node, in *table.Table) (*table.Table, error) {
 // clause) applied before its pruned column set.
 func Exec(n *Node, c *table.Catalog) (*table.Table, error) {
 	return Run(n, func(leaf *Node) (*table.Table, error) {
-		if leaf.Op != OpScan {
+		switch leaf.Op {
+		case OpScan:
+			t, err := c.Get(leaf.Table)
+			if err != nil {
+				return nil, err
+			}
+			if leaf.RowEnd > 0 {
+				t = sliceRows(t, leaf.RowStart, leaf.RowEnd)
+			}
+			if len(leaf.Cols) > 0 {
+				return table.Project(t, leaf.Cols...)
+			}
+			return t, nil
+		case OpEmpty:
+			// The folded scan's table supplies the schema; the proof that
+			// no rows survive already happened at plan time.
+			t, err := c.Get(leaf.Table)
+			if err != nil {
+				return nil, err
+			}
+			empty := table.New(t.Name, t.Schema)
+			if len(leaf.Cols) > 0 {
+				return table.Project(empty, leaf.Cols...)
+			}
+			return empty, nil
+		default:
 			return nil, fmt.Errorf("logical: unresolved %v leaf", leaf.Op)
 		}
-		t, err := c.Get(leaf.Table)
-		if err != nil {
-			return nil, err
-		}
-		if leaf.RowEnd > 0 {
-			t = sliceRows(t, leaf.RowStart, leaf.RowEnd)
-		}
-		if len(leaf.Cols) > 0 {
-			return table.Project(t, leaf.Cols...)
-		}
-		return t, nil
 	})
 }
 

@@ -37,7 +37,7 @@ func fingerprintNode(b *strings.Builder, n *Node) {
 		b.WriteByte('\x1d')
 	}
 	switch n.Op {
-	case OpScan, OpInput:
+	case OpScan, OpInput, OpEmpty:
 		str(strings.ToLower(n.Table))
 		if n.RowEnd > 0 {
 			str("@" + strconv.Itoa(n.RowStart) + ":" + strconv.Itoa(n.RowEnd))

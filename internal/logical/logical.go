@@ -37,6 +37,12 @@ const (
 	OpLimit               // first-N rows
 	OpDistinct            // duplicate-row elimination, first occurrence kept
 	OpCompare             // per-item grouped filter union (NL comparison intent)
+	// OpEmpty is a constant-empty leaf: the emptyfold pass proves a
+	// filtered scan selects no rows and replaces the subtree with this
+	// node, which executes as the table's schema with zero rows. New
+	// operators append here — the fingerprint encodes Op ordinals, so
+	// renumbering would silently split the plan cache.
+	OpEmpty
 )
 
 // String names the operator.
@@ -62,6 +68,8 @@ func (o Op) String() string {
 		return "Distinct"
 	case OpCompare:
 		return "Compare"
+	case OpEmpty:
+		return "Empty"
 	default:
 		return "?"
 	}
@@ -182,6 +190,8 @@ func (n *Node) render(b *strings.Builder) {
 		b.WriteByte(')')
 	case OpInput:
 		fmt.Fprintf(b, "Input[%d](%s)", n.Index, n.Table)
+	case OpEmpty:
+		fmt.Fprintf(b, "Empty(%s)", n.Table)
 	case OpFilter:
 		fmt.Fprintf(b, "Filter(%s)", predList(n.Preds, " AND "))
 	case OpProject:

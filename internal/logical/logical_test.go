@@ -564,3 +564,80 @@ func TestProvablyEmpty(t *testing.T) {
 		t.Errorf("refuted predicate selectivity = %v, want 0", f)
 	}
 }
+
+// TestEmptyfoldCollapsesRefutedScan pins the emptyfold pass end to
+// end: a statistically refuted filtered scan becomes a constant-empty
+// leaf, the fold is traced, the plan renders as Empty, and execution
+// returns the schema with zero rows — bit-identical to the unfolded
+// plan.
+func TestEmptyfoldCollapsesRefutedScan(t *testing.T) {
+	c := testCatalog()
+	root := &Node{Op: OpSort, Keys: []table.SortKey{{Col: "product"}},
+		In: []*Node{filter(scan("sales"),
+			table.Pred{Col: "revenue", Op: table.OpGt, Val: table.F(240)})}}
+	out, opt := execBoth(t, root, c)
+	if !traced(t, opt, "emptyfold") {
+		t.Fatalf("emptyfold did not fire: %v", opt.Trace)
+	}
+	// Both the fold and the sort-over-empty collapse must be traced.
+	want := []string{
+		"emptyfold(sales: statistics refute revenue > 240)",
+		"emptyfold(collapsed sort over empty sales)",
+	}
+	for _, w := range want {
+		found := false
+		for _, tr := range opt.Trace {
+			if tr == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trace misses %q: %v", w, opt.Trace)
+		}
+	}
+	if opt.Root.Op != OpEmpty {
+		t.Fatalf("plan = %s, want constant-empty leaf", opt.Root)
+	}
+	if got := opt.Root.String(); got != "Empty(sales)" {
+		t.Errorf("plan renders %q, want %q", got, "Empty(sales)")
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty plan returned %d rows", out.Len())
+	}
+	if got := strings.Join(out.Schema.Names(), ","); got != "product,quarter,revenue,units" {
+		t.Errorf("empty result schema = %s", got)
+	}
+}
+
+// TestEmptyfoldNeverFoldsAggregates pins the semantic guard: an
+// aggregate changes the output schema (and, in general dialects, a
+// global aggregate over zero rows can still yield a row), so the fold
+// must stop below it — the empty leaf feeds the aggregate, which runs.
+func TestEmptyfoldNeverFoldsAggregates(t *testing.T) {
+	c := testCatalog()
+	root := &Node{Op: OpAggregate,
+		Aggs: []table.Agg{{Func: table.AggCount, As: "n"}},
+		In: []*Node{filter(scan("sales"),
+			table.Pred{Col: "revenue", Op: table.OpGt, Val: table.F(240)})}}
+	out, opt := execBoth(t, root, c)
+	if opt.Root.Op != OpAggregate || opt.Root.Child().Op != OpEmpty {
+		t.Fatalf("plan = %s, want aggregate over empty leaf", opt.Root)
+	}
+	if got := strings.Join(out.Schema.Names(), ","); got != "n" {
+		t.Errorf("aggregate schema = %s, want n", got)
+	}
+}
+
+// TestEmptyfoldLeavesUnrefutedScans pins the negative: a satisfiable
+// predicate must not fold, whatever the pass's enthusiasm.
+func TestEmptyfoldLeavesUnrefutedScans(t *testing.T) {
+	c := testCatalog()
+	root := filter(scan("sales"), table.Pred{Col: "revenue", Op: table.OpGe, Val: table.F(240)})
+	out, opt := execBoth(t, root, c)
+	if traced(t, opt, "emptyfold") {
+		t.Errorf("emptyfold fired on a satisfiable predicate: %v", opt.Trace)
+	}
+	if out.Len() != 1 { // Gamma Q2, revenue 240
+		t.Errorf("rows = %d, want 1", out.Len())
+	}
+}

@@ -68,10 +68,12 @@ func Unoptimized(root *Node) *Optimized { return &Optimized{Root: root} }
 //  1. fold — merge adjacent filters, drop empty ones, dedupe predicates
 //  2. retype — coerce predicate literals to their column's type
 //  3. pushdown — sink filters below order-safe operators toward scans
-//  4. prune — narrow scans to the columns the plan can reference
-//  5. reorder — seed the cheaper join input with the driving side's
+//  4. emptyfold — fold statistically refuted filtered scans into
+//     constant-empty leaves
+//  5. prune — narrow scans to the columns the plan can reference
+//  6. reorder — seed the cheaper join input with the driving side's
 //     join-key equalities, by catalog cardinality
-//  6. compare_rewrite — normalize comparisons to grouped-filter form
+//  7. compare_rewrite — normalize comparisons to grouped-filter form
 //
 // Every pass preserves results bit-exactly: predicate evaluation order
 // within a conjunction, the driving side's row order through joins,
@@ -89,6 +91,7 @@ func Optimize(root *Node, st Stats) *Optimized {
 		{"fold", foldPass},
 		{"retype", retypePass},
 		{"pushdown", pushdownPass},
+		{"emptyfold", emptyfoldPass},
 		{"prune", prunePass},
 		{"reorder", reorderPass},
 		{"compare_rewrite", comparePass},
@@ -215,7 +218,7 @@ func schemaAndName(n *Node, st Stats) (table.Schema, string, bool) {
 		return nil, "", false
 	}
 	switch n.Op {
-	case OpScan:
+	case OpScan, OpEmpty:
 		schema, ok := st.Schema(n.Table)
 		if !ok {
 			return nil, "", false
@@ -312,6 +315,54 @@ func pushdownPass(o *Optimized, _ Stats) []string {
 	o.Root = rewrite(o.Root, func(n *Node) *Node {
 		if n.Op == OpFilter {
 			return sink(n)
+		}
+		return n
+	})
+	return notes
+}
+
+// emptyfoldPass folds subtrees the statistics refute into a
+// constant-empty leaf. It runs after pushdown, when predicates sit
+// directly on their scans: a Filter over a Scan whose conjunction is
+// ProvablyEmpty becomes an Empty leaf carrying the scan's table and
+// column set (the execution-time schema source), and schema-preserving
+// operators directly over an Empty leaf — Filter, Sort, Distinct,
+// Limit — collapse into it. A proof over the whole table covers any
+// row-ranged slice of it, so ranged scans fold too. Aggregate and
+// Compare never fold: a global aggregate over zero rows still emits
+// its one summary row. The proof is epoch-stable — statistics are a
+// pure function of the catalog state the plan caches under — so a fold
+// can never outlive the data that justified it.
+func emptyfoldPass(o *Optimized, st Stats) []string {
+	if st == nil {
+		return nil
+	}
+	var notes []string
+	o.Root = rewrite(o.Root, func(n *Node) *Node {
+		switch n.Op {
+		case OpFilter:
+			c := n.Child()
+			if c == nil {
+				return n
+			}
+			if c.Op == OpEmpty {
+				notes = append(notes, "collapsed filter over empty "+c.Table)
+				return c
+			}
+			if c.Op != OpScan {
+				return n
+			}
+			ts := st.TableStats(c.Table)
+			if ts == nil || !ProvablyEmpty(ts, n.Preds) {
+				return n
+			}
+			notes = append(notes, fmt.Sprintf("%s: statistics refute %s", c.Table, predList(n.Preds, " AND ")))
+			return &Node{Op: OpEmpty, Table: c.Table, Cols: c.Cols}
+		case OpSort, OpDistinct, OpLimit:
+			if c := n.Child(); c != nil && c.Op == OpEmpty {
+				notes = append(notes, "collapsed "+strings.ToLower(n.Op.String())+" over empty "+c.Table)
+				return c
+			}
 		}
 		return n
 	})
@@ -569,6 +620,8 @@ func estimateNode(n *Node, st Stats) int {
 		}
 	case OpInput:
 		est = 0 // fragment outputs are sized by the physical planner
+	case OpEmpty:
+		est = 0 // constant-empty by construction
 	case OpFilter:
 		in := estimateNode(n.Child(), st)
 		est = baseStats(n.Child(), st).EstimateRows(in, n.Preds)

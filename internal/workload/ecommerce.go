@@ -213,6 +213,14 @@ func ECommerce(opts ECommerceOptions) *Corpus {
 			fmt.Sprintf("Rumors claimed sales rose %d%% last year.", 5+k))
 	}
 
+	// Re-register the fully-populated tables: the first Put (empty,
+	// schema registration) built statistics and zone maps over zero
+	// rows, and rows appended in place since are invisible to them.
+	// Stats must describe the final data — refutation proofs
+	// (emptyfold, zone pruning) act on them, not just estimates.
+	cat.Put(productsTbl)
+	cat.Put(salesTbl)
+
 	c.Sources = store.NewMulti().
 		Add(store.NewRelationalStore("shop", cat)).
 		Add(reports).

@@ -138,6 +138,10 @@ func Healthcare(opts HealthcareOptions) *Corpus {
 		panic(fmt.Sprintf("workload: xml fixture: %v", err)) // static fixture; cannot fail
 	}
 
+	// Re-register the populated trials table: the initial Put built
+	// statistics over zero rows, and refutation proofs act on stats.
+	cat.Put(trials)
+
 	c.Sources = store.NewMulti().
 		Add(store.NewRelationalStore("clinic", cat)).
 		Add(notes).
