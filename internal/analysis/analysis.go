@@ -58,6 +58,8 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the finding in the vet-style "pos: analyzer: msg"
+// form the unilint driver prints.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: unilint/%s: %s", d.Pos, d.Analyzer, d.Message)
 }

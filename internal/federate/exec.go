@@ -131,7 +131,7 @@ func (e *Executor) executeKeyed(opt *logical.Optimized, key string) (*table.Tabl
 		}
 	}
 
-	out, err := logical.Run(pp.Residual, func(leaf *logical.Node) (*table.Table, error) {
+	leaf := func(leaf *logical.Node) (*table.Table, error) {
 		if leaf.Op == logical.OpEmpty {
 			// emptyfold proved the scan selects no rows; no fragment was
 			// routed. The binding schema stands in for the scan's output.
@@ -149,7 +149,25 @@ func (e *Executor) executeKeyed(opt *logical.Optimized, key string) (*table.Tabl
 			return nil, fmt.Errorf("federate: unresolved %v leaf", leaf.Op)
 		}
 		return results[leaf.Index].Table, nil
-	})
+	}
+	var out *table.Table
+	if pp.VecResidual {
+		// Every residual operator has a columnar kernel: run the
+		// vectorized executor, reusing fragment batches the backends
+		// attached to pass-through scans. Bit-identical to Run.
+		out, err = logical.RunVec(pp.Residual, logical.VecEnv{
+			Leaf: leaf,
+			Frags: func(l *logical.Node) *table.Frags {
+				if l.Op == logical.OpInput && l.Index < len(results) {
+					return results[l.Index].Frags
+				}
+				return nil
+			},
+			Workers: e.opts.Workers,
+		})
+	} else {
+		out, err = logical.Run(pp.Residual, leaf)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

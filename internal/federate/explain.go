@@ -48,6 +48,11 @@ func Explain(run *Run) string {
 		b.WriteString(line)
 		b.WriteByte('\n')
 	}
+	exec := "row"
+	if run.Plan.VecResidual {
+		exec = "vectorized"
+	}
+	fmt.Fprintf(&b, "exec:     %s\n", exec)
 	b.WriteString("physical:\n")
 	for i, fr := range run.Fragments {
 		fmt.Fprintf(&b, "  scan[%d]: backend=%s table=%s push=%s",

@@ -7,8 +7,17 @@
 // run with bounded parallelism via internal/par), and renders a
 // deterministic EXPLAIN of the logical → rules → physical lowering
 // with the optimizer trace and estimated vs actual row counts.
-// Physical plans cache by the canonical IR fingerprint, so the NL and
-// SQL compilations of one question share a single cached plan.
+// Physical plans cache by the canonical IR fingerprint and the data
+// epoch, so the NL and SQL compilations of one question share a
+// single cached plan and no plan outlives the catalog state it was
+// derived from.
+//
+// The residual tree executes through either of internal/logical's
+// bit-identical engines: the vectorized columnar executor when every
+// residual operator has a kernel and the estimates promise enough
+// boundary-crossing rows to amortize column extraction, the row
+// interpreter otherwise. The dispatch is decided once at plan time
+// (PhysicalPlan.VecResidual) and reported on EXPLAIN's "exec:" line.
 //
 // Three backends ship with the system: the in-memory catalog (with
 // lazy per-column equality indexes), a SQL backend that round-trips
@@ -115,6 +124,11 @@ type ZoneMapped interface {
 type Result struct {
 	Table   *table.Table
 	Scanned int
+	// Frags optionally carries columnar fragments covering exactly
+	// Table (a pass-through scan returning a cached base table), so
+	// the vectorized residual executor reuses them instead of
+	// re-extracting columns. Nil is always valid.
+	Frags *table.Frags
 }
 
 // Backend is one executor in the federation: a store that can scan its

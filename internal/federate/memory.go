@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/logical"
 	"repro/internal/table"
 )
 
@@ -175,7 +176,10 @@ func (m *Memory) Scan(f Fragment) (Result, error) {
 
 	cur := t
 	scanned := t.Len()
-	if len(f.Preds) > 0 {
+	if f.Ranges != nil && len(f.Ranges) == 0 {
+		// Every fragment was refuted at plan time: nothing to read.
+		cur, scanned = table.New(t.Name, t.Schema), 0
+	} else if len(f.Preds) > 0 {
 		pick, bucket := m.pickIndex(t, f.Preds)
 		if pick >= 0 {
 			if f.Ranges != nil {
@@ -207,25 +211,37 @@ func (m *Memory) Scan(f Fragment) (Result, error) {
 				}
 			}
 			cur, scanned = out, len(bucket)
-		} else if f.Ranges != nil {
-			cur, scanned, err = table.FilterRanges(t, f.Ranges, f.Preds...)
-			if err != nil {
-				return Result{}, err
-			}
 		} else {
-			cur, err = table.Filter(t, f.Preds...)
+			// Unindexed filter: run the vectorized kernel over the
+			// catalog's cached columnar fragments, honoring the
+			// zone-pruned row ranges. Results (rows, order, scanned
+			// accounting) are bit-identical to the row kernels.
+			cur, scanned, err = logical.VecFilterTable(t, m.catalog.FragsOf(f.Table), f.Ranges, f.Preds, 1)
 			if err != nil {
 				return Result{}, err
 			}
 		}
 	} else if f.Ranges != nil {
-		cur, scanned, err = table.FilterRanges(t, f.Ranges)
+		cur, scanned, err = logical.VecFilterTable(t, m.catalog.FragsOf(f.Table), f.Ranges, nil, 1)
 		if err != nil {
 			return Result{}, err
 		}
 	}
 	if len(f.Aggs) > 0 {
-		cur, err = table.Aggregate(cur, f.GroupBy, f.Aggs)
+		// Vectorize only when the catalog's cached fragments cover the
+		// input or the input is at least a fragment long — on smaller
+		// intermediates the row kernel wins because column extraction
+		// cannot amortize. Both kernels are bit-identical, so the
+		// dispatch is invisible in results.
+		var fr *table.Frags
+		if cur == t {
+			fr = m.catalog.FragsOf(f.Table)
+		}
+		if fr != nil || cur.Len() >= table.FragmentRows {
+			cur, err = logical.VecAggregateTable(cur, fr, f.GroupBy, f.Aggs, 0, 1)
+		} else {
+			cur, err = table.Aggregate(cur, f.GroupBy, f.Aggs)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -236,7 +252,14 @@ func (m *Memory) Scan(f Fragment) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return Result{Table: cur, Scanned: scanned}, nil
+	res := Result{Table: cur, Scanned: scanned}
+	if cur == t {
+		// Pass-through scan: hand the residual executor the table's
+		// columnar fragments so it probes and filters without
+		// re-extracting columns.
+		res.Frags = m.catalog.FragsOf(f.Table)
+	}
+	return res, nil
 }
 
 // intersectAscending keeps the row indexes that fall inside the

@@ -173,6 +173,16 @@ type PhysicalPlan struct {
 	JoinRes     []table.Pred // join-side residue (EXPLAIN "residual=")
 	AggPushed   bool         // aggregation absorbed by the driving fragment's backend
 
+	// VecResidual records the executor dispatch decision, made once at
+	// plan time: true when every residual operator has a vectorized
+	// kernel (logical.Vectorizable) AND at least one fragment is
+	// estimated to deliver vecResidualMinRows rows across the boundary
+	// — below that, column extraction cannot amortize and the row
+	// interpreter is cheaper. Both executors are bit-identical, so the
+	// dispatch never changes results; EXPLAIN renders it as
+	// "exec: vectorized|row".
+	VecResidual bool
+
 	Epoch uint64
 	gen   uint64 // registry generation the routing was decided at
 	key   string
@@ -230,6 +240,27 @@ func (e *Executor) route(tbl string, preds []table.Pred) (Fragment, []table.Pred
 // plan lowers the optimized tree, consulting the epoch-keyed cache.
 // key is the tree's canonical fingerprint (computed by the caller so
 // prepared plans amortize it).
+// vecResidualMinRows is the plan-time vectorization threshold: the
+// residual runs the columnar executor only when some fragment is
+// estimated to deliver at least this many rows across the federation
+// boundary. The fixed cost of column extraction and batch setup is on
+// the order of a few dozen row visits, so smaller residual inputs are
+// cheaper through the row interpreter.
+const vecResidualMinRows = 32
+
+// maxEstOut returns the largest estimated boundary-crossing row count
+// across the plan's fragments — the size of the biggest residual
+// input, which drives the executor dispatch decision.
+func maxEstOut(frags []Fragment) int {
+	m := 0
+	for _, f := range frags {
+		if f.Est.Out > m {
+			m = f.Est.Out
+		}
+	}
+	return m
+}
+
 func (e *Executor) plan(opt *logical.Optimized, key string) (*PhysicalPlan, bool, error) {
 	epoch := e.epochFn()
 	// Snapshot the registry generation before routing: if a Register
@@ -246,6 +277,7 @@ func (e *Executor) plan(opt *logical.Optimized, key string) (*PhysicalPlan, bool
 		return nil, false, err
 	}
 	pp.Residual = residual
+	pp.VecResidual = logical.Vectorizable(residual) && maxEstOut(pp.Frags) >= vecResidualMinRows
 
 	e.plans.put(key, pp, e.generation())
 	return pp, false, nil

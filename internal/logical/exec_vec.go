@@ -1,0 +1,1203 @@
+package logical
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/par"
+	"repro/internal/table"
+)
+
+// Vectorized executor. RunVec interprets the same trees Run does, but
+// over typed column batches (table.Batch, one per 256-row fragment)
+// instead of row-at-a-time Values: filters compile predicates once and
+// emit selection vectors, hash joins build and probe on extracted key
+// columns with typed map keys, and aggregates accumulate over grouped
+// columns with an allocation-free group-key encoding. Batches are
+// evaluated with morsel-style fragment parallelism through
+// internal/par, while everything order-sensitive (float accumulation,
+// result emission) stays in fragment order — so results are
+// bit-identical to the row interpreter at any worker count.
+//
+// Not every operator pays for a columnar form: Sort is inherently
+// row-oriented and Compare is branch machinery around the other
+// operators, so trees containing them run on the row interpreter.
+// Vectorizable is the dispatch gate; the federated executor records
+// the decision in EXPLAIN as "exec: vectorized|row".
+
+// Vectorizable reports whether the whole tree can run on the
+// vectorized executor. Sort and Compare nodes (and any future
+// operator the kernels do not know) force the row interpreter.
+func Vectorizable(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	switch n.Op {
+	case OpScan, OpInput, OpEmpty, OpFilter, OpProject, OpJoin,
+		OpAggregate, OpLimit, OpDistinct:
+		for _, in := range n.In {
+			if !Vectorizable(in) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// VecEnv supplies the vectorized executor's environment: how leaves
+// resolve to tables, where cached columnar fragments for a leaf's
+// table live, and the morsel parallelism budget.
+type VecEnv struct {
+	// Leaf resolves a leaf node to its table, with the same contract
+	// as Run's Source: the returned table is the leaf's final output.
+	Leaf Source
+	// Scan, when set, resolves OpScan leaves to the raw base table
+	// plus its columnar fragments; the executor then applies the
+	// node's row range and column pruning natively (as selection
+	// vectors and column index mappings) instead of copying rows.
+	// When nil, OpScan leaves go through Leaf.
+	Scan func(leaf *Node) (*table.Table, *table.Frags, error)
+	// Frags, when set, returns cached columnar fragments covering
+	// exactly the table Leaf returned for this leaf (or nil).
+	Frags func(leaf *Node) *table.Frags
+	// Workers bounds fragment parallelism (par.Workers convention).
+	Workers int
+}
+
+// RunVec interprets the tree with the vectorized kernels. Trees must
+// satisfy Vectorizable; other operators return an error. Results are
+// bit-identical to Run over the same sources.
+func RunVec(n *Node, env VecEnv) (*table.Table, error) {
+	if n == nil {
+		return nil, ErrEmptyPlan
+	}
+	v := &vecRun{env: env}
+	s, err := v.eval(n)
+	if err != nil {
+		return nil, err
+	}
+	return s.materialize(), nil
+}
+
+// ExecVec runs the tree against a single catalog with the vectorized
+// executor — the columnar counterpart of Exec, resolving Scan leaves
+// to catalog tables and their cached fragment batches.
+func ExecVec(n *Node, c *table.Catalog, workers int) (*table.Table, error) {
+	return RunVec(n, VecEnv{
+		Scan: func(leaf *Node) (*table.Table, *table.Frags, error) {
+			t, err := c.Get(leaf.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			return t, c.FragsOf(leaf.Table), nil
+		},
+		Leaf: func(leaf *Node) (*table.Table, error) {
+			if leaf.Op != OpEmpty {
+				return nil, fmt.Errorf("logical: unresolved %v leaf", leaf.Op)
+			}
+			t, err := c.Get(leaf.Table)
+			if err != nil {
+				return nil, err
+			}
+			empty := table.New(t.Name, t.Schema)
+			if len(leaf.Cols) > 0 {
+				return table.Project(empty, leaf.Cols...)
+			}
+			return empty, nil
+		},
+		Workers: workers,
+	})
+}
+
+// vecRun is one vectorized execution.
+type vecRun struct {
+	env VecEnv
+}
+
+// vstream is an operator's in-flight result: backing rows plus a lazy
+// columnar view, an optional column projection (schema[i] reads base
+// column cols[i]) and optional per-batch selection vectors. Streams
+// defer row materialization so scan → filter → aggregate pipelines
+// never copy rows at all.
+type vstream struct {
+	name   string
+	schema table.Schema
+	base   *table.Table
+	fr     *table.Frags
+	cols   []int          // nil = identity projection onto base columns
+	bs     []*table.Batch // lazy columnar view of base, FragmentRows grid
+	sels   [][]int32      // per-batch selections; nil slice = all rows; nil entry = whole batch
+	mat    *table.Table   // cached materialization
+}
+
+func passthrough(t *table.Table, fr *table.Frags) *vstream {
+	return &vstream{name: t.Name, schema: t.Schema, base: t, fr: fr}
+}
+
+// baseCol maps a stream-schema column index to its base column index.
+func (s *vstream) baseCol(i int) int {
+	if s.cols == nil {
+		return i
+	}
+	return s.cols[i]
+}
+
+// selCount counts selected rows.
+func (s *vstream) selCount() int {
+	if s.sels == nil {
+		return s.base.Len()
+	}
+	n := 0
+	for bi, sel := range s.sels {
+		if sel == nil {
+			n += s.bs[bi].Len
+		} else {
+			n += len(sel)
+		}
+	}
+	return n
+}
+
+// materialize renders the stream as a table: shared row slices when no
+// projection is pending, projected copies otherwise — exactly the rows
+// the row interpreter's Filter/Project chain would produce.
+func (s *vstream) materialize() *table.Table {
+	if s.mat != nil {
+		return s.mat
+	}
+	if s.sels == nil && s.cols == nil {
+		s.mat = s.base
+		return s.mat
+	}
+	out := table.New(s.name, s.schema)
+	out.Rows = make([][]Value, 0, s.selCount())
+	emit := func(row []Value) {
+		if s.cols == nil {
+			out.Rows = append(out.Rows, row)
+			return
+		}
+		nr := make([]Value, len(s.cols))
+		for i, ci := range s.cols {
+			nr[i] = row[ci]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	if s.sels == nil {
+		for _, row := range s.base.Rows {
+			emit(row)
+		}
+	} else {
+		for bi, sel := range s.sels {
+			start := bi * table.FragmentRows
+			if sel == nil {
+				for ri := 0; ri < s.bs[bi].Len; ri++ {
+					emit(s.base.Rows[start+ri])
+				}
+				continue
+			}
+			for _, ri := range sel {
+				emit(s.base.Rows[start+int(ri)])
+			}
+		}
+	}
+	s.mat = out
+	return s.mat
+}
+
+// Value is re-exported locally for brevity in row emission.
+type Value = table.Value
+
+// batches resolves the stream's columnar view, reusing catalog
+// fragments when they cover the base table exactly and extracting
+// fragment-aligned batches (in parallel) otherwise.
+func (v *vecRun) batches(s *vstream) []*table.Batch {
+	if s.bs != nil {
+		return s.bs
+	}
+	if s.fr != nil && s.fr.Rows == s.base.Len() {
+		s.bs = s.fr.Batches
+		return s.bs
+	}
+	n := s.base.Len()
+	nb := (n + table.FragmentRows - 1) / table.FragmentRows
+	s.bs = make([]*table.Batch, nb)
+	par.ForEach(nb, v.env.Workers, func(bi int) {
+		start := bi * table.FragmentRows
+		end := start + table.FragmentRows
+		if end > n {
+			end = n
+		}
+		s.bs[bi] = table.BatchRange(s.base, start, end)
+	})
+	return s.bs
+}
+
+// eval recursively evaluates the tree to a stream.
+func (v *vecRun) eval(n *Node) (*vstream, error) {
+	if n == nil {
+		return nil, ErrEmptyPlan
+	}
+	switch n.Op {
+	case OpScan:
+		if v.env.Scan != nil {
+			return v.scanStream(n)
+		}
+		return v.leafStream(n)
+	case OpInput, OpEmpty:
+		return v.leafStream(n)
+	case OpJoin:
+		ls, err := v.eval(n.In[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := v.eval(n.In[1])
+		if err != nil {
+			return nil, err
+		}
+		out, err := v.hashJoin(ls.materialize(), rs.materialize(), n.LeftCol, n.RightCol, n.EstOut)
+		if err != nil {
+			return nil, err
+		}
+		return passthrough(out, nil), nil
+	}
+	s, err := v.eval(n.Child())
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case OpFilter:
+		return v.filter(s, n.Preds)
+	case OpProject:
+		return v.project(s, n.Proj, n.Aliases)
+	case OpAggregate:
+		out, err := v.aggregate(s, n.GroupBy, n.Aggs, n.EstOut)
+		if err != nil {
+			return nil, err
+		}
+		return passthrough(out, nil), nil
+	case OpLimit:
+		return passthrough(table.Limit(s.materialize(), n.N), nil), nil
+	case OpDistinct:
+		return passthrough(table.Distinct(s.materialize()), nil), nil
+	default:
+		return nil, fmt.Errorf("logical: %v is not vectorizable", n.Op)
+	}
+}
+
+func (v *vecRun) leafStream(leaf *Node) (*vstream, error) {
+	t, err := v.env.Leaf(leaf)
+	if err != nil {
+		return nil, err
+	}
+	var fr *table.Frags
+	if v.env.Frags != nil {
+		fr = v.env.Frags(leaf)
+	}
+	return passthrough(t, fr), nil
+}
+
+// scanStream resolves an OpScan leaf natively: the row range becomes
+// per-batch selection vectors and the pruned column set becomes a
+// column index mapping — no rows are sliced or copied.
+func (v *vecRun) scanStream(leaf *Node) (*vstream, error) {
+	t, fr, err := v.env.Scan(leaf)
+	if err != nil {
+		return nil, err
+	}
+	s := passthrough(t, fr)
+	if len(leaf.Cols) > 0 {
+		cols := make([]int, len(leaf.Cols))
+		schema := make(table.Schema, len(leaf.Cols))
+		for i, c := range leaf.Cols {
+			idx := t.Schema.ColIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("%w: %s", table.ErrNoColumn, c)
+			}
+			cols[i] = idx
+			schema[i] = t.Schema[idx]
+		}
+		s.cols, s.schema = cols, schema
+	}
+	if leaf.RowEnd > 0 {
+		start, end := leaf.RowStart, leaf.RowEnd
+		if end > t.Len() {
+			end = t.Len()
+		}
+		if start > end {
+			start = end
+		}
+		bs := v.batches(s)
+		s.sels = rangeSels(bs, []table.RowRange{{Start: start, End: end}})
+	}
+	return s, nil
+}
+
+// rangeSels converts ascending disjoint row ranges into per-batch
+// selection vectors on the FragmentRows grid: nil for fully covered
+// batches, explicit indices for partially covered ones.
+func rangeSels(bs []*table.Batch, ranges []table.RowRange) [][]int32 {
+	sels := make([][]int32, len(bs))
+	covered := make([]bool, len(bs))
+	for bi := range bs {
+		sels[bi] = []int32{}
+	}
+	for _, r := range ranges {
+		for bi := range bs {
+			start := bi * table.FragmentRows
+			end := start + bs[bi].Len
+			lo, hi := r.Start, r.End
+			if lo < start {
+				lo = start
+			}
+			if hi > end {
+				hi = end
+			}
+			if lo >= hi {
+				continue
+			}
+			if lo == start && hi == end && len(sels[bi]) == 0 && !covered[bi] {
+				sels[bi] = nil
+				covered[bi] = true
+				continue
+			}
+			if covered[bi] {
+				continue // already whole-batch
+			}
+			for ri := lo; ri < hi; ri++ {
+				sels[bi] = append(sels[bi], int32(ri-start))
+			}
+		}
+	}
+	return sels
+}
+
+// ---- filter ----
+
+// vecPred is a predicate compiled against a stream: the base column
+// index is resolved once (lazily erroring, like the row path, only if
+// a row actually reaches an unresolvable predicate) and the literal is
+// pre-lowered for the typed fast paths.
+type vecPred struct {
+	p      table.Pred
+	ci     int // base column index; -1 = unresolved
+	f64    float64
+	str    string
+	b      bool
+	needle string // lowered CONTAINS needle
+	null   bool   // NULL literal: matches nothing
+}
+
+func compilePreds(s *vstream, preds []table.Pred) []vecPred {
+	out := make([]vecPred, len(preds))
+	for i, p := range preds {
+		cp := vecPred{p: p, ci: -1, null: p.Val.IsNull()}
+		if idx := s.schema.ColIndex(p.Col); idx >= 0 {
+			cp.ci = s.baseCol(idx)
+		}
+		switch {
+		case p.Op == table.OpContains:
+			cp.needle = strings.ToLower(p.Val.String())
+		case p.Val.IsNumeric():
+			cp.f64 = p.Val.Float()
+		case p.Val.Kind() == table.TypeString || p.Val.Kind() == table.TypeDate:
+			cp.str = p.Val.Str()
+		case p.Val.Kind() == table.TypeBool:
+			cp.b = p.Val.Bool()
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// filter refines the stream's selection vectors, evaluating batches in
+// parallel. Selection order within and across batches is row order, so
+// results are worker-count independent.
+func (v *vecRun) filter(s *vstream, preds []table.Pred) (*vstream, error) {
+	bs := v.batches(s)
+	cps := compilePreds(s, preds)
+	nsels := make([][]int32, len(bs))
+	errs := make([]error, len(bs))
+	par.ForEach(len(bs), v.env.Workers, func(bi int) {
+		var in []int32
+		if s.sels != nil {
+			in = s.sels[bi]
+			if in != nil && len(in) == 0 {
+				nsels[bi] = in
+				return
+			}
+		}
+		nsels[bi], errs[bi] = filterBatch(bs[bi], in, cps)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &vstream{
+		name: s.name, schema: s.schema, base: s.base,
+		fr: s.fr, cols: s.cols, bs: bs, sels: nsels,
+	}, nil
+}
+
+// filterBatch applies the predicate conjunction to one batch,
+// pipelining each predicate over the survivors of the previous one —
+// the same short-circuit shape (and therefore the same lazy error
+// semantics) as the row interpreter.
+func filterBatch(b *table.Batch, in []int32, cps []vecPred) ([]int32, error) {
+	cand := in
+	for pi := range cps {
+		cp := &cps[pi]
+		if cand != nil && len(cand) == 0 {
+			return cand, nil // no row reaches the remaining predicates
+		}
+		if b.Len == 0 {
+			return []int32{}, nil
+		}
+		if cp.ci < 0 {
+			return nil, fmt.Errorf("%w: %s", table.ErrNoColumn, cp.p.Col)
+		}
+		if cp.null {
+			return []int32{}, nil // NULL literal matches nothing
+		}
+		next, err := evalPred(b, cand, cp)
+		if err != nil {
+			return nil, err
+		}
+		cand = next
+	}
+	if cand == nil {
+		cand = fullSel(b.Len)
+	}
+	return cand, nil
+}
+
+func fullSel(n int) []int32 {
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// evalPred evaluates one predicate over the candidate rows of a batch
+// (nil = all rows), returning the passing indices in row order.
+func evalPred(b *table.Batch, cand []int32, cp *vecPred) ([]int32, error) {
+	col := &b.Cols[cp.ci]
+	n := len(cand)
+	if cand == nil {
+		n = b.Len
+	}
+	out := make([]int32, 0, n)
+	each := func(fn func(ri int) (bool, error)) error {
+		if cand == nil {
+			for ri := 0; ri < b.Len; ri++ {
+				ok, err := fn(ri)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out = append(out, int32(ri))
+				}
+			}
+			return nil
+		}
+		for _, ri := range cand {
+			ok, err := fn(int(ri))
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, ri)
+			}
+		}
+		return nil
+	}
+
+	generic := func() error {
+		return each(func(ri int) (bool, error) { return cp.p.Match(col.ValueAt(ri)) })
+	}
+
+	op := cp.p.Op
+	var err error
+	switch {
+	case col.Boxed != nil:
+		err = generic()
+	case op == table.OpContains:
+		if col.Strs != nil {
+			err = each(func(ri int) (bool, error) {
+				if col.Nulls.Get(ri) {
+					return false, nil
+				}
+				return containsFold(col.Strs[ri], cp.needle), nil
+			})
+		} else {
+			err = generic()
+		}
+	case col.Ints != nil && cp.p.Val.IsNumeric():
+		// Int cells compare through float64, exactly like Compare.
+		err = each(func(ri int) (bool, error) {
+			if col.Nulls.Get(ri) {
+				return false, nil
+			}
+			return cmpOK(cmpFloat(float64(col.Ints[ri]), cp.f64), op)
+		})
+	case col.Floats != nil && cp.p.Val.IsNumeric():
+		err = each(func(ri int) (bool, error) {
+			if col.Nulls.Get(ri) {
+				return false, nil
+			}
+			return cmpOK(cmpFloat(col.Floats[ri], cp.f64), op)
+		})
+	case col.Strs != nil && (cp.p.Val.Kind() == table.TypeString || cp.p.Val.Kind() == table.TypeDate):
+		// String and date cells both compare lexically on the raw
+		// string, whether kinds match or cross (table.Compare's
+		// same-kind and rendered-string fallbacks coincide here).
+		err = each(func(ri int) (bool, error) {
+			if col.Nulls.Get(ri) {
+				return false, nil
+			}
+			return cmpOK(strings.Compare(col.Strs[ri], cp.str), op)
+		})
+	case col.Bools != nil && cp.p.Val.Kind() == table.TypeBool:
+		err = each(func(ri int) (bool, error) {
+			if col.Nulls.Get(ri) {
+				return false, nil
+			}
+			return cmpOK(cmpBool(col.Bools[ri], cp.b), op)
+		})
+	default:
+		err = generic()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case !a && b:
+		return -1
+	case a && !b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpOK(c int, op table.CmpOp) (bool, error) {
+	switch op {
+	case table.OpEq:
+		return c == 0, nil
+	case table.OpNe:
+		return c != 0, nil
+	case table.OpLt:
+		return c < 0, nil
+	case table.OpLe:
+		return c <= 0, nil
+	case table.OpGt:
+		return c > 0, nil
+	case table.OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("table: unknown operator %v", op)
+	}
+}
+
+// containsFold reports case-insensitive substring containment,
+// byte-folding pure-ASCII haystacks without allocating and deferring
+// to the row interpreter's exact ToLower form otherwise. needle must
+// already be lowered with strings.ToLower.
+func containsFold(s, needle string) bool {
+	if needle == "" {
+		return true
+	}
+	if !asciiString(s) {
+		return strings.Contains(strings.ToLower(s), needle)
+	}
+	// ASCII haystack: ToLower(s) folds bytes in place, so a direct
+	// folded scan is equivalent. Non-ASCII needle bytes can never
+	// match a folded ASCII byte, which Contains agrees with.
+	n := len(needle)
+	if n > len(s) {
+		return false
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if foldedPrefix(s[i:i+n], needle) {
+			return true
+		}
+	}
+	return false
+}
+
+func foldedPrefix(s, needle string) bool {
+	for i := 0; i < len(needle); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != needle[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func asciiString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- project ----
+
+// project composes a column selection onto the stream without copying
+// any rows; materialization applies it exactly like table.Project.
+func (v *vecRun) project(s *vstream, proj, aliases []string) (*vstream, error) {
+	cols := make([]int, len(proj))
+	schema := make(table.Schema, len(proj))
+	for i, c := range proj {
+		idx := s.schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", table.ErrNoColumn, c)
+		}
+		cols[i] = s.baseCol(idx)
+		schema[i] = s.schema[idx]
+	}
+	for i, alias := range aliases {
+		if alias != "" && i < len(schema) {
+			schema[i].Name = alias
+		}
+	}
+	return &vstream{
+		name: s.name, schema: schema, base: s.base,
+		fr: s.fr, cols: cols, bs: s.bs, sels: s.sels,
+	}, nil
+}
+
+// ---- hash join ----
+
+// Key-column classes for the typed join fast paths.
+const (
+	kcEmpty   = iota // no non-null keys: join output is empty
+	kcNum            // int/float cells: float64 map keys (Compare crosses kinds via float64)
+	kcStr            // string/date cells: raw-string map keys ("s:"-Key equivalence)
+	kcBool           // bool cells
+	kcGeneric        // mixed kinds or NaN: exact Value.Key() strings
+)
+
+// keyCol is one join key column extracted to a typed array.
+type keyCol struct {
+	class int
+	nums  []float64
+	strs  []string
+	bools []bool
+	vals  []Value
+	nulls table.Bitmap
+}
+
+// extractKeyCol pulls column idx of t into typed form, demoting to the
+// generic class on mixed kinds or NaN (whose typed map behavior would
+// diverge from Value.Key equality).
+func extractKeyCol(t *table.Table, idx int) *keyCol {
+	n := t.Len()
+	kc := &keyCol{class: kcEmpty, nulls: table.NewBitmap(n)}
+	for i, row := range t.Rows {
+		v := row[idx]
+		if v.IsNull() {
+			kc.nulls.Set(i)
+			continue
+		}
+		class := kcGeneric
+		switch {
+		case v.IsNumeric():
+			class = kcNum
+		case v.Kind() == table.TypeString || v.Kind() == table.TypeDate:
+			class = kcStr
+		case v.Kind() == table.TypeBool:
+			class = kcBool
+		}
+		if kc.class == kcEmpty {
+			kc.class = class
+			switch class {
+			case kcNum:
+				kc.nums = make([]float64, n)
+			case kcStr:
+				kc.strs = make([]string, n)
+			case kcBool:
+				kc.bools = make([]bool, n)
+			}
+		}
+		if class != kc.class {
+			return genericKeyCol(t, idx)
+		}
+		switch class {
+		case kcNum:
+			f := v.Float()
+			if f != f { // NaN: typed map keys never match themselves
+				return genericKeyCol(t, idx)
+			}
+			kc.nums[i] = f
+		case kcStr:
+			kc.strs[i] = v.Str()
+		case kcBool:
+			kc.bools[i] = v.Bool()
+		default:
+			return genericKeyCol(t, idx)
+		}
+	}
+	return kc
+}
+
+func genericKeyCol(t *table.Table, idx int) *keyCol {
+	n := t.Len()
+	kc := &keyCol{class: kcGeneric, vals: make([]Value, n), nulls: table.NewBitmap(n)}
+	for i, row := range t.Rows {
+		kc.vals[i] = row[idx]
+		if row[idx].IsNull() {
+			kc.nulls.Set(i)
+		}
+	}
+	return kc
+}
+
+// hashJoin is the vectorized inner equi-join: bit-identical to
+// table.HashJoinHint (same build-side rule, same probe order, same
+// emitted row layout) with typed key maps instead of per-row Key()
+// strings, and probe partitioned across workers with in-order
+// concatenation.
+func (v *vecRun) hashJoin(left, right *table.Table, leftCol, rightCol string, hint int) (*table.Table, error) {
+	li := left.Schema.ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("%w: %s.%s", table.ErrNoColumn, left.Name, leftCol)
+	}
+	ri := right.Schema.ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("%w: %s.%s", table.ErrNoColumn, right.Name, rightCol)
+	}
+	out := table.New(left.Name+"_join_"+right.Name, table.JoinedSchema(left.Schema, right.Name, right.Schema))
+	if hint > 0 {
+		out.Rows = make([][]Value, 0, hint)
+	}
+
+	lk, rk := extractKeyCol(left, li), extractKeyCol(right, ri)
+	if lk.class == kcEmpty || rk.class == kcEmpty {
+		return out, nil
+	}
+	if lk.class != rk.class {
+		if lk.class == kcGeneric {
+			rk = genericKeyCol(right, ri)
+		} else if rk.class == kcGeneric {
+			lk = genericKeyCol(left, li)
+		} else {
+			// Disjoint key classes: Value.Key prefixes differ, so no
+			// pair can match.
+			return out, nil
+		}
+	}
+
+	// Build on the smaller input, probe with the larger — the row
+	// path's exact rule, including the tie break.
+	buildLeft := len(left.Rows) <= len(right.Rows)
+	bt, bk, pt, pk := left, lk, right, rk
+	if !buildLeft {
+		bt, bk, pt, pk = right, rk, left, lk
+	}
+
+	buckets := buildBuckets(bt, bk)
+	emit := func(pi, bi32 int32) []Value {
+		if buildLeft {
+			return concatJoinRow(bt.Rows[bi32], pt.Rows[pi])
+		}
+		return concatJoinRow(pt.Rows[pi], bt.Rows[bi32])
+	}
+	probe := func(lo, hi int, dst [][]Value) [][]Value {
+		for pi := lo; pi < hi; pi++ {
+			if pk.nulls.Get(pi) {
+				continue
+			}
+			for _, bidx := range buckets.lookup(pk, pi) {
+				dst = append(dst, emit(int32(pi), bidx))
+			}
+		}
+		return dst
+	}
+
+	n := pt.Len()
+	workers := par.Workers(v.env.Workers)
+	if n < 4096 || workers <= 1 {
+		out.Rows = probe(0, n, out.Rows)
+		return out, nil
+	}
+	// Morsel-parallel probe: contiguous partitions emit into private
+	// buffers concatenated in partition order, so the output order is
+	// probe-row order at any worker count.
+	stride := (n + workers - 1) / workers
+	parts := (n + stride - 1) / stride
+	bufs := make([][][]Value, parts)
+	par.ForEach(parts, workers, func(p int) {
+		lo := p * stride
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		bufs[p] = probe(lo, hi, nil)
+	})
+	for _, buf := range bufs {
+		out.Rows = append(out.Rows, buf...)
+	}
+	return out, nil
+}
+
+func concatJoinRow(a, b []Value) []Value {
+	out := make([]Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// joinBuckets maps typed keys to build-side row indices (in build row
+// order, as the row path's map of appended slices does).
+type joinBuckets struct {
+	class int
+	num   map[float64][]int32
+	str   map[string][]int32
+	boolB [2][]int32
+	gen   map[string][]int32
+}
+
+func buildBuckets(t *table.Table, kc *keyCol) *joinBuckets {
+	jb := &joinBuckets{class: kc.class}
+	n := t.Len()
+	switch kc.class {
+	case kcNum:
+		jb.num = make(map[float64][]int32, n)
+		for i := 0; i < n; i++ {
+			if !kc.nulls.Get(i) {
+				jb.num[kc.nums[i]] = append(jb.num[kc.nums[i]], int32(i))
+			}
+		}
+	case kcStr:
+		jb.str = make(map[string][]int32, n)
+		for i := 0; i < n; i++ {
+			if !kc.nulls.Get(i) {
+				jb.str[kc.strs[i]] = append(jb.str[kc.strs[i]], int32(i))
+			}
+		}
+	case kcBool:
+		for i := 0; i < n; i++ {
+			if !kc.nulls.Get(i) {
+				b := 0
+				if kc.bools[i] {
+					b = 1
+				}
+				jb.boolB[b] = append(jb.boolB[b], int32(i))
+			}
+		}
+	default:
+		jb.gen = make(map[string][]int32, n)
+		for i := 0; i < n; i++ {
+			if !kc.nulls.Get(i) {
+				k := kc.vals[i].Key()
+				jb.gen[k] = append(jb.gen[k], int32(i))
+			}
+		}
+	}
+	return jb
+}
+
+func (jb *joinBuckets) lookup(kc *keyCol, i int) []int32 {
+	switch jb.class {
+	case kcNum:
+		return jb.num[kc.nums[i]]
+	case kcStr:
+		return jb.str[kc.strs[i]]
+	case kcBool:
+		b := 0
+		if kc.bools[i] {
+			b = 1
+		}
+		return jb.boolB[b]
+	default:
+		return jb.gen[kc.vals[i].Key()]
+	}
+}
+
+// ---- aggregate ----
+
+// aggregate accumulates over the stream's selected rows in fragment
+// order — the row interpreter's exact accumulation order, so float
+// sums agree bitwise — with an allocation-free group-key encoding
+// (Value.Key bytes built into a reused buffer, interned only when a
+// group is first seen).
+func (v *vecRun) aggregate(s *vstream, groupBy []string, aggs []table.Agg, hint int) (*table.Table, error) {
+	groupIdx := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		idx := s.schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", table.ErrNoColumn, c)
+		}
+		groupIdx[i] = s.baseCol(idx)
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "" {
+			if a.Func != table.AggCount {
+				return nil, fmt.Errorf("table: %v requires a column", a.Func)
+			}
+			aggIdx[i] = -1
+			continue
+		}
+		idx := s.schema.ColIndex(a.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", table.ErrNoColumn, a.Col)
+		}
+		typ := s.schema[idx].Type
+		if a.Func != table.AggCount && a.Func != table.AggMin && a.Func != table.AggMax &&
+			typ != table.TypeInt && typ != table.TypeFloat {
+			return nil, fmt.Errorf("table: %v over non-numeric column %s", a.Func, a.Col)
+		}
+		aggIdx[i] = s.baseCol(idx)
+	}
+
+	bs := v.batches(s)
+	type accum struct {
+		key    []Value
+		sums   []float64
+		counts []int64
+		mins   []Value
+		maxs   []Value
+	}
+	groups := make(map[string]*accum, hint)
+	var order []string
+	if hint > 0 {
+		order = make([]string, 0, hint)
+	}
+	kb := make([]byte, 0, 64)
+	var global *accum // the single group of a global aggregate
+
+	for bi, b := range bs {
+		var sel []int32
+		if s.sels != nil {
+			sel = s.sels[bi]
+			if sel != nil && len(sel) == 0 {
+				continue
+			}
+		}
+		forSel(b.Len, sel, func(ri int) {
+			var acc *accum
+			if len(groupIdx) == 0 {
+				if global == nil {
+					global = &accum{
+						key:    []Value{},
+						sums:   make([]float64, len(aggs)),
+						counts: make([]int64, len(aggs)),
+						mins:   make([]Value, len(aggs)),
+						maxs:   make([]Value, len(aggs)),
+					}
+					groups[""] = global
+					order = append(order, "")
+				}
+				acc = global
+			} else {
+				kb = kb[:0]
+				for _, gi := range groupIdx {
+					kb = appendKeyBytes(kb, &b.Cols[gi], ri)
+					kb = append(kb, '\x1f')
+				}
+				var ok bool
+				acc, ok = groups[string(kb)]
+				if !ok {
+					ks := string(kb)
+					key := make([]Value, len(groupIdx))
+					for i, gi := range groupIdx {
+						key[i] = b.Cols[gi].ValueAt(ri)
+					}
+					acc = &accum{
+						key:    key,
+						sums:   make([]float64, len(aggs)),
+						counts: make([]int64, len(aggs)),
+						mins:   make([]Value, len(aggs)),
+						maxs:   make([]Value, len(aggs)),
+					}
+					groups[ks] = acc
+					order = append(order, ks)
+				}
+			}
+			for i := range aggs {
+				if aggIdx[i] == -1 {
+					acc.counts[i]++
+					continue
+				}
+				col := &b.Cols[aggIdx[i]]
+				if col.Boxed == nil && col.Nulls.Get(ri) {
+					continue
+				}
+				// Typed fast path: unboxed numeric columns accumulate
+				// without constructing a Value; min/max tracking is
+				// needed only when a min/max aggregate reads them.
+				switch {
+				case col.Ints != nil:
+					acc.counts[i]++
+					x := float64(col.Ints[ri])
+					acc.sums[i] += x
+					if aggs[i].Func == table.AggMin || aggs[i].Func == table.AggMax {
+						updateMinMax(acc.mins, acc.maxs, i, table.I(col.Ints[ri]))
+					}
+				case col.Floats != nil:
+					acc.counts[i]++
+					acc.sums[i] += col.Floats[ri]
+					if aggs[i].Func == table.AggMin || aggs[i].Func == table.AggMax {
+						updateMinMax(acc.mins, acc.maxs, i, table.F(col.Floats[ri]))
+					}
+				default:
+					v := col.ValueAt(ri)
+					if v.IsNull() {
+						continue
+					}
+					acc.counts[i]++
+					if v.IsNumeric() {
+						acc.sums[i] += v.Float()
+					}
+					updateMinMax(acc.mins, acc.maxs, i, v)
+				}
+			}
+		})
+	}
+	sort.Strings(order)
+
+	out := table.New(s.name+"_agg", table.AggregateSchema(s.schema, groupBy, aggs))
+	for _, ks := range order {
+		acc := groups[ks]
+		row := append([]Value(nil), acc.key...)
+		for i, a := range aggs {
+			switch a.Func {
+			case table.AggSum:
+				if acc.counts[i] == 0 {
+					row = append(row, table.Null(table.TypeFloat))
+				} else {
+					row = append(row, table.F(acc.sums[i]))
+				}
+			case table.AggAvg:
+				if acc.counts[i] == 0 {
+					row = append(row, table.Null(table.TypeFloat))
+				} else {
+					row = append(row, table.F(acc.sums[i]/float64(acc.counts[i])))
+				}
+			case table.AggCount:
+				row = append(row, table.I(acc.counts[i]))
+			case table.AggMin:
+				row = append(row, acc.mins[i])
+			case table.AggMax:
+				row = append(row, acc.maxs[i])
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func updateMinMax(mins, maxs []Value, i int, v Value) {
+	if mins[i].IsNull() || table.Compare(v, mins[i]) < 0 {
+		mins[i] = v
+	}
+	if maxs[i].IsNull() || table.Compare(v, maxs[i]) > 0 {
+		maxs[i] = v
+	}
+}
+
+// forSel iterates the selected rows of a batch in row order.
+func forSel(n int, sel []int32, fn func(ri int)) {
+	if sel == nil {
+		for ri := 0; ri < n; ri++ {
+			fn(ri)
+		}
+		return
+	}
+	for _, ri := range sel {
+		fn(int(ri))
+	}
+}
+
+// appendKeyBytes appends the cell's Value.Key() encoding without
+// constructing the Value or allocating a string.
+func appendKeyBytes(kb []byte, col *table.ColVec, ri int) []byte {
+	if col.Boxed != nil {
+		return append(kb, col.Boxed[ri].Key()...)
+	}
+	if col.Nulls.Get(ri) {
+		return append(kb, "\x00null"...)
+	}
+	switch {
+	case col.Ints != nil:
+		kb = append(kb, 'n', ':')
+		return strconv.AppendFloat(kb, float64(col.Ints[ri]), 'g', -1, 64)
+	case col.Floats != nil:
+		kb = append(kb, 'n', ':')
+		return strconv.AppendFloat(kb, col.Floats[ri], 'g', -1, 64)
+	case col.Bools != nil:
+		kb = append(kb, 'b', ':')
+		return strconv.AppendBool(kb, col.Bools[ri])
+	default:
+		kb = append(kb, 's', ':')
+		return append(kb, col.Strs[ri]...)
+	}
+}
+
+// ---- table-level kernel entries (backend scans) ----
+
+// VecFilterTable is the vectorized counterpart of table.Filter /
+// table.FilterRanges for backend scans: it evaluates the predicate
+// conjunction over the table's columnar fragments (fr may be nil to
+// extract on the fly), restricted to the given row ranges (nil = all
+// rows), and returns the surviving rows (shared slices, row order)
+// plus the visited-row count — the same scanned accounting the row
+// kernels report.
+func VecFilterTable(t *table.Table, fr *table.Frags, ranges []table.RowRange, preds []table.Pred, workers int) (*table.Table, int, error) {
+	v := &vecRun{env: VecEnv{Workers: workers}}
+	s := passthrough(t, fr)
+	scanned := t.Len()
+	if ranges != nil {
+		bs := v.batches(s)
+		s.sels = rangeSels(bs, ranges)
+		scanned = 0
+		for _, r := range ranges {
+			end := r.End
+			if end > t.Len() {
+				end = t.Len()
+			}
+			if end > r.Start {
+				scanned += end - r.Start
+			}
+		}
+	}
+	fs, err := v.filter(s, preds)
+	if err != nil {
+		return nil, scanned, err
+	}
+	return fs.materialize(), scanned, nil
+}
+
+// VecAggregateTable is the vectorized counterpart of
+// table.AggregateHint for backend scans that push aggregation down.
+func VecAggregateTable(t *table.Table, fr *table.Frags, groupBy []string, aggs []table.Agg, hint, workers int) (*table.Table, error) {
+	v := &vecRun{env: VecEnv{Workers: workers}}
+	return v.aggregate(passthrough(t, fr), groupBy, aggs, hint)
+}

@@ -2,14 +2,25 @@
 // system. Both entry languages compile into it — natural-language
 // questions through semop.Compile (parse → bind → compile) and SQL
 // text through sql.Compile (parse → resolve → compile) — and every
-// executor consumes it: the single-store interpreter (Exec), the
-// federated physical planner (internal/federate lowers an optimized
-// tree into backend fragments), and the text→SQL renderer (semop's
-// ToSQL reuses the comparison rewrite). The rule-based optimizer
-// (Optimize) runs the same passes over every entry path, so predicate
-// re-typing, pushdown, projection pruning, join-input reordering and
-// the compare-to-grouped-filter rewrite cannot drift between the NL
-// and SQL pipelines.
+// executor consumes it: the row interpreter (Run/Exec), the
+// vectorized columnar executor (RunVec/ExecVec), the federated
+// physical planner (internal/federate lowers an optimized tree into
+// backend fragments), and the text→SQL renderer (semop's ToSQL reuses
+// the comparison rewrite). The rule-based optimizer (Optimize) runs
+// the same passes over every entry path, so predicate re-typing,
+// pushdown, projection pruning, join-input reordering and the
+// compare-to-grouped-filter rewrite cannot drift between the NL and
+// SQL pipelines.
+//
+// The two executors are interchangeable: RunVec evaluates typed
+// kernels over the catalog's cached 256-row columnar fragments
+// (filters to selection vectors, hash joins over key arrays,
+// aggregates over grouped columns, morsel-parallel via internal/par)
+// and is bit-identical to Run — same schema, row order, cell values
+// and errors, at any worker count. Plans containing operators without
+// columnar kernels (Sort, Compare) report Vectorizable == false and
+// must run the row path; callers choose per plan and results never
+// depend on the choice.
 package logical
 
 import (

@@ -1,0 +1,206 @@
+package table
+
+// Columnar batch extraction: the vectorized executor's data layout.
+// Each 256-row fragment (FragmentRows, shared with the zone maps) is
+// materialized once into typed column arrays — int64/float64/string/
+// bool slices plus a null bitmap — so the hot kernels in
+// internal/logical/exec_vec.go run over machine types instead of
+// interface-shaped Values. A column whose cells do not all match its
+// extracted class keeps the original Values (Boxed); kernels fall back
+// to per-Value evaluation there, so extraction never changes results.
+
+// Bitmap is a fixed-size bit set used for per-row null flags. A nil
+// Bitmap reads as all-clear.
+type Bitmap []uint64
+
+// NewBitmap returns a cleared bitmap covering n bits.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Set sets bit i. The bitmap must be non-nil and cover i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports bit i; nil bitmaps report false.
+func (b Bitmap) Get(i int) bool {
+	return b != nil && b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Any reports whether any bit is set.
+func (b Bitmap) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ColVec is one column of a Batch in typed array form. Exactly one of
+// the typed slices (or Boxed) is populated, chosen by the column's
+// schema type; Nulls marks NULL rows (typed slots of NULL rows hold
+// zero values). When any non-null cell's dynamic kind disagrees with
+// the schema type — possible for operator-built intermediates that
+// bypass Append validation — the whole column is kept as Boxed Values
+// and kernels use the exact row-interpreter semantics on it.
+type ColVec struct {
+	Name   string
+	Type   ColType
+	Ints   []int64   // TypeInt
+	Floats []float64 // TypeFloat
+	Strs   []string  // TypeString and TypeDate (dates compare lexically)
+	Bools  []bool    // TypeBool
+	Nulls  Bitmap    // nil when the extracted rows hold no NULLs
+	Boxed  []Value   // mixed-kind fallback; nil on the typed paths
+}
+
+// ValueAt reconstructs the original cell at row i. For unboxed columns
+// the result is bit-identical to the source Value (same kind, same
+// payload); Boxed columns return the stored Value itself.
+func (c *ColVec) ValueAt(i int) Value {
+	if c.Boxed != nil {
+		return c.Boxed[i]
+	}
+	if c.Nulls.Get(i) {
+		return Null(c.Type)
+	}
+	switch c.Type {
+	case TypeInt:
+		return I(c.Ints[i])
+	case TypeFloat:
+		return F(c.Floats[i])
+	case TypeBool:
+		return B(c.Bools[i])
+	case TypeDate:
+		return D(c.Strs[i])
+	default:
+		return S(c.Strs[i])
+	}
+}
+
+// Batch is a row range of one table in columnar form: Len rows across
+// Cols, in schema order.
+type Batch struct {
+	Schema Schema
+	Len    int
+	Cols   []ColVec
+}
+
+// BatchRange extracts rows [start, end) of t into a Batch. The range
+// must be within bounds. Extraction is pure and deterministic; the
+// resulting batch shares nothing mutable with t beyond boxed Values
+// (which are immutable by convention).
+func BatchRange(t *Table, start, end int) *Batch {
+	n := end - start
+	b := &Batch{Schema: t.Schema, Len: n, Cols: make([]ColVec, len(t.Schema))}
+	for ci, col := range t.Schema {
+		b.Cols[ci] = extractCol(t, ci, col, start, n)
+	}
+	return b
+}
+
+func extractCol(t *Table, ci int, col Column, start, n int) ColVec {
+	cv := ColVec{Name: col.Name, Type: col.Type}
+	switch col.Type {
+	case TypeInt:
+		cv.Ints = make([]int64, n)
+	case TypeFloat:
+		cv.Floats = make([]float64, n)
+	case TypeBool:
+		cv.Bools = make([]bool, n)
+	default:
+		cv.Strs = make([]string, n)
+	}
+	for i := 0; i < n; i++ {
+		v := t.Rows[start+i][ci]
+		if v.IsNull() {
+			if cv.Nulls == nil {
+				cv.Nulls = NewBitmap(n)
+			}
+			cv.Nulls.Set(i)
+			continue
+		}
+		ok := false
+		switch col.Type {
+		case TypeInt:
+			if ok = v.Kind() == TypeInt; ok {
+				cv.Ints[i] = v.Int()
+			}
+		case TypeFloat:
+			if ok = v.Kind() == TypeFloat; ok {
+				cv.Floats[i] = v.Float()
+			}
+		case TypeBool:
+			if ok = v.Kind() == TypeBool; ok {
+				cv.Bools[i] = v.Bool()
+			}
+		case TypeDate:
+			if ok = v.Kind() == TypeDate; ok {
+				cv.Strs[i] = v.Str()
+			}
+		default:
+			if ok = v.Kind() == TypeString; ok {
+				cv.Strs[i] = v.Str()
+			}
+		}
+		if !ok {
+			// Kind anomaly: keep the column as exact Values so the
+			// vectorized kernels reproduce interpreter semantics.
+			return boxedCol(t, ci, col, start, n)
+		}
+	}
+	return cv
+}
+
+func boxedCol(t *Table, ci int, col Column, start, n int) ColVec {
+	cv := ColVec{Name: col.Name, Type: col.Type, Boxed: make([]Value, n)}
+	for i := 0; i < n; i++ {
+		cv.Boxed[i] = t.Rows[start+i][ci]
+	}
+	return cv
+}
+
+// Frags is the per-fragment columnar form of one table, aligned to the
+// same FragmentRows grid as the zone maps so zone-pruned row ranges map
+// directly onto batches. Like Zones, a Frags value is immutable once
+// published: appends extend into a fresh Frags that shares the sealed
+// batches.
+type Frags struct {
+	Table   string
+	Rows    int // rows covered
+	Batches []*Batch
+}
+
+// BuildFrags extracts every fragment of t. Deterministic for fixed
+// rows.
+func BuildFrags(t *Table) *Frags {
+	f := &Frags{Table: t.Name}
+	return extendFragsFrom(f, t, 0)
+}
+
+// ExtendFrags extends f with the rows appended since it was built,
+// reusing every sealed fragment's batch and re-extracting only the
+// open tail fragment — the same incremental contract as ExtendZones.
+// The caller must have established that the first f.Rows rows are
+// unchanged; a nil f builds from scratch.
+func ExtendFrags(f *Frags, t *Table) *Frags {
+	if f == nil || f.Rows > len(t.Rows) {
+		return BuildFrags(t)
+	}
+	sealed := len(f.Batches)
+	if sealed > 0 && f.Batches[sealed-1].Len < FragmentRows {
+		sealed-- // partial tail fragment: re-extract with the new rows
+	}
+	nf := &Frags{Table: t.Name, Batches: f.Batches[:sealed:sealed]}
+	return extendFragsFrom(nf, t, sealed*FragmentRows)
+}
+
+func extendFragsFrom(f *Frags, t *Table, from int) *Frags {
+	for start := from; start < len(t.Rows); start += FragmentRows {
+		end := start + FragmentRows
+		if end > len(t.Rows) {
+			end = len(t.Rows)
+		}
+		f.Batches = append(f.Batches, BatchRange(t, start, end))
+	}
+	f.Rows = len(t.Rows)
+	return f
+}

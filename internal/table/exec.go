@@ -61,7 +61,15 @@ func (p Pred) Eval(schema Schema, row []Value) (bool, error) {
 	if idx < 0 {
 		return false, fmt.Errorf("%w: %s", ErrNoColumn, p.Col)
 	}
-	v := row[idx]
+	return p.Match(row[idx])
+}
+
+// Match applies the predicate's comparison to a single cell. It is the
+// one comparison body both executors share: Eval resolves the column
+// and calls it per row, and the vectorized kernels call it on every
+// path their typed fast paths do not cover — so the two executors
+// cannot diverge on comparison semantics.
+func (p Pred) Match(v Value) (bool, error) {
 	if v.IsNull() || p.Val.IsNull() {
 		return false, nil
 	}

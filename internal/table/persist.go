@@ -198,7 +198,7 @@ func ReadCatalogJSON(r io.Reader) (*Catalog, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table: read catalog %s: %w", pt.Name, err)
 		}
-		c.putWithStats(t, ts, z)
+		c.putWithStats(t, ts, z, nil)
 	}
 	return c, nil
 }

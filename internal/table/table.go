@@ -253,6 +253,7 @@ type Catalog struct {
 	tables map[string]*Table
 	stats  map[string]*TableStats
 	zones  map[string]*Zones
+	frags  map[string]*Frags
 	state  map[string]*tableState
 	epoch  uint64
 }
@@ -273,6 +274,7 @@ func NewCatalog() *Catalog {
 		tables: make(map[string]*Table),
 		stats:  make(map[string]*TableStats),
 		zones:  make(map[string]*Zones),
+		frags:  make(map[string]*Frags),
 		state:  make(map[string]*tableState),
 	}
 }
@@ -298,20 +300,23 @@ func (c *Catalog) Put(t *Table) {
 		ts   *TableStats
 		runs [][]ValueCount
 		z    *Zones
+		fr   *Frags
 	)
 	if st := c.state[key]; st != nil && schemaEqual(st.schema, t.Schema) && rowsPrefixUnchanged(t.Rows, st.rows) {
 		ts, runs = extendStatsRuns(c.stats[key], st.runs, t, len(st.rows))
 		z = ExtendZones(c.zones[key], t)
+		fr = ExtendFrags(c.frags[key], t)
 	} else {
 		ts, runs = buildStatsRuns(t)
 		z = BuildZones(t)
+		fr = BuildFrags(t)
 	}
 	c.state[key] = &tableState{
 		rows:   append([][]Value(nil), t.Rows...),
 		schema: append(Schema(nil), t.Schema...),
 		runs:   runs,
 	}
-	c.putWithStats(t, ts, z)
+	c.putWithStats(t, ts, z, fr)
 }
 
 // rowsPrefixUnchanged reports whether cur still starts with exactly
@@ -351,16 +356,21 @@ func schemaEqual(a, b Schema) bool {
 	return true
 }
 
-// putWithStats registers a table with precomputed statistics and zone
-// maps — the persistence loader's entry, which restores what it
-// serialized instead of rebuilding.
-func (c *Catalog) putWithStats(t *Table, ts *TableStats, z *Zones) {
+// putWithStats registers a table with precomputed statistics, zone
+// maps and columnar fragments — the persistence loader's entry, which
+// restores what it serialized instead of rebuilding. A nil fr extracts
+// fragments here (columnar form is derived data and never serialized).
+func (c *Catalog) putWithStats(t *Table, ts *TableStats, z *Zones, fr *Frags) {
 	key := strings.ToLower(t.Name)
+	if fr == nil {
+		fr = BuildFrags(t)
+	}
 	c.tables[key] = t
 	c.epoch++
 	ts.Epoch = c.epoch
 	c.stats[key] = ts
 	c.zones[key] = z
+	c.frags[key] = fr
 }
 
 // StatsOf returns the per-column statistics built at the named table's
@@ -375,6 +385,13 @@ func (c *Catalog) StatsOf(name string) *TableStats {
 // and must not be mutated.
 func (c *Catalog) ZonesOf(name string) *Zones {
 	return c.zones[strings.ToLower(name)]
+}
+
+// FragsOf returns the columnar fragments extracted at the named
+// table's last Put, or nil for an unknown table. The returned
+// fragments are shared and must not be mutated.
+func (c *Catalog) FragsOf(name string) *Frags {
+	return c.frags[strings.ToLower(name)]
 }
 
 // Epoch counts catalog mutations. Anything derived from catalog

@@ -3,6 +3,18 @@
 // project, join, group-by aggregation, sort, limit), and CSV
 // interchange. It is the "TableQA engine" that the paper's hybrid
 // pipeline feeds with SLM-generated tables (Section III.C).
+//
+// Beyond the row-oriented operators, the Catalog maintains three
+// derived, epoch-stamped artifacts per registered table, each updated
+// incrementally on append-only Puts and rebuilt otherwise: per-column
+// statistics (TableStats — the planner's cost inputs), per-fragment
+// zone maps (Zones — plan-time pruning proofs over 256-row fragments,
+// FragmentRows), and columnar fragments (Frags — typed column arrays
+// with null bitmaps, the batch form internal/logical's vectorized
+// executor consumes). The catalog's Epoch is the repo-wide
+// invalidation convention: everything derived from table contents
+// carries the epoch it was computed at and is re-derived when the
+// epoch moves.
 package table
 
 import (

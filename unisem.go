@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -434,7 +435,7 @@ func (s *System) DescribeTable(name string) (string, error) {
 	}
 	cat := s.hybrid.Catalog()
 	if _, err := cat.Get(name); err != nil {
-		return "", err
+		return "", fmt.Errorf("%w (known tables: %s)", err, strings.Join(cat.Names(), ", "))
 	}
 	return cat.StatsOf(name).Describe() + "\n" + cat.ZonesOf(name).Describe(), nil
 }

@@ -208,6 +208,15 @@ func TestDescribeTableDumpsStatsAndZones(t *testing.T) {
 	}
 	if _, err := sys.DescribeTable("no_such_table"); err == nil {
 		t.Error("DescribeTable of unknown table did not error")
+	} else {
+		// The one-line error lists every known table, so a -stats typo
+		// is self-correcting at the CLI.
+		if !strings.Contains(err.Error(), "known tables: ") || !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-table error does not list known tables: %v", err)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("unknown-table error is not one line: %q", err)
+		}
 	}
 	if _, err := New().DescribeTable(name); err == nil {
 		t.Error("DescribeTable before Build did not error")
