@@ -692,3 +692,114 @@ func BenchmarkRowScanFilterAggregate(b *testing.B) {
 		}
 	}
 }
+
+// rollupBenchSetup builds the dashboard-aggregate fixture: an 8192-row
+// fact table over 5 regions, a federated executor over its catalog, and
+// the optimized plan for the unfiltered group-by aggregate. With
+// withRollup, a region-grain rollup is registered first, so the rollup
+// pass routes the aggregate onto the 5-row materialization; without, the
+// same plan aggregates the base table.
+func rollupBenchSetup(b *testing.B, withRollup bool) (*federate.Executor, *logical.Optimized, *table.Table) {
+	b.Helper()
+	c := table.NewCatalog()
+	t := table.New("rollup_facts", table.Schema{
+		{Name: "region", Type: table.TypeString},
+		{Name: "units", Type: table.TypeInt},
+		{Name: "revenue", Type: table.TypeFloat},
+	})
+	regions := []string{"north", "south", "east", "west", "central"}
+	for i := 0; i < 8192; i++ {
+		rev := table.F(float64(i%1009) * 0.75)
+		if i%67 == 0 {
+			rev = table.Null(table.TypeFloat)
+		}
+		t.MustAppend([]table.Value{table.S(regions[i%len(regions)]), table.I(int64(i % 101)), rev})
+	}
+	c.Put(t)
+	if withRollup {
+		if err := c.AddRollup(table.RollupDef{
+			Name:    "facts_by_region",
+			Base:    "rollup_facts",
+			GroupBy: []string{"region"},
+			Aggs: []table.Agg{
+				{Func: table.AggSum, Col: "revenue"},
+				{Func: table.AggCount, Col: "", As: "n"},
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	root := &logical.Node{Op: logical.OpAggregate, GroupBy: []string{"region"},
+		Aggs: []table.Agg{
+			{Func: table.AggSum, Col: "revenue"},
+			{Func: table.AggCount, Col: "", As: "n"},
+		},
+		In: []*logical.Node{{Op: logical.OpScan, Table: "rollup_facts"}}}
+	opt := logical.Optimize(root, logical.CatalogStats(c))
+	fed := federate.New(c.Epoch, federate.Options{}, federate.NewMemory(c))
+	return fed, opt, t
+}
+
+// BenchmarkRollupRoutedAggregate executes the group-by aggregate after
+// rollup routing: the optimizer rewrote it onto the materialized 5-row
+// rollup, so each execution scans exactly the group count instead of
+// the 8192-row base table. Compare ns/op and rows_scanned/op against
+// BenchmarkUnroutedAggregate — the benchguard baseline pins both the
+// speedup and the exact rows_scanned = 5.
+func BenchmarkRollupRoutedAggregate(b *testing.B) {
+	fed, opt, base := rollupBenchSetup(b, true)
+	if len(opt.Rollups) != 1 {
+		b.Fatalf("aggregate not routed: %v", opt.Trace)
+	}
+	want, err := table.Aggregate(base, []string{"region"}, []table.Agg{
+		{Func: table.AggSum, Col: "revenue"},
+		{Func: table.AggCount, Col: "", As: "n"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scanned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, run, err := fed.ExecuteIR(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = sumScanned(run)
+		if res.Len() != want.Len() {
+			b.Fatalf("routed result diverges: %d rows vs %d", res.Len(), want.Len())
+		}
+	}
+	b.StopTimer()
+	if scanned != want.Len() {
+		b.Fatalf("routed aggregate scanned %d rows, want the rollup's %d groups", scanned, want.Len())
+	}
+	b.ReportMetric(float64(scanned), "rows_scanned/op")
+}
+
+// BenchmarkUnroutedAggregate is the same plan over the same catalog
+// without a registered rollup: every execution re-aggregates all 8192
+// base rows.
+func BenchmarkUnroutedAggregate(b *testing.B) {
+	fed, opt, base := rollupBenchSetup(b, false)
+	if len(opt.Rollups) != 0 {
+		b.Fatalf("unexpected routing: %v", opt.Rollups)
+	}
+	var scanned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, run, err := fed.ExecuteIR(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned = sumScanned(run)
+		if res.Len() != 5 {
+			b.Fatalf("result rows = %d, want 5", res.Len())
+		}
+	}
+	b.StopTimer()
+	if scanned != base.Len() {
+		b.Fatalf("unrouted aggregate scanned %d rows, want the full %d", scanned, base.Len())
+	}
+	b.ReportMetric(float64(scanned), "rows_scanned/op")
+}

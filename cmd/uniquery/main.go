@@ -12,7 +12,8 @@
 //	uniquery -demo ecommerce -batch questions.txt -parallel 8
 //	uniquery -demo ecommerce -explain -q "..."   # show the federated physical plan
 //	uniquery -demo ecommerce -sql "SELECT product, AVG(stars) AS result FROM ratings GROUP BY product"
-//	uniquery -demo ecommerce -stats sales   # dump stats + fragment zone maps
+//	uniquery -demo ecommerce -stats sales   # dump stats + fragment zone maps + registered rollups
+//	uniquery -demo ecommerce -rollup "rev=sales:product:SUM(revenue),COUNT()" -rollup-stats rev
 //
 // The optional vocab file registers domain entities, one per line:
 // "product: Product Alpha" / "drug: Drug A" / "side_effect: nausea".
@@ -33,8 +34,21 @@ import (
 
 	"repro"
 	"repro/internal/store"
+	"repro/internal/table"
 	"repro/internal/workload"
 )
+
+// rollupSpecs collects the repeatable -rollup flag values.
+type rollupSpecs []string
+
+// String implements flag.Value.
+func (r *rollupSpecs) String() string { return strings.Join(*r, "; ") }
+
+// Set implements flag.Value.
+func (r *rollupSpecs) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
 
 func main() {
 	dir := flag.String("dir", "", "directory of sources (*.txt, *.csv, *.jsonl, *.xml)")
@@ -47,7 +61,10 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "LRU answer cache entries, invalidated on ingest (0 = off)")
 	explain := flag.Bool("explain", false, "print the federated EXPLAIN (logical → physical plan, backend choice, est vs actual rows) with each answer")
 	showTables := flag.Bool("tables", false, "list catalog tables after build")
-	statsTable := flag.String("stats", "", "dump a table's per-column statistics and per-fragment zone maps (the planner's pruning inputs)")
+	statsTable := flag.String("stats", "", "dump a table's per-column statistics and per-fragment zone maps (the planner's pruning inputs), plus the registered rollups")
+	var rollups rollupSpecs
+	flag.Var(&rollups, "rollup", `register a materialized rollup, "name=base:key1,key2:SUM(col),COUNT()" (repeatable); matching aggregate queries route onto it`)
+	rollupStats := flag.String("rollup-stats", "", "describe one registered rollup (definition, row count, epoch)")
 	saveDir := flag.String("save", "", "persist the built index+catalog to this directory")
 	exportKB := flag.String("export-knowledge", "", "write inferred knowledge triples (TSV) to this file")
 	flag.Parse()
@@ -64,13 +81,32 @@ func main() {
 	st := sys.Stats()
 	fmt.Printf("index: %d nodes, %d edges, %d chunks, %d entities, %d cues, %d extracted rows (built in %v)\n",
 		st.Nodes, st.Edges, st.Chunks, st.Entities, st.Cues, st.ExtractedRows, st.BuildTime)
+	for _, spec := range rollups {
+		def, err := parseRollupSpec(spec)
+		if err == nil {
+			err = sys.AddRollup(def)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: rollup: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rollup registered: %s\n", def)
+	}
 	if *showTables {
 		fmt.Printf("tables: %s\n", strings.Join(sys.Tables(), ", "))
 	}
 	if *statsTable != "" {
-		desc, err := sys.DescribeTable(*statsTable)
+		desc, err := describeStats(sys, *statsTable)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uniquery: stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(desc)
+	}
+	if *rollupStats != "" {
+		desc, err := sys.DescribeRollup(*rollupStats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uniquery: rollup-stats: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(desc)
@@ -339,6 +375,74 @@ func demoSystem(sys *unisem.System, c *workload.Corpus) (*unisem.System, error) 
 		return nil, err
 	}
 	return sys, nil
+}
+
+// parseRollupSpec parses the -rollup flag's compact definition form
+// "name=base:key1,key2:SUM(col),COUNT()": a rollup name, its base
+// table, the group-key columns, and the aggregate list (COUNT may omit
+// its column).
+func parseRollupSpec(spec string) (table.RollupDef, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return table.RollupDef{}, fmt.Errorf("rollup spec %q: want name=base:keys:aggs", spec)
+	}
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return table.RollupDef{}, fmt.Errorf("rollup spec %q: want name=base:keys:aggs", spec)
+	}
+	def := table.RollupDef{Name: strings.TrimSpace(name), Base: strings.TrimSpace(parts[0])}
+	for _, k := range strings.Split(parts[1], ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			def.GroupBy = append(def.GroupBy, k)
+		}
+	}
+	for _, raw := range strings.Split(parts[2], ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		fnName, colPart, ok := strings.Cut(raw, "(")
+		if !ok || !strings.HasSuffix(colPart, ")") {
+			return table.RollupDef{}, fmt.Errorf("rollup spec %q: aggregate %q: want FUNC(col)", spec, raw)
+		}
+		fn, err := table.ParseAggFunc(fnName)
+		if err != nil {
+			return table.RollupDef{}, fmt.Errorf("rollup spec %q: %w", spec, err)
+		}
+		col := strings.TrimSpace(strings.TrimSuffix(colPart, ")"))
+		def.Aggs = append(def.Aggs, table.Agg{Func: fn, Col: col})
+	}
+	return def, nil
+}
+
+// describeStats renders the -stats report: the named table's planner
+// metadata (when the name is a rollup, its definition line leads), then
+// every registered rollup with its definition, materialized row count
+// and epoch.
+func describeStats(sys *unisem.System, name string) (string, error) {
+	var b strings.Builder
+	if line, err := sys.DescribeRollup(name); err == nil {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	desc, err := sys.DescribeTable(name)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(desc)
+	b.WriteString("\nrollups:")
+	defs := sys.Rollups()
+	if len(defs) == 0 {
+		b.WriteString(" none")
+	}
+	for _, d := range defs {
+		line, err := sys.DescribeRollup(d.Name)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("\n  " + line)
+	}
+	return b.String(), nil
 }
 
 func loadVocab(sys *unisem.System, path string) error {

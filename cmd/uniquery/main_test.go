@@ -3,9 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/table"
 )
 
 // writeFixture creates a mixed-source data directory.
@@ -87,5 +89,85 @@ func TestLoadVocabSkipsComments(t *testing.T) {
 	}
 	if sys == nil {
 		t.Fatal("nil system")
+	}
+}
+
+func TestParseRollupSpec(t *testing.T) {
+	def, err := parseRollupSpec("rev=sales:product,quarter:SUM(revenue),COUNT()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "rev" || def.Base != "sales" {
+		t.Errorf("def = %+v", def)
+	}
+	if len(def.GroupBy) != 2 || def.GroupBy[0] != "product" || def.GroupBy[1] != "quarter" {
+		t.Errorf("GroupBy = %v", def.GroupBy)
+	}
+	if len(def.Aggs) != 2 ||
+		def.Aggs[0].Func != table.AggSum || def.Aggs[0].Col != "revenue" ||
+		def.Aggs[1].Func != table.AggCount || def.Aggs[1].Col != "" {
+		t.Errorf("Aggs = %v", def.Aggs)
+	}
+
+	for _, spec := range []string{
+		"no-equals-sign",               // missing name=
+		"rev=sales:product",            // too few ':' segments
+		"rev=sales:product:revenue",    // aggregate without FUNC(col)
+		"rev=sales:product:SUM(",       // unterminated aggregate
+		"rev=sales:product:MEDIAN(x)",  // unknown aggregate function
+		"rev=sales:product:SUM(x),bad", // one good aggregate, one malformed
+	} {
+		if _, err := parseRollupSpec(spec); err == nil {
+			t.Errorf("parseRollupSpec(%q) did not error", spec)
+		}
+	}
+}
+
+func TestDescribeStatsListsRollups(t *testing.T) {
+	sys, err := buildSystem("", "ecommerce", "", unisem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any registration the rollups section says so explicitly.
+	out, err := describeStats(sys, "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rollups: none") {
+		t.Errorf("-stats without rollups missing 'rollups: none':\n%s", out)
+	}
+
+	def, err := parseRollupSpec("rev=sales:product:SUM(revenue),COUNT()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddRollup(def); err != nil {
+		t.Fatal(err)
+	}
+	out, err = describeStats(sys, "sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"stats: table sales",
+		"\nrollups:",
+		"rollup rev = SELECT product, SUM(revenue), COUNT() FROM sales GROUP BY product",
+		"rows=", "epoch=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+	// Naming the rollup itself leads with its definition line before the
+	// materialization's table stats.
+	out, err = describeStats(sys, "rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "rollup rev = SELECT") {
+		t.Errorf("-stats of a rollup does not lead with its definition:\n%s", out)
+	}
+	if !strings.Contains(out, "stats: table rev") {
+		t.Errorf("-stats of a rollup missing its table stats:\n%s", out)
 	}
 }

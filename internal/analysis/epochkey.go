@@ -88,21 +88,52 @@ func cacheShaped(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) string {
 }
 
 // derivedStateElem recognizes map element types that hold derived
-// query state: plans, answers, or materialized tables/views.
+// query state: plans, answers, or materialized tables/views — directly,
+// or wrapped one struct level down (a registry entry bundling a
+// materialization with its bookkeeping, like a rollup's retained
+// state). Without the one-level descent, wrapping derived state in an
+// entry struct silently exempted a registry from the epoch convention.
 func derivedStateElem(t types.Type) string {
+	name, ok := derivedStateName(t)
+	if ok {
+		return name
+	}
+	if name == "" {
+		return ""
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		st, ok = p.Elem().Underlying().(*types.Struct)
+	}
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if w, ok := derivedStateName(st.Field(i).Type()); ok {
+			return name + " wrapping " + w
+		}
+	}
+	return ""
+}
+
+// derivedStateName applies the derived-state naming rules to one type:
+// the name (after pointer deref) contains "plan" or "answer", or is
+// exactly "Table". The returned name is empty for unnamed types, and ok
+// only when the rules match.
+func derivedStateName(t types.Type) (string, bool) {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return ""
+		return "", false
 	}
 	name := named.Obj().Name()
 	lower := strings.ToLower(name)
 	if strings.Contains(lower, "plan") || strings.Contains(lower, "answer") || name == "Table" {
-		return name
+		return name, true
 	}
-	return ""
+	return name, false
 }
 
 // structMentionsEpoch reports whether the struct's fields or any of

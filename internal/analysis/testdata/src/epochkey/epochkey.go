@@ -62,3 +62,27 @@ func (f *freshViews) get(k string) *plan {
 type registry struct {
 	byName map[string]string
 }
+
+// rollupEntry wraps a materialized Table one struct level down — the
+// registry-entry shape a rollup maintainer keeps.
+type Table struct {
+	rows [][]string
+}
+
+type rollupEntry struct {
+	mat  *Table
+	base string
+}
+
+// rollupRegistry holds entry-wrapped materializations and no epoch —
+// the wrapped shape used to escape detection entirely.
+type rollupRegistry struct { // want `rollupRegistry is cache-shaped .* reference a data epoch`
+	entries map[string]*rollupEntry
+}
+
+// stampedRegistry is the same wrapped shape carrying the epoch its
+// materializations were stamped at — clean.
+type stampedRegistry struct {
+	epoch   uint64
+	entries map[string]*rollupEntry
+}

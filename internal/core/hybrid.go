@@ -236,6 +236,40 @@ func (h *Hybrid) RegisterBackend(b federate.Backend) {
 	}
 }
 
+// AddRollup registers a materialized rollup on the live system's
+// catalog: the materialization is built immediately, the optimizer's
+// rollup pass starts routing matching aggregates onto it, and every
+// subsequent catalog mutation re-materializes it synchronously. The
+// catalog epoch advances, so cached physical plans and answers are
+// invalidated. Safe to call concurrently with Answer/Query.
+func (h *Hybrid) AddRollup(def table.RollupDef) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.catalog.AddRollup(def); err != nil {
+		return err
+	}
+	if h.cache != nil {
+		h.cache.purge()
+	}
+	return nil
+}
+
+// Rollups lists the registered rollup definitions, sorted by name.
+// Safe to call concurrently with Ingest.
+func (h *Hybrid) Rollups() []table.RollupDef {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.catalog.Rollups()
+}
+
+// DescribeRollup renders one registered rollup (definition, row count,
+// epoch). Safe to call concurrently with Ingest.
+func (h *Hybrid) DescribeRollup(name string) (string, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.catalog.DescribeRollup(name)
+}
+
 // NewHybridFromState reconstructs a hybrid system from a previously
 // built graph index and catalog (see Graph/Catalog accessors and their
 // serializers) without re-ingesting sources. The recognizer must carry

@@ -48,6 +48,9 @@ func Explain(run *Run) string {
 		b.WriteString(line)
 		b.WriteByte('\n')
 	}
+	if len(pp.Rollups) > 0 {
+		fmt.Fprintf(&b, "rollup:   %s\n", strings.Join(pp.Rollups, "; "))
+	}
 	exec := "row"
 	if run.Plan.VecResidual {
 		exec = "vectorized"

@@ -108,6 +108,30 @@ type Fragment struct {
 	ZonePruned, ZoneTotal int
 }
 
+// AggPushable is the optional Backend extension for per-aggregate
+// pushdown vetting: a CapAggregate backend that cannot evaluate every
+// aggregate function (a SQL dialect without COUNT_MERGE, say) reports
+// which ones it absorbs. Backends not implementing it are assumed to
+// absorb any aggregate their CapAggregate advertises.
+type AggPushable interface {
+	CanPushAgg(a table.Agg) bool
+}
+
+// aggsPushable reports whether backend b absorbs every aggregate in
+// aggs, consulting AggPushable when implemented.
+func aggsPushable(b Backend, aggs []table.Agg) bool {
+	ap, ok := b.(AggPushable)
+	if !ok {
+		return true
+	}
+	for _, a := range aggs {
+		if !ap.CanPushAgg(a) {
+			return false
+		}
+	}
+	return true
+}
+
 // ZoneMapped is the optional Backend extension for zone-map fragment
 // pruning: a backend that exposes per-fragment zone maps for its
 // tables (nil when the table has none) and honors Fragment.Ranges in

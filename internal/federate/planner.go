@@ -162,6 +162,7 @@ type PhysicalPlan struct {
 	Root     *logical.Node // optimized logical plan (EXPLAIN "logical:")
 	Residual *logical.Node // Scan leaves replaced by Inputs, absorbed ops removed
 	Trace    []string      // optimizer rule trace (EXPLAIN "rules:")
+	Rollups  []string      // rollup routings (EXPLAIN "rollup:"), empty when none
 	Frags    []Fragment    // scan fragments in left-to-right tree order
 
 	// PostFilters are the driving fragment's non-pushable predicate
@@ -271,7 +272,7 @@ func (e *Executor) plan(opt *logical.Optimized, key string) (*PhysicalPlan, bool
 		return pp, true, nil
 	}
 
-	pp := &PhysicalPlan{Root: opt.Root, Trace: opt.Trace, Epoch: epoch, gen: gen, key: key}
+	pp := &PhysicalPlan{Root: opt.Root, Trace: opt.Trace, Rollups: opt.Rollups, Epoch: epoch, gen: gen, key: key}
 	residual, err := e.lower(opt.Root, pp)
 	if err != nil {
 		return nil, false, err
@@ -321,7 +322,7 @@ func (e *Executor) lower(n *logical.Node, pp *PhysicalPlan) (*logical.Node, erro
 				return nil, err
 			}
 			if len(rest) == 0 && input.Op == logical.OpInput {
-				if b := e.backend(frag.Backend); b != nil && b.Caps().Has(CapAggregate) {
+				if b := e.backend(frag.Backend); b != nil && b.Caps().Has(CapAggregate) && aggsPushable(b, n.Aggs) {
 					frag.GroupBy = n.GroupBy
 					frag.Aggs = n.Aggs
 					frag.Columns = nil // aggregation already minimizes the output

@@ -74,6 +74,19 @@ func (s *SQL) CanPush(_ string, p table.Pred) bool {
 	return !strings.ContainsAny(v, "\n\r")
 }
 
+// CanPushAgg implements AggPushable: the aggregate must survive the
+// text round-trip, which restricts it to the functions the dialect
+// parses (COUNT/SUM/AVG/MIN/MAX — not the routing pass's COUNT_MERGE)
+// over identifier columns.
+func (s *SQL) CanPushAgg(a table.Agg) bool {
+	switch a.Func {
+	case table.AggSum, table.AggAvg, table.AggCount, table.AggMin, table.AggMax:
+	default:
+		return false
+	}
+	return a.Col == "" || sqlIdent(a.Col)
+}
+
 // plainNumber reports whether s is a bare decimal literal
 // (-?digits[.digits]) — the only numeric shape the dialect lexes.
 // Exponent forms ("1e+06"), NaN and ±Inf are rejected.

@@ -1107,6 +1107,8 @@ func (v *vecRun) aggregate(s *vstream, groupBy []string, aggs []table.Agg, hint 
 				row = append(row, acc.mins[i])
 			case table.AggMax:
 				row = append(row, acc.maxs[i])
+			case table.AggCountMerge:
+				row = append(row, table.I(int64(acc.sums[i])))
 			}
 		}
 		out.Rows = append(out.Rows, row)

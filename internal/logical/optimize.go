@@ -57,6 +57,10 @@ func CatalogStats(c *table.Catalog) Stats {
 type Optimized struct {
 	Root  *Node
 	Trace []string
+	// Rollups lists the rollup routings the rollup pass performed, one
+	// preformatted "base -> rollup (mode)" line per rewrite — the
+	// source of EXPLAIN's "rollup:" line. Empty when nothing routed.
+	Rollups []string
 }
 
 // Unoptimized wraps a tree without running any pass; baselines and
@@ -70,10 +74,12 @@ func Unoptimized(root *Node) *Optimized { return &Optimized{Root: root} }
 //  3. pushdown — sink filters below order-safe operators toward scans
 //  4. emptyfold — fold statistically refuted filtered scans into
 //     constant-empty leaves
-//  5. prune — narrow scans to the columns the plan can reference
-//  6. reorder — seed the cheaper join input with the driving side's
+//  5. rollup — rewrite subsumed Aggregate subtrees onto materialized
+//     rollup scans (exact grain, or re-aggregating a coarser grain)
+//  6. prune — narrow scans to the columns the plan can reference
+//  7. reorder — seed the cheaper join input with the driving side's
 //     join-key equalities, by catalog cardinality
-//  7. compare_rewrite — normalize comparisons to grouped-filter form
+//  8. compare_rewrite — normalize comparisons to grouped-filter form
 //
 // Every pass preserves results bit-exactly: predicate evaluation order
 // within a conjunction, the driving side's row order through joins,
@@ -92,6 +98,7 @@ func Optimize(root *Node, st Stats) *Optimized {
 		{"retype", retypePass},
 		{"pushdown", pushdownPass},
 		{"emptyfold", emptyfoldPass},
+		{"rollup", rollupPass},
 		{"prune", prunePass},
 		{"reorder", reorderPass},
 		{"compare_rewrite", comparePass},

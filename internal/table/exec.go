@@ -308,6 +308,13 @@ const (
 	AggCount
 	AggMin
 	AggMax
+	// AggCountMerge re-aggregates already-counted partial COUNT columns:
+	// it sums integer partial counts and emits an integer, so a COUNT
+	// regrouped from a materialized rollup keeps COUNT's output type and
+	// exact value. Counts stay far below 2^53, where float64 addition is
+	// exact, so the shared float accumulator loses nothing. Only the
+	// rollup routing pass emits it; no entry language parses it.
+	AggCountMerge
 )
 
 // String names the function.
@@ -323,6 +330,8 @@ func (f AggFunc) String() string {
 		return "MIN"
 	case AggMax:
 		return "MAX"
+	case AggCountMerge:
+		return "COUNT_MERGE"
 	default:
 		return "?"
 	}
@@ -350,11 +359,63 @@ func Aggregate(t *Table, groupBy []string, aggs []Agg) (*Table, error) {
 // map and ordering slice; 0 means no hint. The hint never changes
 // results, only allocation.
 func AggregateHint(t *Table, groupBy []string, aggs []Agg, hint int) (*Table, error) {
+	acc, err := makeAggAcc(t.Schema, groupBy, aggs, hint)
+	if err != nil {
+		return nil, err
+	}
+	acc.fold(t.Rows)
+	return acc.emit(t.Name + "_agg"), nil
+}
+
+// aggAcc is the row engine's group-by accumulation state, split into
+// fold (accumulate rows, in row order) and emit (materialize groups in
+// sorted key order) so a caller can keep it alive between folds. The
+// rollup maintainer relies on exactly that split: folding only a Put's
+// appended rows into a retained aggAcc performs the identical
+// accumulation sequence — including every float addition — as folding
+// all rows from scratch, which is what makes incremental rollup
+// materializations bit-equal to full rebuilds (FuzzRollupMaintenance).
+type aggAcc struct {
+	schema   Schema
+	groupBy  []string
+	aggs     []Agg
+	groupIdx []int
+	aggIdx   []int
+	hint     int
+
+	groups map[string]*aggGroup // allocated on first fold of a row
+	order  []string
+}
+
+// aggGroup is one group's accumulator: the key values plus per-agg
+// running sums, non-null counts and min/max values.
+type aggGroup struct {
+	key    []Value
+	sums   []float64
+	counts []int64
+	mins   []Value
+	maxs   []Value
+}
+
+// newAggAcc resolves the group and aggregate columns against schema and
+// returns an empty heap-retained accumulator for callers that keep it
+// alive across folds (hint pre-sizes the group map).
+func newAggAcc(schema Schema, groupBy []string, aggs []Agg, hint int) (*aggAcc, error) {
+	acc, err := makeAggAcc(schema, groupBy, aggs, hint)
+	if err != nil {
+		return nil, err
+	}
+	return &acc, nil
+}
+
+// makeAggAcc is newAggAcc returning the accumulator by value, so a
+// fold-then-emit caller like AggregateHint can keep it on its stack.
+func makeAggAcc(schema Schema, groupBy []string, aggs []Agg, hint int) (aggAcc, error) {
 	groupIdx := make([]int, len(groupBy))
 	for i, c := range groupBy {
-		idx := t.Schema.ColIndex(c)
+		idx := schema.ColIndex(c)
 		if idx < 0 {
-			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+			return aggAcc{}, fmt.Errorf("%w: %s", ErrNoColumn, c)
 		}
 		groupIdx[i] = idx
 	}
@@ -362,60 +423,65 @@ func AggregateHint(t *Table, groupBy []string, aggs []Agg, hint int) (*Table, er
 	for i, a := range aggs {
 		if a.Col == "" {
 			if a.Func != AggCount {
-				return nil, fmt.Errorf("table: %v requires a column", a.Func)
+				return aggAcc{}, fmt.Errorf("table: %v requires a column", a.Func)
 			}
 			aggIdx[i] = -1
 			continue
 		}
-		idx := t.Schema.ColIndex(a.Col)
+		idx := schema.ColIndex(a.Col)
 		if idx < 0 {
-			return nil, fmt.Errorf("%w: %s", ErrNoColumn, a.Col)
+			return aggAcc{}, fmt.Errorf("%w: %s", ErrNoColumn, a.Col)
 		}
-		if a.Func != AggCount && a.Func != AggMin && a.Func != AggMax && t.Schema[idx].Type != TypeInt && t.Schema[idx].Type != TypeFloat {
-			return nil, fmt.Errorf("table: %v over non-numeric column %s", a.Func, a.Col)
+		if a.Func != AggCount && a.Func != AggMin && a.Func != AggMax && schema[idx].Type != TypeInt && schema[idx].Type != TypeFloat {
+			return aggAcc{}, fmt.Errorf("table: %v over non-numeric column %s", a.Func, a.Col)
 		}
 		aggIdx[i] = idx
 	}
+	return aggAcc{
+		schema:   schema,
+		groupBy:  groupBy,
+		aggs:     aggs,
+		groupIdx: groupIdx,
+		aggIdx:   aggIdx,
+		hint:     hint,
+	}, nil
+}
 
-	type accum struct {
-		key    []Value
-		sums   []float64
-		counts []int64
-		mins   []Value
-		maxs   []Value
+// fold accumulates the rows, in order, into the group state.
+func (a *aggAcc) fold(rows [][]Value) {
+	if len(rows) > 0 && a.groups == nil {
+		a.groups = make(map[string]*aggGroup, a.hint)
+		if a.hint > 0 {
+			a.order = make([]string, 0, a.hint)
+		}
 	}
-	groups := make(map[string]*accum, hint)
-	var order []string
-	if hint > 0 {
-		order = make([]string, 0, hint)
-	}
-	for _, row := range t.Rows {
+	for _, row := range rows {
 		var kb strings.Builder
-		key := make([]Value, len(groupIdx))
-		for i, gi := range groupIdx {
+		key := make([]Value, len(a.groupIdx))
+		for i, gi := range a.groupIdx {
 			key[i] = row[gi]
 			kb.WriteString(row[gi].Key())
 			kb.WriteByte('\x1f')
 		}
 		ks := kb.String()
-		acc, ok := groups[ks]
+		acc, ok := a.groups[ks]
 		if !ok {
-			acc = &accum{
+			acc = &aggGroup{
 				key:    key,
-				sums:   make([]float64, len(aggs)),
-				counts: make([]int64, len(aggs)),
-				mins:   make([]Value, len(aggs)),
-				maxs:   make([]Value, len(aggs)),
+				sums:   make([]float64, len(a.aggs)),
+				counts: make([]int64, len(a.aggs)),
+				mins:   make([]Value, len(a.aggs)),
+				maxs:   make([]Value, len(a.aggs)),
 			}
-			groups[ks] = acc
-			order = append(order, ks)
+			a.groups[ks] = acc
+			a.order = append(a.order, ks)
 		}
-		for i := range aggs {
-			if aggIdx[i] == -1 {
+		for i := range a.aggs {
+			if a.aggIdx[i] == -1 {
 				acc.counts[i]++
 				continue
 			}
-			v := row[aggIdx[i]]
+			v := row[a.aggIdx[i]]
 			if v.IsNull() {
 				continue
 			}
@@ -431,14 +497,22 @@ func AggregateHint(t *Table, groupBy []string, aggs []Agg, hint int) (*Table, er
 			}
 		}
 	}
-	sort.Strings(order)
+}
 
-	out := New(t.Name+"_agg", AggregateSchema(t.Schema, groupBy, aggs))
-	for _, ks := range order {
-		acc := groups[ks]
+// emit materializes the groups, in sorted key order, as a fresh table.
+// The accumulator stays valid: emit may be called again after more
+// folds and will include everything folded so far.
+func (a *aggAcc) emit(name string) *Table {
+	sort.Strings(a.order)
+	out := New(name, AggregateSchema(a.schema, a.groupBy, a.aggs))
+	if len(a.order) > 0 {
+		out.Rows = make([][]Value, 0, len(a.order))
+	}
+	for _, ks := range a.order {
+		acc := a.groups[ks]
 		row := append([]Value(nil), acc.key...)
-		for i, a := range aggs {
-			switch a.Func {
+		for i, ag := range a.aggs {
+			switch ag.Func {
 			case AggSum:
 				if acc.counts[i] == 0 {
 					row = append(row, Null(TypeFloat))
@@ -457,11 +531,13 @@ func AggregateHint(t *Table, groupBy []string, aggs []Agg, hint int) (*Table, er
 				row = append(row, acc.mins[i])
 			case AggMax:
 				row = append(row, acc.maxs[i])
+			case AggCountMerge:
+				row = append(row, I(int64(acc.sums[i])))
 			}
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	return out
 }
 
 // AggregateSchema computes the output schema of Aggregate without
@@ -483,7 +559,7 @@ func AggregateSchema(in Schema, groupBy []string, aggs []Agg) Schema {
 			name = strings.ToLower(a.Func.String()) + "_" + a.Col
 		}
 		typ := TypeFloat
-		if a.Func == AggCount {
+		if a.Func == AggCount || a.Func == AggCountMerge {
 			typ = TypeInt
 		} else if a.Func == AggMin || a.Func == AggMax {
 			if idx := in.ColIndex(a.Col); idx >= 0 {

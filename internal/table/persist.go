@@ -61,17 +61,50 @@ type persistCount struct {
 	Count int    `json:"n"`
 }
 
-// persistCatalog is the on-disk form of a catalog.
-type persistCatalog struct {
-	Tables []persistTable `json:"tables"`
+// persistRollup is the on-disk form of one rollup definition. Only the
+// definition is serialized: the materialization (like columnar
+// fragments) is derived data, deterministically rebuilt from the base
+// table at load.
+type persistRollup struct {
+	Name    string       `json:"name"`
+	Base    string       `json:"base"`
+	GroupBy []string     `json:"group_by"`
+	Aggs    []persistAgg `json:"aggs"`
 }
 
-// WriteJSON serializes the catalog deterministically (tables sorted by
-// name). Values round-trip through their display strings, which is
-// lossless for every supported type.
+// persistAgg is the on-disk form of one aggregate, with the function
+// round-tripped through its display name.
+type persistAgg struct {
+	Func string `json:"func"`
+	Col  string `json:"col,omitempty"`
+	As   string `json:"as,omitempty"`
+}
+
+// persistCatalog is the on-disk form of a catalog.
+type persistCatalog struct {
+	Tables  []persistTable  `json:"tables"`
+	Rollups []persistRollup `json:"rollups,omitempty"`
+}
+
+// WriteJSON serializes the catalog deterministically (tables and
+// rollups sorted by name). Values round-trip through their display
+// strings, which is lossless for every supported type. Rollup
+// materializations are not serialized as tables — only their
+// definitions are, and loading re-materializes them from the base
+// rows bit-identically.
 func (c *Catalog) WriteJSON(w io.Writer) error {
 	var p persistCatalog
+	for _, def := range c.Rollups() {
+		pr := persistRollup{Name: def.Name, Base: def.Base, GroupBy: append([]string(nil), def.GroupBy...)}
+		for _, a := range def.Aggs {
+			pr.Aggs = append(pr.Aggs, persistAgg{Func: a.Func.String(), Col: a.Col, As: a.As})
+		}
+		p.Rollups = append(p.Rollups, pr)
+	}
 	for _, name := range c.Names() {
+		if _, ok := c.RollupByName(name); ok {
+			continue
+		}
 		t, err := c.Get(name)
 		if err != nil {
 			return err
@@ -199,6 +232,19 @@ func ReadCatalogJSON(r io.Reader) (*Catalog, error) {
 			return nil, fmt.Errorf("table: read catalog %s: %w", pt.Name, err)
 		}
 		c.putWithStats(t, ts, z, nil)
+	}
+	for _, pr := range p.Rollups {
+		def := RollupDef{Name: pr.Name, Base: pr.Base, GroupBy: append([]string(nil), pr.GroupBy...)}
+		for _, pa := range pr.Aggs {
+			fn, err := ParseAggFunc(pa.Func)
+			if err != nil {
+				return nil, fmt.Errorf("table: read catalog rollup %s: %w", pr.Name, err)
+			}
+			def.Aggs = append(def.Aggs, Agg{Func: fn, Col: pa.Col, As: pa.As})
+		}
+		if err := c.AddRollup(def); err != nil {
+			return nil, fmt.Errorf("table: read catalog rollup %s: %w", pr.Name, err)
+		}
 	}
 	return c, nil
 }

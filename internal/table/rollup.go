@@ -1,0 +1,272 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrNoRollup is returned when a named rollup is not registered.
+var ErrNoRollup = errors.New("table: unknown rollup")
+
+// RollupDef defines a materialized rollup: a grouped aggregation over a
+// base table, kept materialized as a normal catalog table under Name.
+// Aggregates are restricted to the distributive/algebraic functions the
+// row engine folds incrementally (COUNT, SUM, MIN, MAX, and AVG as its
+// SUM+COUNT pair), which is what lets maintenance refold only appended
+// rows and the optimizer route matching Aggregate subtrees onto the
+// materialization.
+type RollupDef struct {
+	// Name is the rollup's (and its materialization's) catalog name.
+	Name string
+	// Base is the table the rollup aggregates.
+	Base string
+	// GroupBy lists the group-key columns, in materialized key order.
+	GroupBy []string
+	// Aggs lists the aggregates, in materialized column order.
+	Aggs []Agg
+}
+
+// String renders the definition for errors, EXPLAIN and -stats output,
+// e.g. "daily = SELECT day, COUNT(), SUM(amount) FROM sales GROUP BY day".
+func (d RollupDef) String() string {
+	cols := make([]string, 0, len(d.GroupBy)+len(d.Aggs))
+	cols = append(cols, d.GroupBy...)
+	for _, a := range d.Aggs {
+		cols = append(cols, fmt.Sprintf("%s(%s)", a.Func, a.Col))
+	}
+	return fmt.Sprintf("%s = SELECT %s FROM %s GROUP BY %s",
+		d.Name, strings.Join(cols, ", "), d.Base, strings.Join(d.GroupBy, ", "))
+}
+
+// rollupState is the maintainer's retained state for one rollup. It is
+// cache-shaped — derived from base-table contents — so it carries the
+// epoch its materialization was registered at; staleness is structurally
+// impossible because maintenance runs synchronously inside Put, but the
+// epoch lets introspection (and the epochkey analyzer) verify that.
+type rollupState struct {
+	def RollupDef
+	// acc is the live accumulator; folding only a Put's appended rows
+	// into it reproduces the from-scratch accumulation bit-for-bit
+	// (FuzzRollupMaintenance).
+	acc *aggAcc
+	// rows snapshots the base-table row-slice headers acc has folded,
+	// and schema the base schema at that fold — the same delta
+	// detection tableState serves for incremental statistics.
+	rows   [][]Value
+	schema Schema
+	// epoch is the catalog epoch at which the current materialization
+	// was registered.
+	epoch uint64
+}
+
+// ParseAggFunc parses an aggregate function's display name ("SUM",
+// "count", ...) back to its AggFunc — the inverse of AggFunc.String,
+// shared by catalog persistence and the uniquery -rollup flag.
+func ParseAggFunc(name string) (AggFunc, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "SUM":
+		return AggSum, nil
+	case "AVG":
+		return AggAvg, nil
+	case "COUNT":
+		return AggCount, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	case "COUNT_MERGE":
+		return AggCountMerge, nil
+	}
+	return 0, fmt.Errorf("table: unknown aggregate function %q", name)
+}
+
+// rollupFuncOK reports whether f may appear in a rollup definition.
+// AggCountMerge is excluded: it exists only as the routing pass's
+// re-aggregation function over already-materialized counts.
+func rollupFuncOK(f AggFunc) bool {
+	switch f {
+	case AggSum, AggAvg, AggCount, AggMin, AggMax:
+		return true
+	}
+	return false
+}
+
+// AddRollup validates def against the current catalog, materializes it
+// from the base table's rows, and registers the materialization as a
+// normal table (gaining statistics, zone maps and columnar fragments
+// like any other Put). From then on every Put of the base table
+// re-materializes it: incrementally when the Put is append-only, by
+// deterministic full rebuild otherwise.
+func (c *Catalog) AddRollup(def RollupDef) error {
+	if def.Name == "" {
+		return errors.New("table: rollup needs a name")
+	}
+	key := strings.ToLower(def.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("table: rollup %s collides with existing table", def.Name)
+	}
+	if _, ok := c.rollups[key]; ok {
+		return fmt.Errorf("table: rollup %s already registered", def.Name)
+	}
+	baseKey := strings.ToLower(def.Base)
+	if _, ok := c.rollups[baseKey]; ok {
+		return fmt.Errorf("table: rollup %s cannot use rollup %s as base", def.Name, def.Base)
+	}
+	base, ok := c.tables[baseKey]
+	if !ok {
+		return fmt.Errorf("%w: %s (rollup %s base)", ErrNoTable, def.Base, def.Name)
+	}
+	if len(def.GroupBy) == 0 {
+		return fmt.Errorf("table: rollup %s needs at least one group-by column", def.Name)
+	}
+	if len(def.Aggs) == 0 {
+		return fmt.Errorf("table: rollup %s needs at least one aggregate", def.Name)
+	}
+	for _, a := range def.Aggs {
+		if !rollupFuncOK(a.Func) {
+			return fmt.Errorf("table: rollup %s: %s is not distributive/algebraic", def.Name, a.Func)
+		}
+	}
+	outSchema := AggregateSchema(base.Schema, def.GroupBy, def.Aggs)
+	seen := make(map[string]bool, len(outSchema))
+	for _, col := range outSchema {
+		n := strings.ToLower(col.Name)
+		if seen[n] {
+			return fmt.Errorf("table: rollup %s: duplicate output column %s", def.Name, col.Name)
+		}
+		seen[n] = true
+	}
+	acc, err := newAggAcc(base.Schema, def.GroupBy, def.Aggs, 0)
+	if err != nil {
+		return fmt.Errorf("table: rollup %s: %w", def.Name, err)
+	}
+	acc.fold(base.Rows)
+	rs := &rollupState{
+		def:    def,
+		acc:    acc,
+		rows:   append([][]Value(nil), base.Rows...),
+		schema: append(Schema(nil), base.Schema...),
+	}
+	c.rollups[key] = rs
+	c.putTable(acc.emit(def.Name))
+	rs.epoch = c.epoch
+	return nil
+}
+
+// maintainRollups re-materializes, in sorted name order, every rollup
+// whose base is the table just registered under baseKey. An append-only
+// Put (schema unchanged, retained row-slice headers identical, rows
+// only appended) folds only the delta rows into the retained
+// accumulator; any other mutation rebuilds the accumulator from scratch
+// — deterministically, and bit-identically to the incremental path. A
+// rebuild the new schema can no longer satisfy (a group or aggregate
+// column vanished) deregisters the rollup and drops its
+// materialization.
+func (c *Catalog) maintainRollups(baseKey string, t *Table) {
+	var names []string
+	for name, rs := range c.rollups {
+		if strings.ToLower(rs.def.Base) == baseKey {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := c.rollups[name]
+		if schemaEqual(rs.schema, t.Schema) && rowsPrefixUnchanged(t.Rows, rs.rows) {
+			rs.acc.fold(t.Rows[len(rs.rows):])
+		} else {
+			acc, err := newAggAcc(t.Schema, rs.def.GroupBy, rs.def.Aggs, len(rs.acc.order))
+			if err != nil {
+				c.dropRollup(name)
+				continue
+			}
+			acc.fold(t.Rows)
+			rs.acc = acc
+		}
+		rs.rows = append([][]Value(nil), t.Rows...)
+		rs.schema = append(Schema(nil), t.Schema...)
+		c.putTable(rs.acc.emit(rs.def.Name))
+		rs.epoch = c.epoch
+	}
+}
+
+// dropRollup deregisters a rollup and removes its materialization from
+// the catalog, advancing the epoch so cached plans that routed onto it
+// are invalidated.
+func (c *Catalog) dropRollup(key string) {
+	delete(c.rollups, key)
+	delete(c.tables, key)
+	delete(c.stats, key)
+	delete(c.zones, key)
+	delete(c.frags, key)
+	delete(c.state, key)
+	c.epoch++
+}
+
+// Rollups returns every registered rollup definition, sorted by name.
+func (c *Catalog) Rollups() []RollupDef {
+	names := make([]string, 0, len(c.rollups))
+	for name := range c.rollups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]RollupDef, 0, len(names))
+	for _, name := range names {
+		out = append(out, c.rollups[name].def)
+	}
+	return out
+}
+
+// RollupNames returns registered rollup names, sorted.
+func (c *Catalog) RollupNames() []string {
+	names := make([]string, 0, len(c.rollups))
+	for name := range c.rollups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RollupByName returns the named rollup's definition.
+func (c *Catalog) RollupByName(name string) (RollupDef, bool) {
+	rs, ok := c.rollups[strings.ToLower(name)]
+	if !ok {
+		return RollupDef{}, false
+	}
+	return rs.def, true
+}
+
+// RollupsFor returns the definitions of every rollup over the named
+// base table, sorted by rollup name.
+func (c *Catalog) RollupsFor(base string) []RollupDef {
+	baseKey := strings.ToLower(base)
+	var names []string
+	for name, rs := range c.rollups {
+		if strings.ToLower(rs.def.Base) == baseKey {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]RollupDef, 0, len(names))
+	for _, name := range names {
+		out = append(out, c.rollups[name].def)
+	}
+	return out
+}
+
+// DescribeRollup renders one registered rollup — definition, current
+// materialized row count, and the epoch its materialization was
+// registered at — or ErrNoRollup.
+func (c *Catalog) DescribeRollup(name string) (string, error) {
+	rs, ok := c.rollups[strings.ToLower(name)]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoRollup, name)
+	}
+	rows := 0
+	if t, ok := c.tables[strings.ToLower(rs.def.Name)]; ok {
+		rows = t.Len()
+	}
+	return fmt.Sprintf("rollup %s rows=%d epoch=%d", rs.def, rows, rs.epoch), nil
+}

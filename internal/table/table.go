@@ -250,12 +250,13 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // fragments it touched, while any other mutation falls back to a full
 // rebuild.
 type Catalog struct {
-	tables map[string]*Table
-	stats  map[string]*TableStats
-	zones  map[string]*Zones
-	frags  map[string]*Frags
-	state  map[string]*tableState
-	epoch  uint64
+	tables  map[string]*Table
+	stats   map[string]*TableStats
+	zones   map[string]*Zones
+	frags   map[string]*Frags
+	state   map[string]*tableState
+	rollups map[string]*rollupState
+	epoch   uint64
 }
 
 // tableState is what Put retains to recognize (and serve) the
@@ -271,11 +272,12 @@ type tableState struct {
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{
-		tables: make(map[string]*Table),
-		stats:  make(map[string]*TableStats),
-		zones:  make(map[string]*Zones),
-		frags:  make(map[string]*Frags),
-		state:  make(map[string]*tableState),
+		tables:  make(map[string]*Table),
+		stats:   make(map[string]*TableStats),
+		zones:   make(map[string]*Zones),
+		frags:   make(map[string]*Frags),
+		state:   make(map[string]*tableState),
+		rollups: make(map[string]*rollupState),
 	}
 }
 
@@ -295,6 +297,21 @@ func NewCatalog() *Catalog {
 // which remains the slow path for every other mutation shape. Both
 // paths yield bit-identical results (FuzzIncrementalStats).
 func (c *Catalog) Put(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, ok := c.rollups[key]; ok {
+		// The caller is reclaiming a rollup's name for an ordinary
+		// table: deregister the rollup so its maintainer never
+		// overwrites the caller's data.
+		delete(c.rollups, key)
+	}
+	c.putTable(t)
+	c.maintainRollups(key, t)
+}
+
+// putTable is Put without the rollup hooks: the shared registration
+// path for base tables and rollup materializations (which must not
+// re-trigger maintenance).
+func (c *Catalog) putTable(t *Table) {
 	key := strings.ToLower(t.Name)
 	var (
 		ts   *TableStats

@@ -440,6 +440,42 @@ func (s *System) DescribeTable(name string) (string, error) {
 	return cat.StatsOf(name).Describe() + "\n" + cat.ZonesOf(name).Describe(), nil
 }
 
+// AddRollup registers a materialized rollup on a *built* system: a
+// grouped aggregation over a base table the optimizer transparently
+// routes matching aggregate queries onto, maintained incrementally on
+// append-only ingest and rebuilt deterministically on any other
+// mutation. Routed results are bit-identical to unrouted execution.
+func (s *System) AddRollup(def table.RollupDef) error {
+	if !s.built {
+		return ErrNotBuilt
+	}
+	return s.hybrid.AddRollup(def)
+}
+
+// Rollups lists the registered rollup definitions, sorted by name.
+func (s *System) Rollups() []table.RollupDef {
+	if !s.built {
+		return nil
+	}
+	return s.hybrid.Rollups()
+}
+
+// DescribeRollup renders one registered rollup — its definition, the
+// materialization's current row count, and the catalog epoch it was
+// materialized at (uniquery's -stats flag). An unknown name lists the
+// known rollups, like DescribeTable's unknown-table error.
+func (s *System) DescribeRollup(name string) (string, error) {
+	if !s.built {
+		return "", ErrNotBuilt
+	}
+	out, err := s.hybrid.DescribeRollup(name)
+	if err != nil {
+		return "", fmt.Errorf("%w (known rollups: %s)", err,
+			strings.Join(s.hybrid.Catalog().RollupNames(), ", "))
+	}
+	return out, nil
+}
+
 // Ingest adds one unstructured document to a *built* system without a
 // rebuild: the graph index, extracted tables and retrieval priors all
 // update incrementally (the paper's real-time analytics direction).

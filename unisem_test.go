@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/table"
 )
 
 // buildDemo assembles a small heterogeneous system across all four
@@ -220,5 +222,65 @@ func TestDescribeTableDumpsStatsAndZones(t *testing.T) {
 	}
 	if _, err := New().DescribeTable(name); err == nil {
 		t.Error("DescribeTable before Build did not error")
+	}
+}
+
+func TestRollupSurface(t *testing.T) {
+	def := table.RollupDef{
+		Name:    "ratings_by_product",
+		Base:    "ratings",
+		GroupBy: []string{"product"},
+		Aggs: []table.Agg{
+			{Func: table.AggAvg, Col: "stars"},
+			{Func: table.AggCount, Col: "", As: "n"},
+		},
+	}
+	if err := New().AddRollup(def); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("AddRollup before Build = %v, want ErrNotBuilt", err)
+	}
+	if got := New().Rollups(); got != nil {
+		t.Fatalf("Rollups before Build = %v, want nil", got)
+	}
+	if _, err := New().DescribeRollup("x"); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("DescribeRollup before Build = %v, want ErrNotBuilt", err)
+	}
+
+	sys := buildDemo(t)
+	if err := sys.AddRollup(def); err != nil {
+		t.Fatal(err)
+	}
+	defs := sys.Rollups()
+	if len(defs) != 1 || defs[0].Name != "ratings_by_product" {
+		t.Fatalf("Rollups = %v, want [ratings_by_product]", defs)
+	}
+	desc, err := sys.DescribeRollup("ratings_by_product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rollup ratings_by_product", "rows=", "epoch="} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("DescribeRollup missing %q:\n%s", want, desc)
+		}
+	}
+	// The unknown-rollup error lists every registered rollup, matching
+	// the unknown-table convention, so a -rollup-stats typo is
+	// self-correcting at the CLI.
+	if _, err := sys.DescribeRollup("no_such_rollup"); err == nil {
+		t.Error("DescribeRollup of unknown rollup did not error")
+	} else if !strings.Contains(err.Error(), "known rollups: ratings_by_product") {
+		t.Errorf("unknown-rollup error does not list known rollups: %v", err)
+	}
+
+	// Asking through the registered rollup routes transparently and
+	// preserves the answer.
+	ans, err := sys.Ask("What is the average rating of Product Alpha?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "4" {
+		t.Errorf("routed answer = %q, want 4 (plan %s)", ans.Text, ans.Plan)
+	}
+	if !strings.Contains(ans.Explain, "rollup:   ratings -> ratings_by_product") {
+		t.Errorf("EXPLAIN missing rollup routing line:\n%s", ans.Explain)
 	}
 }
