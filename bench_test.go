@@ -630,12 +630,11 @@ func BenchmarkAskEndToEnd(b *testing.B) {
 	}
 }
 
-// vecBenchSetup builds a synthetic 8192-row fact table (32 fragments)
-// and the filtered-group-by tree the executor benchmarks share:
-// Aggregate(group=[region] SUM(revenue)) over Filter(units > 40). The
-// catalog caches the columnar fragments, so the vectorized run
-// measures kernel cost, not column extraction.
-func vecBenchSetup(b *testing.B) (*table.Catalog, *logical.Node) {
+// vecBenchCatalog builds the synthetic 8192-row fact table (32
+// fragments) the executor benchmarks share. The catalog caches the
+// columnar fragments, so vectorized runs measure kernel cost, not
+// column extraction.
+func vecBenchCatalog(b *testing.B) *table.Catalog {
 	b.Helper()
 	c := table.NewCatalog()
 	t := table.New("vec_facts", table.Schema{
@@ -652,12 +651,31 @@ func vecBenchSetup(b *testing.B) (*table.Catalog, *logical.Node) {
 		t.MustAppend([]table.Value{table.S(regions[i%len(regions)]), table.I(int64(i % 101)), rev})
 	}
 	c.Put(t)
+	return c
+}
+
+// vecBenchSetup returns the catalog plus the filtered-group-by tree:
+// Aggregate(group=[region] SUM(revenue)) over Filter(units > 40).
+func vecBenchSetup(b *testing.B) (*table.Catalog, *logical.Node) {
+	b.Helper()
 	root := &logical.Node{Op: logical.OpAggregate, GroupBy: []string{"region"},
 		Aggs: []table.Agg{{Func: table.AggSum, Col: "revenue"}},
 		In: []*logical.Node{{Op: logical.OpFilter,
 			Preds: []table.Pred{{Col: "units", Op: table.OpGt, Val: table.I(40)}},
 			In:    []*logical.Node{{Op: logical.OpScan, Table: "vec_facts"}}}}}
-	return c, root
+	return vecBenchCatalog(b), root
+}
+
+// vecSortBenchSetup returns the catalog plus the top-k tree:
+// Limit(100) over Sort(revenue DESC, region) over the whole 8192-row
+// table — the ranked-answer shape ORDER BY + LIMIT queries compile to.
+func vecSortBenchSetup(b *testing.B) (*table.Catalog, *logical.Node) {
+	b.Helper()
+	root := &logical.Node{Op: logical.OpLimit, N: 100,
+		In: []*logical.Node{{Op: logical.OpSort,
+			Keys: []table.SortKey{{Col: "revenue", Desc: true}, {Col: "region"}},
+			In:   []*logical.Node{{Op: logical.OpScan, Table: "vec_facts"}}}}}
+	return vecBenchCatalog(b), root
 }
 
 // BenchmarkVecScanFilterAggregate runs the filtered group-by through
@@ -684,6 +702,38 @@ func BenchmarkVecScanFilterAggregate(b *testing.B) {
 // strings, the cost the columnar kernels exist to amortize.
 func BenchmarkRowScanFilterAggregate(b *testing.B) {
 	c, root := vecBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logical.Exec(root, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVecSortLimit runs the 8192-row ORDER BY + LIMIT shape
+// through the sort kernel: key columns extracted once to typed arrays,
+// then a stable permutation sort — no Value boxing per comparison.
+// Compare ns/op and allocs/op against BenchmarkRowSortLimit.
+func BenchmarkVecSortLimit(b *testing.B) {
+	c, root := vecSortBenchSetup(b)
+	if _, err := logical.ExecVec(root, c, 1); err != nil { // warm fragment cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logical.ExecVec(root, c, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRowSortLimit is the row-interpreter baseline for the same
+// tree: table.Sort clones the rows and boxes two Values through
+// table.Compare on every comparison of the sort.
+func BenchmarkRowSortLimit(b *testing.B) {
+	c, root := vecSortBenchSetup(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

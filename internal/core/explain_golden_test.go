@@ -44,6 +44,11 @@ var sqlShapes = []struct {
 	{"sql_groupby", "SELECT product, AVG(stars) AS result FROM ratings GROUP BY product"},
 	{"sql_join", "SELECT AVG(stars) AS result FROM ratings JOIN metric_changes ON ratings.product = metric_changes.product WHERE change_pct > 15"},
 	{"sql_orderby", "SELECT product, revenue FROM sales WHERE quarter = 'Q4' ORDER BY revenue DESC LIMIT 3"},
+	// An unfiltered ORDER BY: the full 32-row scan clears the
+	// vectorization threshold, so the residual Sort dispatches to the
+	// columnar sort kernel (exec: vectorized), unlike sql_orderby whose
+	// filtered scan estimates below it.
+	{"sql_orderby_vec", "SELECT product, revenue FROM sales ORDER BY revenue DESC, product"},
 	// The statistics-driven reorder gate's no-fire case: ratings is
 	// raw-larger than metric_changes (the pre-stats rule's only gate),
 	// but per-column stats estimate the driving side filtering down to

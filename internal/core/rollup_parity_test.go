@@ -110,6 +110,7 @@ func TestRollupRoutingParityAcrossCorpus(t *testing.T) {
 					continue
 				}
 				if !logical.Vectorizable(opt.Root) {
+					t.Errorf("%q: routed plan reported non-vectorizable — every operator has a columnar kernel", q.Text)
 					continue
 				}
 				for _, workers := range []int{1, 2, 8} {

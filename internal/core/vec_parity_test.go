@@ -12,28 +12,24 @@ import (
 
 // vecParitySkips is the exact set of workload questions excluded from
 // vectorized parity per domain, keyed by question text with the plan
-// shape that justifies the exclusion. Sort and Compare have no columnar
-// kernels yet; those plans take the row path. Pinning the set makes
-// silent coverage loss fail loudly: a question newly skipped (kernel
-// coverage regressed) or newly covered (this list is stale) both
-// surface as a diff against this map.
+// shape that justifies the exclusion. Every operator now has a
+// columnar kernel (Sort and Compare were the last two), so the set is
+// empty in both domains. Pinning it empty makes silent coverage loss
+// fail loudly: a question newly skipped means kernel coverage
+// regressed, and that surfaces as a diff against this map.
 var vecParitySkips = map[string]map[string]string{
-	"ecommerce": {
-		"Compare total revenue for Product Alpha and Product Beta in Q4": "compare",
-	},
-	"healthcare": {
-		"Compare the efficacy of Drug A and Drug B": "compare",
-	},
+	"ecommerce":  {},
+	"healthcare": {},
 }
 
 // TestVectorizedMatchesRowExecutor holds the vectorized executor to
 // bit-identity with the row interpreter on every bound workload
-// question across both domains: for each optimized plan whose operator
-// set has columnar kernels, ExecVec must return a table identical in
-// schema, row order and cell values to logical.Exec — at one worker
-// and at several, since output order must not depend on parallelism.
-// Questions without columnar kernels are tracked, not dropped: the
-// skip set must equal vecParitySkips exactly.
+// question across both domains: for each optimized plan, ExecVec must
+// return a table identical in schema, row order and cell values to
+// logical.Exec — at one worker and at several, since output order
+// must not depend on parallelism. A plan that reports itself
+// non-vectorizable is tracked, not dropped: the skip set must equal
+// vecParitySkips (empty) exactly.
 func TestVectorizedMatchesRowExecutor(t *testing.T) {
 	corpora := map[string]*workload.Corpus{
 		"ecommerce":  workload.ECommerce(workload.DefaultECommerceOptions()),
@@ -59,16 +55,16 @@ func TestVectorizedMatchesRowExecutor(t *testing.T) {
 				opt := logical.Optimize(semop.Compile(plan), logical.CatalogStats(cat))
 				want, wantErr := logical.Exec(opt.Root, cat)
 				if !logical.Vectorizable(opt.Root) {
-					// Sort and Compare have no columnar kernels yet; those
-					// shapes must take the row path, never a partial one —
-					// and each exclusion must be accounted for below.
+					// Every IR operator has a columnar kernel now, so no
+					// bound plan should land here; any that does is tracked
+					// and fails the empty-set assertion below.
 					switch {
 					case hasOp(opt.Root, logical.OpSort):
 						skipped[q.Text] = "sort"
 					case hasOp(opt.Root, logical.OpCompare):
 						skipped[q.Text] = "compare"
 					default:
-						t.Errorf("%q: plan without Sort/Compare reported non-vectorizable", q.Text)
+						t.Errorf("%q: plan reported non-vectorizable", q.Text)
 					}
 					continue
 				}

@@ -21,22 +21,29 @@ import (
 // result emission) stays in fragment order — so results are
 // bit-identical to the row interpreter at any worker count.
 //
-// Not every operator pays for a columnar form: Sort is inherently
-// row-oriented and Compare is branch machinery around the other
-// operators, so trees containing them run on the row interpreter.
-// Vectorizable is the dispatch gate; the federated executor records
-// the decision in EXPLAIN as "exec: vectorized|row".
+// Sort runs as a columnar kernel too: the key columns are extracted
+// to per-kind typed arrays over the selected rows (nulls first,
+// cross-kind int/float via float64, generic Values only for
+// mixed-kind columns) and a stable permutation sort reorders row
+// references — the exact ordering and tie stability of table.Sort
+// without boxing a Value per comparison. Compare reuses the filter
+// and aggregate kernels, running each CompareBranches arm over the
+// child stream and appending per-item results in branch order.
+// Every operator of the IR has a columnar form; Vectorizable remains
+// the dispatch gate for operators added in the future, and the
+// federated executor records the plan-time decision in EXPLAIN as
+// "exec: vectorized|row".
 
 // Vectorizable reports whether the whole tree can run on the
-// vectorized executor. Sort and Compare nodes (and any future
-// operator the kernels do not know) force the row interpreter.
+// vectorized executor. Every current operator can; only a future
+// operator without a columnar kernel forces the row interpreter.
 func Vectorizable(n *Node) bool {
 	if n == nil {
 		return false
 	}
 	switch n.Op {
 	case OpScan, OpInput, OpEmpty, OpFilter, OpProject, OpJoin,
-		OpAggregate, OpLimit, OpDistinct:
+		OpAggregate, OpSort, OpLimit, OpDistinct, OpCompare:
 		for _, in := range n.In {
 			if !Vectorizable(in) {
 				return false
@@ -279,10 +286,14 @@ func (v *vecRun) eval(n *Node) (*vstream, error) {
 			return nil, err
 		}
 		return passthrough(out, nil), nil
+	case OpSort:
+		return v.sortStream(s, n.Keys)
 	case OpLimit:
 		return passthrough(table.Limit(s.materialize(), n.N), nil), nil
 	case OpDistinct:
 		return passthrough(table.Distinct(s.materialize()), nil), nil
+	case OpCompare:
+		return v.compareStream(n, s)
 	default:
 		return nil, fmt.Errorf("logical: %v is not vectorizable", n.Op)
 	}
@@ -938,6 +949,249 @@ func (jb *joinBuckets) lookup(kc *keyCol, i int) []int32 {
 	default:
 		return jb.gen[kc.vals[i].Key()]
 	}
+}
+
+// ---- sort ----
+
+// sortCol is one sort key extracted to typed array form over the
+// stream's selected rows, reusing the join kernels' key-column
+// classes: uniform numeric columns compare through float64 (the
+// cross-kind int/float rule of table.Compare), string and date cells
+// compare lexically on the raw string (same-kind and rendered-string
+// fallback coincide), bools order false < true, and mixed-kind
+// columns demote to exact Values compared with table.Compare itself.
+type sortCol struct {
+	class int
+	nums  []float64
+	strs  []string
+	bools []bool
+	vals  []Value
+	nulls table.Bitmap
+}
+
+// compare orders the selected rows a and b on this key with
+// table.Compare's exact semantics: NULL sorts before every non-NULL
+// value, two NULLs tie, and non-NULL cells dispatch on the column
+// class. NaN floats tie with everything NaN-adjacent exactly as the
+// row path's float comparison does.
+func (sc *sortCol) compare(a, b int) int {
+	an, bn := sc.nulls.Get(a), sc.nulls.Get(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	switch sc.class {
+	case kcNum:
+		return cmpFloat(sc.nums[a], sc.nums[b])
+	case kcStr:
+		return strings.Compare(sc.strs[a], sc.strs[b])
+	case kcBool:
+		return cmpBool(sc.bools[a], sc.bools[b])
+	default:
+		return table.Compare(sc.vals[a], sc.vals[b])
+	}
+}
+
+// sortStream is the vectorized Sort kernel: it gathers the stream's
+// selected rows in row order, extracts each key column into typed
+// arrays, stable-sorts a row permutation, and emits the rows in
+// sorted order (applying any pending projection) — bit-identical to
+// table.Sort over the materialized stream, including tie stability,
+// because the permutation starts in row order and the comparator
+// reproduces table.Compare exactly.
+func (v *vecRun) sortStream(s *vstream, keys []table.SortKey) (*vstream, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		idx := s.schema.ColIndex(k.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %s", table.ErrNoColumn, k.Col)
+		}
+		keyIdx[i] = s.baseCol(idx)
+	}
+	bs := v.batches(s)
+	n := s.selCount()
+	// Row locators of every selected row, in row order: batch index
+	// and in-batch row index.
+	rowB := make([]int32, 0, n)
+	rowR := make([]int32, 0, n)
+	for bi, b := range bs {
+		var sel []int32
+		if s.sels != nil {
+			sel = s.sels[bi]
+			if sel != nil && len(sel) == 0 {
+				continue
+			}
+		}
+		forSel(b.Len, sel, func(ri int) {
+			rowB = append(rowB, int32(bi))
+			rowR = append(rowR, int32(ri))
+		})
+	}
+	cols := make([]*sortCol, len(keys))
+	for k := range keys {
+		cols[k] = extractSortCol(bs, rowB, rowR, keyIdx[k])
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		a, b := int(perm[i]), int(perm[j])
+		for k := range keys {
+			c := cols[k].compare(a, b)
+			if c == 0 {
+				continue
+			}
+			if keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := table.New(s.name, s.schema)
+	out.Rows = make([][]Value, 0, n)
+	for _, pi := range perm {
+		row := s.base.Rows[int(rowB[pi])*table.FragmentRows+int(rowR[pi])]
+		if s.cols != nil {
+			nr := make([]Value, len(s.cols))
+			for i, ci := range s.cols {
+				nr[i] = row[ci]
+			}
+			row = nr
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return passthrough(out, nil), nil
+}
+
+// extractSortCol pulls one key column of the selected rows into typed
+// form. The first non-NULL cell fixes the column class; a later cell
+// of a different class demotes the whole column to exact Values, whose
+// pairwise table.Compare reproduces the row path on any kind mixture.
+func extractSortCol(bs []*table.Batch, rowB, rowR []int32, ci int) *sortCol {
+	n := len(rowB)
+	sc := &sortCol{class: kcEmpty, nulls: table.NewBitmap(n)}
+	ensure := func(class int) bool {
+		if sc.class == kcEmpty {
+			sc.class = class
+			switch class {
+			case kcNum:
+				sc.nums = make([]float64, n)
+			case kcStr:
+				sc.strs = make([]string, n)
+			case kcBool:
+				sc.bools = make([]bool, n)
+			}
+		}
+		return sc.class == class
+	}
+	for i := range rowB {
+		col := &bs[rowB[i]].Cols[ci]
+		ri := int(rowR[i])
+		if col.Boxed == nil {
+			if col.Nulls.Get(ri) {
+				sc.nulls.Set(i)
+				continue
+			}
+			switch {
+			case col.Ints != nil:
+				if !ensure(kcNum) {
+					return genericSortCol(bs, rowB, rowR, ci)
+				}
+				sc.nums[i] = float64(col.Ints[ri])
+			case col.Floats != nil:
+				if !ensure(kcNum) {
+					return genericSortCol(bs, rowB, rowR, ci)
+				}
+				sc.nums[i] = col.Floats[ri]
+			case col.Bools != nil:
+				if !ensure(kcBool) {
+					return genericSortCol(bs, rowB, rowR, ci)
+				}
+				sc.bools[i] = col.Bools[ri]
+			default:
+				if !ensure(kcStr) {
+					return genericSortCol(bs, rowB, rowR, ci)
+				}
+				sc.strs[i] = col.Strs[ri]
+			}
+			continue
+		}
+		bv := col.Boxed[ri]
+		if bv.IsNull() {
+			sc.nulls.Set(i)
+			continue
+		}
+		switch {
+		case bv.IsNumeric():
+			if !ensure(kcNum) {
+				return genericSortCol(bs, rowB, rowR, ci)
+			}
+			sc.nums[i] = bv.Float()
+		case bv.Kind() == table.TypeString || bv.Kind() == table.TypeDate:
+			if !ensure(kcStr) {
+				return genericSortCol(bs, rowB, rowR, ci)
+			}
+			sc.strs[i] = bv.Str()
+		case bv.Kind() == table.TypeBool:
+			if !ensure(kcBool) {
+				return genericSortCol(bs, rowB, rowR, ci)
+			}
+			sc.bools[i] = bv.Bool()
+		default:
+			return genericSortCol(bs, rowB, rowR, ci)
+		}
+	}
+	return sc
+}
+
+func genericSortCol(bs []*table.Batch, rowB, rowR []int32, ci int) *sortCol {
+	n := len(rowB)
+	sc := &sortCol{class: kcGeneric, vals: make([]Value, n), nulls: table.NewBitmap(n)}
+	for i := range rowB {
+		bv := bs[rowB[i]].Cols[ci].ValueAt(int(rowR[i]))
+		sc.vals[i] = bv
+		if bv.IsNull() {
+			sc.nulls.Set(i)
+		}
+	}
+	return sc
+}
+
+// ---- compare ----
+
+// compareStream is the vectorized Compare branch: each CompareBranches
+// arm — the same rewrite the row path, the federated planner and
+// text→SQL all consume — runs through the filter and aggregate
+// kernels over the child stream, and per-item group rows are appended
+// in branch order, reassembling runCompare's exact output. Branch
+// filters only refine selection vectors, so the child stream is
+// evaluated once no matter how many items are compared.
+func (v *vecRun) compareStream(n *Node, s *vstream) (*vstream, error) {
+	var out *table.Table
+	for _, br := range CompareBranches(n) {
+		fs, err := v.filter(s, br.Preds)
+		if err != nil {
+			return nil, err
+		}
+		agged, err := v.aggregate(fs, br.GroupBy, n.Aggs, n.EstOut)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = table.New("comparison", agged.Schema)
+		}
+		out.Rows = append(out.Rows, agged.Rows...)
+	}
+	if out == nil {
+		return nil, ErrEmptyCompare
+	}
+	return passthrough(out, nil), nil
 }
 
 // ---- aggregate ----

@@ -178,6 +178,156 @@ func TestVecDistinctLimitNulls(t *testing.T) {
 	assertVecParity(t, &Node{Op: OpLimit, N: 300, In: []*Node{proj}}, c)
 }
 
+func sortNode(in *Node, keys ...table.SortKey) *Node {
+	return &Node{Op: OpSort, Keys: keys, In: []*Node{in}}
+}
+
+func TestVecSortNulls(t *testing.T) {
+	c := nullCatalog()
+	t.Run("scattered_nulls_three_fragments", func(t *testing.T) {
+		// revenue is NULL every 5th row across all three fragments;
+		// NULLs must sort first in the exact relative order they appear.
+		assertVecParity(t, sortNode(scan("facts"), table.SortKey{Col: "revenue"}), c)
+	})
+	t.Run("desc_nulls_last", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("facts"), table.SortKey{Col: "units", Desc: true}), c)
+	})
+	t.Run("multi_key", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("facts"),
+			table.SortKey{Col: "region"}, table.SortKey{Col: "units", Desc: true},
+			table.SortKey{Col: "revenue"}), c)
+	})
+	t.Run("bool_key", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("facts"), table.SortKey{Col: "active"}), c)
+	})
+	t.Run("all_null_key_fragment", func(t *testing.T) {
+		// Restrict the scan to the fragment whose every cell is NULL:
+		// all keys tie, so the output must be the input order exactly.
+		sc := scan("facts")
+		sc.RowStart, sc.RowEnd = table.FragmentRows, 2*table.FragmentRows
+		assertVecParity(t, sortNode(sc, table.SortKey{Col: "revenue", Desc: true}), c)
+	})
+	t.Run("duplicate_keys_stable_under_limit", func(t *testing.T) {
+		// region has 5 distinct values over 640 rows; Limit over the
+		// sort exposes any tie-order instability in the first rows.
+		assertVecParity(t, &Node{Op: OpLimit, N: 40,
+			In: []*Node{sortNode(scan("facts"), table.SortKey{Col: "region"})}}, c)
+	})
+	t.Run("filtered_then_sorted", func(t *testing.T) {
+		assertVecParity(t, sortNode(
+			filter(scan("facts"), table.Pred{Col: "units", Op: table.OpGt, Val: table.I(40)}),
+			table.SortKey{Col: "revenue", Desc: true}, table.SortKey{Col: "region"}), c)
+	})
+	t.Run("sort_above_project", func(t *testing.T) {
+		// The SQL compiler places Sort above Project; the key resolves
+		// against the projected schema.
+		proj := &Node{Op: OpProject, Proj: []string{"region", "units"}, In: []*Node{scan("facts")}}
+		assertVecParity(t, sortNode(proj, table.SortKey{Col: "units"}), c)
+	})
+	t.Run("unknown_key_error", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("facts"), table.SortKey{Col: "nope"}), c)
+	})
+}
+
+// TestVecSortCrossKind pins sort-kernel parity on columns whose cells
+// mix kinds (possible through direct row construction and through
+// untyped extraction): int/float mixtures compare numerically through
+// float64, and any other mixture falls back to table.Compare's
+// rendered-string ordering — both identically to the row path.
+func TestVecSortCrossKind(t *testing.T) {
+	c := table.NewCatalog()
+	mixed := table.New("mixed", table.Schema{
+		{Name: "k", Type: table.TypeString},
+		{Name: "tag", Type: table.TypeString},
+	})
+	for i := 0; i < 600; i++ {
+		var k table.Value
+		switch i % 4 {
+		case 0:
+			k = table.I(int64(i % 29))
+		case 1:
+			k = table.F(float64(i%31) + 0.5)
+		case 2:
+			k = table.S(fmt.Sprintf("s-%02d", i%23))
+		default:
+			k = table.Null(table.TypeString)
+		}
+		// Mixed-kind cells bypass MustAppend's kind check on purpose:
+		// the columnar layer keeps such columns boxed.
+		mixed.Rows = append(mixed.Rows, []table.Value{k, table.S(fmt.Sprintf("t-%d", i))})
+	}
+	c.Put(mixed)
+	t.Run("mixed_kinds", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("mixed"), table.SortKey{Col: "k"}), c)
+	})
+	t.Run("mixed_kinds_desc", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("mixed"), table.SortKey{Col: "k", Desc: true}), c)
+	})
+
+	// A numeric-only mixture (int and float cells in one column) stays
+	// on the typed float64 path rather than demoting to generic.
+	num := table.New("num", table.Schema{
+		{Name: "n", Type: table.TypeFloat},
+		{Name: "tag", Type: table.TypeString},
+	})
+	for i := 0; i < 600; i++ {
+		var n table.Value
+		switch i % 3 {
+		case 0:
+			n = table.I(int64(50 - i%100))
+		case 1:
+			n = table.F(float64(50-i%100) + 0.25)
+		default:
+			n = table.Null(table.TypeFloat)
+		}
+		num.Rows = append(num.Rows, []table.Value{n, table.S(fmt.Sprintf("t-%d", i))})
+	}
+	c.Put(num)
+	t.Run("int_float_numeric", func(t *testing.T) {
+		assertVecParity(t, sortNode(scan("num"), table.SortKey{Col: "n"}), c)
+	})
+}
+
+func TestVecCompare(t *testing.T) {
+	c := nullCatalog()
+	aggs := []table.Agg{
+		{Func: table.AggSum, Col: "revenue"},
+		{Func: table.AggCount, Col: "units"},
+	}
+	compare := func(items ...string) *Node {
+		return &Node{Op: OpCompare, CompareCol: "region", Items: items, Aggs: aggs,
+			In: []*Node{scan("facts")}}
+	}
+	t.Run("two_items", func(t *testing.T) {
+		assertVecParity(t, compare("region-1", "region-3"), c)
+	})
+	t.Run("branch_order_not_item_order", func(t *testing.T) {
+		// Items are compared in sorted order regardless of spelling
+		// order; the vectorized path must reassemble identically.
+		assertVecParity(t, compare("region-4", "region-0", "region-2"), c)
+	})
+	t.Run("empty_branch_results", func(t *testing.T) {
+		// One arm matches nothing: its aggregate contributes zero rows
+		// and the surviving arm's rows appear alone.
+		assertVecParity(t, compare("region-1", "no-such-region"), c)
+	})
+	t.Run("all_branches_empty", func(t *testing.T) {
+		assertVecParity(t, compare("no-such-a", "no-such-b"), c)
+	})
+	t.Run("no_items_error", func(t *testing.T) {
+		assertVecParity(t, compare(), c)
+	})
+	t.Run("with_base_predicate", func(t *testing.T) {
+		n := compare("region-1", "region-2")
+		n.Preds = []table.Pred{{Col: "active", Op: table.OpEq, Val: table.B(true)}}
+		assertVecParity(t, n, c)
+	})
+	t.Run("sorted_comparison", func(t *testing.T) {
+		assertVecParity(t, sortNode(compare("region-0", "region-1", "region-2"),
+			table.SortKey{Col: "region", Desc: true}), c)
+	})
+}
+
 // TestVecLazyColumnError pins the error-laziness contract: a filter
 // over an unresolved column errors only when a row actually reaches
 // the predicate, so filtering an empty range succeeds in both

@@ -15,12 +15,13 @@
 // The two executors are interchangeable: RunVec evaluates typed
 // kernels over the catalog's cached 256-row columnar fragments
 // (filters to selection vectors, hash joins over key arrays,
-// aggregates over grouped columns, morsel-parallel via internal/par)
-// and is bit-identical to Run — same schema, row order, cell values
-// and errors, at any worker count. Plans containing operators without
-// columnar kernels (Sort, Compare) report Vectorizable == false and
-// must run the row path; callers choose per plan and results never
-// depend on the choice.
+// aggregates over grouped columns, sorts via a stable permutation
+// over typed key arrays, morsel-parallel via internal/par) and is
+// bit-identical to Run — same schema, row order, cell values and
+// errors, at any worker count. Every current operator has a columnar
+// kernel; Vectorizable guards only operators added in the future, and
+// callers choose an executor per plan knowing results never depend on
+// the choice.
 package logical
 
 import (

@@ -164,6 +164,40 @@ func TestPruneNarrowsBoundedScans(t *testing.T) {
 	}
 }
 
+func TestPruneKeepsSortKeyColumns(t *testing.T) {
+	c := testCatalog()
+	// The projection references only product, but the Sort below orders
+	// by revenue: the narrowed scan must still carry the sort key, and
+	// both executors must order identically over the pruned plan.
+	root := &Node{Op: OpProject, Proj: []string{"product"},
+		In: []*Node{{Op: OpSort, Keys: []table.SortKey{{Col: "revenue", Desc: true}},
+			In: []*Node{scan("sales")}}}}
+	_, opt := execBoth(t, root, c)
+	if !traced(t, opt, "prune") {
+		t.Fatalf("prune did not fire: %v", opt.Trace)
+	}
+	var cols string
+	walk(opt.Root, func(n *Node) {
+		if n.Op == OpScan {
+			cols = strings.Join(n.Cols, ",")
+		}
+	})
+	if !strings.Contains(cols, "revenue") {
+		t.Fatalf("pruned scan dropped the sort key: cols=[%s]\n%s", cols, opt.Root)
+	}
+	vec, err := ExecVec(opt.Root, c, 2)
+	if err != nil {
+		t.Fatalf("vectorized exec over pruned sort plan: %v", err)
+	}
+	row, err := Exec(opt.Root, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(vec) != render(row) {
+		t.Fatalf("vectorized pruned sort diverges:\n%s\nvs\n%s", render(vec), render(row))
+	}
+}
+
 func TestPruneSkipsUnboundedOutput(t *testing.T) {
 	c := testCatalog()
 	// A list query returns whole rows; pruning would change the output.

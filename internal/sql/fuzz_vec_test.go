@@ -10,64 +10,94 @@ import (
 
 // FuzzVecParity drives arbitrary SQL through both executors — the row
 // interpreter and the vectorized columnar engine — and requires them
-// to agree bit-exactly on every plan whose operators have columnar
-// kernels: same error outcome, same schema, same row order, same cell
-// values at one worker and several. The seed corpus covers every
-// operator with a vectorized kernel (filter shapes across all column
-// types and operators, joins, grouped and global aggregates, DISTINCT,
-// LIMIT) plus shapes that must take the row fallback.
+// to agree bit-exactly: same error outcome, same schema, same row
+// order, same cell values at one worker and several. Every operator
+// the SQL surface can produce has a columnar kernel (ORDER BY included
+// since the sort kernel landed), so a compiled plan that reports
+// itself non-vectorizable is itself a failure. The second fuzz input
+// derives a Compare plan — the NL-entry comparison shape SQL cannot
+// spell — over the fuzzed item list, covering the compare kernel's
+// branch reassembly, empty branches and the no-item error.
 func FuzzVecParity(f *testing.F) {
-	seeds := []string{
-		"SELECT * FROM sales",
-		"SELECT product, revenue FROM sales WHERE revenue > 90",
-		"SELECT * FROM sales WHERE product CONTAINS 'ALP' AND units >= 10",
-		"SELECT SUM(units) AS result FROM sales WHERE product = 'Alpha' AND quarter = 'Q2'",
-		"SELECT product, AVG(revenue), MIN(units), MAX(units), COUNT(revenue) FROM sales GROUP BY product",
-		"SELECT DISTINCT quarter FROM sales",
-		"SELECT COUNT(*) FROM sales JOIN products ON sales.product = products.product WHERE maker = 'Acme'",
-		"SELECT products.product, SUM(revenue) AS r FROM sales JOIN products ON sales.product = products.product GROUP BY products.product",
-		"SELECT revenue FROM sales WHERE revenue = '120'",
-		"SELECT units FROM sales WHERE units >= 10.5",
-		"SELECT * FROM sales LIMIT 3",
-		"SELECT nope FROM sales WHERE units > 0",
-		"SELECT product FROM sales ORDER BY product", // Sort: row fallback
-		"SELECT FROM WHERE",
-		"",
+	seeds := []struct{ query, items string }{
+		{"SELECT * FROM sales", ""},
+		{"SELECT product, revenue FROM sales WHERE revenue > 90", ""},
+		{"SELECT * FROM sales WHERE product CONTAINS 'ALP' AND units >= 10", ""},
+		{"SELECT SUM(units) AS result FROM sales WHERE product = 'Alpha' AND quarter = 'Q2'", ""},
+		{"SELECT product, AVG(revenue), MIN(units), MAX(units), COUNT(revenue) FROM sales GROUP BY product", ""},
+		{"SELECT DISTINCT quarter FROM sales", ""},
+		{"SELECT COUNT(*) FROM sales JOIN products ON sales.product = products.product WHERE maker = 'Acme'", ""},
+		{"SELECT products.product, SUM(revenue) AS r FROM sales JOIN products ON sales.product = products.product GROUP BY products.product", ""},
+		{"SELECT revenue FROM sales WHERE revenue = '120'", ""},
+		{"SELECT units FROM sales WHERE units >= 10.5", ""},
+		{"SELECT * FROM sales LIMIT 3", ""},
+		{"SELECT nope FROM sales WHERE units > 0", ""},
+		{"SELECT product FROM sales ORDER BY product", ""},
+		{"SELECT product, revenue FROM sales ORDER BY revenue DESC, product", ""},
+		{"SELECT * FROM sales WHERE units > 5 ORDER BY quarter, units DESC LIMIT 7", ""},
+		{"SELECT product, SUM(revenue) AS r FROM sales GROUP BY product ORDER BY r DESC", ""},
+		{"SELECT quarter FROM sales ORDER BY nope", ""},
+		{"SELECT FROM WHERE", ""},
+		{"", ""},
+		{"SELECT * FROM sales", "Alpha,Beta"},
+		{"", "Alpha,Alpha,no-such-product"},
+		{"", "no-such-a,no-such-b"},
+		{"", ","},
 	}
 	for _, s := range seeds {
-		f.Add(s)
+		f.Add(s.query, s.items)
 	}
 
-	f.Fuzz(func(t *testing.T, query string) {
+	f.Fuzz(func(t *testing.T, query, items string) {
 		catalog := testCatalog()
 		stmt, err := Parse(query)
-		if err != nil {
-			return
-		}
-		node, err := Compile(stmt, catalog)
-		if err != nil {
-			return
-		}
-		opt := logical.Optimize(node, logical.CatalogStats(catalog))
-		if !logical.Vectorizable(opt.Root) {
-			return // row fallback; covered by FuzzParseCompileExec
-		}
-		want, wantErr := logical.Exec(opt.Root, catalog)
-		for _, workers := range []int{1, 3} {
-			got, err := logical.ExecVec(opt.Root, catalog, workers)
-			if (err == nil) != (wantErr == nil) {
-				t.Fatalf("executor error outcomes diverge for %q (workers=%d): vec=%v row=%v",
-					query, workers, err, wantErr)
+		if err == nil {
+			if node, err := Compile(stmt, catalog); err == nil {
+				opt := logical.Optimize(node, logical.CatalogStats(catalog))
+				if !logical.Vectorizable(opt.Root) {
+					t.Fatalf("compiled plan for %q reports non-vectorizable: %s", query, opt.Root)
+				}
+				assertVecMatchesRow(t, opt.Root, catalog, query)
 			}
-			if wantErr != nil {
-				continue
+		}
+		if items != "" {
+			// SQL has no comparison syntax; build the NL-entry Compare
+			// shape directly over the fuzzed item list.
+			cmp := &logical.Node{Op: logical.OpCompare, CompareCol: "product",
+				Items: strings.Split(items, ","),
+				Aggs: []table.Agg{
+					{Func: table.AggSum, Col: "revenue", As: "result"},
+					{Func: table.AggCount, Col: "units", As: "n"},
+				},
+				In: []*logical.Node{{Op: logical.OpScan, Table: "sales"}}}
+			opt := logical.Optimize(cmp, logical.CatalogStats(catalog))
+			if !logical.Vectorizable(opt.Root) {
+				t.Fatalf("compare plan for items %q reports non-vectorizable: %s", items, opt.Root)
 			}
-			if r1, r2 := renderResult(got), renderResult(want); r1 != r2 {
-				t.Fatalf("vectorized result diverges for %q (workers=%d):\n%s\nvs\n%s",
-					query, workers, r1, r2)
-			}
+			assertVecMatchesRow(t, opt.Root, catalog, "COMPARE "+items)
 		}
 	})
+}
+
+// assertVecMatchesRow executes one optimized tree through both engines
+// and fails on any divergence in error outcome or rendered result.
+func assertVecMatchesRow(t *testing.T, root *logical.Node, catalog *table.Catalog, label string) {
+	t.Helper()
+	want, wantErr := logical.Exec(root, catalog)
+	for _, workers := range []int{1, 3} {
+		got, err := logical.ExecVec(root, catalog, workers)
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("executor error outcomes diverge for %q (workers=%d): vec=%v row=%v",
+				label, workers, err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if r1, r2 := renderResult(got), renderResult(want); r1 != r2 {
+			t.Fatalf("vectorized result diverges for %q (workers=%d):\n%s\nvs\n%s",
+				label, workers, r1, r2)
+		}
+	}
 }
 
 // renderResult flattens a table to schema names plus every cell's
