@@ -59,6 +59,9 @@ func main() {
 	batch := flag.String("batch", "", "file of questions, one per line, answered concurrently")
 	parallel := flag.Int("parallel", 0, "worker bound for build and batch answering (0 = all cores, 1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "LRU answer cache entries, invalidated on ingest (0 = off)")
+	timeout := flag.Duration("timeout", 0, "federated query deadline; scans past it are cancelled (0 = none)")
+	retries := flag.Int("retries", 0, "transient scan-failure retries per fragment, with capped backoff (0 = default, -1 = off)")
+	showMetrics := flag.Bool("metrics", false, "print federated resilience counters (retries, failovers, breaker events) on exit")
 	explain := flag.Bool("explain", false, "print the federated EXPLAIN (logical → physical plan, backend choice, est vs actual rows) with each answer")
 	showTables := flag.Bool("tables", false, "list catalog tables after build")
 	statsTable := flag.String("stats", "", "dump a table's per-column statistics and per-fragment zone maps (the planner's pruning inputs), plus the registered rollups")
@@ -72,10 +75,19 @@ func main() {
 	opts := unisem.DefaultOptions()
 	opts.Workers = *parallel
 	opts.AnswerCache = *cacheSize
+	opts.QueryTimeout = *timeout
+	opts.ScanRetries = *retries
 	sys, err := buildSystem(*dir, *demo, *vocab, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uniquery: %v\n", err)
 		os.Exit(1)
+	}
+	if *showMetrics {
+		defer func() {
+			for _, line := range sys.Metrics() {
+				fmt.Println("metric " + line)
+			}
+		}()
 	}
 
 	st := sys.Stats()

@@ -14,12 +14,18 @@ import (
 //   - its name contains "cache" (answerCache, planCache), or
 //   - it has a map field whose name contains "cache", or
 //   - it has a map field whose element type (after pointer deref) is
-//     plan-, answer- or table-valued (materialized views).
+//     plan-, answer- or table-valued (materialized views), or
+//   - its name contains "health" or "breaker" and it has a map field
+//     (per-backend resilience state, which must reset when the backend
+//     registry changes or verdicts against departed backends leak
+//     onto their replacements).
 //
-// A cache-shaped struct passes when an epoch is visible anywhere in its
-// definition or methods: a field or identifier whose name contains
-// "epoch", or a call to an Epoch() method. New caches that skip the
-// convention entirely are flagged at their type declaration.
+// A cache-shaped struct passes when an epoch is visible anywhere in
+// its definition or methods: a field or identifier whose name contains
+// "epoch" or "generation" (or is exactly "gen", the registry
+// generation's conventional short name), or a call to an Epoch()
+// method. New caches that skip the convention entirely are flagged at
+// their type declaration.
 var EpochKey = &Analyzer{
 	Name: "epochkey",
 	Doc:  "caches of plan/answer/view state must key or invalidate by a data epoch",
@@ -59,9 +65,11 @@ func runEpochKey(pass *Pass) error {
 
 // cacheShaped reports why the struct looks like a cache, or "".
 func cacheShaped(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) string {
-	if strings.Contains(strings.ToLower(ts.Name.Name), "cache") {
+	lower := strings.ToLower(ts.Name.Name)
+	if strings.Contains(lower, "cache") {
 		return "name contains \"cache\""
 	}
+	resilience := strings.Contains(lower, "health") || strings.Contains(lower, "breaker")
 	for _, field := range st.Fields.List {
 		tv, ok := pass.TypesInfo.Types[field.Type]
 		if !ok {
@@ -70,6 +78,13 @@ func cacheShaped(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) string {
 		m, isMap := tv.Type.Underlying().(*types.Map)
 		if !isMap {
 			continue
+		}
+		if resilience {
+			name := "<embedded>"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			return "per-backend state map " + name + " in a health/breaker struct"
 		}
 		for _, name := range field.Names {
 			if strings.Contains(strings.ToLower(name.Name), "cache") {
@@ -136,12 +151,21 @@ func derivedStateName(t types.Type) (string, bool) {
 	return name, false
 }
 
+// epochIdent reports whether an identifier names an epoch or a
+// registry generation — the two versioning conventions the repo uses
+// for invalidating derived state (data epochs for catalog/graph
+// mutations, generations for backend-registry changes).
+func epochIdent(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "epoch") || strings.Contains(lower, "generation") || lower == "gen"
+}
+
 // structMentionsEpoch reports whether the struct's fields or any of
-// its methods reference an epoch.
+// its methods reference an epoch or generation.
 func structMentionsEpoch(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) bool {
 	for _, field := range st.Fields.List {
 		for _, name := range field.Names {
-			if strings.Contains(strings.ToLower(name.Name), "epoch") {
+			if epochIdent(name.Name) {
 				return true
 			}
 		}
@@ -161,7 +185,7 @@ func structMentionsEpoch(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) bool 
 			}
 			found := false
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "epoch") {
+				if id, ok := n.(*ast.Ident); ok && epochIdent(id.Name) {
 					found = true
 					return false
 				}

@@ -20,7 +20,13 @@ import (
 //   - accesses through a variable the function itself allocated with a
 //     composite literal or new() — a struct not yet shared needs no
 //     lock (constructors);
-//   - composite-literal field initialization (not a field access).
+//   - composite-literal field initialization (not a field access);
+//   - dotted annotations (`// guarded by owner.mu`) naming a mutex on
+//     a *different* struct — the entry-in-a-locked-table shape, like a
+//     breaker record inside the health tracker. The analyzer's
+//     same-base model cannot see that the owning struct's methods hold
+//     the lock, so cross-struct guards document the convention without
+//     being checked; only sibling-field guards are enforced.
 //
 // The check is lexical, not flow-sensitive: an access after an Unlock
 // in the same function is not caught. It exists to catch the common
@@ -32,7 +38,7 @@ var LockGuard = &Analyzer{
 	Run:  runLockGuard,
 }
 
-var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+var guardedRe = regexp.MustCompile(`guarded by (\w+(?:\.\w+)*)`)
 
 // guardedField records one annotated field.
 type guardedField struct {
@@ -77,7 +83,9 @@ func collectGuarded(pass *Pass) map[types.Object]guardedField {
 			}
 			for _, field := range st.Fields.List {
 				guard := guardAnnotation(field)
-				if guard == "" {
+				if guard == "" || strings.Contains(guard, ".") {
+					// Dotted guards name a mutex on another struct
+					// (cross-struct convention, not checkable here).
 					continue
 				}
 				for _, name := range field.Names {

@@ -86,3 +86,43 @@ type stampedRegistry struct {
 	epoch   uint64
 	entries map[string]*rollupEntry
 }
+
+// breakerState is per-backend circuit-breaker bookkeeping; it has no
+// map, so the struct itself is not cache-shaped.
+type breakerState struct {
+	state    int
+	failures int
+}
+
+// healthRegistry keeps per-backend breaker verdicts in a map with no
+// generation tracking: when the backend registry changes, verdicts
+// against departed backends would leak onto their replacements.
+type healthRegistry struct { // want `healthRegistry is cache-shaped .* reference a data epoch`
+	mu sync.Mutex
+	m  map[string]*breakerState
+}
+
+// breakerTable carries the registry generation its verdicts were
+// formed under — clean via the generation convention.
+type breakerTable struct {
+	mu  sync.Mutex
+	gen uint64
+	m   map[string]*breakerState
+}
+
+// healthView has no versioned field but forgives all health state
+// when the registry generation moves, inside a method — clean.
+type healthView struct {
+	mu    sync.Mutex
+	stamp uint64
+	m     map[string]*breakerState
+}
+
+func (h *healthView) sync(generation uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if generation != h.stamp {
+		h.m = map[string]*breakerState{}
+		h.stamp = generation
+	}
+}

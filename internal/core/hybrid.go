@@ -8,10 +8,12 @@ import (
 
 	"repro/internal/entropy"
 	"repro/internal/extract"
+	"repro/internal/fault"
 	"repro/internal/federate"
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/logical"
+	"repro/internal/metrics"
 	"repro/internal/retrieval"
 	"repro/internal/semop"
 	"repro/internal/slm"
@@ -38,6 +40,16 @@ type HybridOptions struct {
 	// CacheSize enables an LRU answer cache of that many entries, keyed
 	// by normalized question and purged on Ingest. 0 disables caching.
 	CacheSize int
+
+	// QueryTimeout bounds each federated query execution: fragment
+	// scans past the deadline are cancelled and the query fails with
+	// context.DeadlineExceeded. 0 means no deadline.
+	QueryTimeout time.Duration
+
+	// ScanRetries caps transient-failure retries per fragment scan
+	// (capped exponential backoff between attempts). 0 uses the default
+	// budget; -1 disables retries entirely.
+	ScanRetries int
 }
 
 // DefaultHybridOptions returns the standard configuration.
@@ -77,7 +89,8 @@ type Hybrid struct {
 	rngMu     sync.Mutex
 	rng       *slm.RNG
 	cost      *slm.CostModel
-	cache     *answerCache // nil when disabled
+	cache     *answerCache        // nil when disabled
+	counters  *metrics.CounterSet // federated resilience counters
 
 	// mu guards graph/catalog/retriever/IndexStats/ExtractCount against
 	// Ingest-vs-Answer races. Reading the exported fields directly is
@@ -212,13 +225,33 @@ func (h *Hybrid) graphEpoch() uint64 {
 
 // initFederation assembles the default backend set: the in-memory
 // catalog (indexed scans), the SQL dialect driver over the same
-// catalog, and the graph-evidence views.
+// catalog, and the graph-evidence views. The executor carries the
+// system's resilience knobs — query deadline, retry budget — and
+// reports retry/failover/breaker events into the shared counter set.
 func (h *Hybrid) initFederation() {
-	h.fed = federate.New(h.fedEpoch, federate.Options{Workers: h.opts.Workers},
+	if h.counters == nil {
+		h.counters = metrics.NewCounterSet()
+	}
+	retry := fault.DefaultPolicy()
+	if h.opts.ScanRetries != 0 {
+		retry.MaxRetries = h.opts.ScanRetries
+	}
+	h.fed = federate.New(h.fedEpoch, federate.Options{
+		Workers:  h.opts.Workers,
+		Timeout:  h.opts.QueryTimeout,
+		Retry:    retry,
+		Counters: h.counters,
+	},
 		federate.NewMemory(h.catalog),
 		federate.NewSQL(h.catalog),
 		federate.NewGraphEvidence(h.graph, h.graphEpoch))
 }
+
+// Metrics returns the federated resilience counters as "name=value"
+// lines in sorted name order: scan retries taken, failovers routed,
+// breaker transitions, stale-registry replans. Empty until a
+// resilience event occurs.
+func (h *Hybrid) Metrics() []string { return h.counters.Snapshot() }
 
 // Federation exposes the federated executor (EXPLAIN, plan-cache
 // stats, direct execution in benchmarks).

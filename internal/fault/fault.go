@@ -1,0 +1,174 @@
+// Package fault is the failure vocabulary of the federated execution
+// layer: a transient-vs-permanent error taxonomy, a capped
+// exponential-backoff retry policy, and an injectable clock so retry
+// schedules are testable without real sleeps. It also provides the
+// deterministic seeded hashing the chaos backend wrapper derives its
+// fault schedules from, keeping injected failures a pure function of
+// (seed, identity, attempt) — never of goroutine scheduling or wall
+// time.
+//
+// The taxonomy is deliberately conservative: an error is transient
+// only when something explicitly marked it so (a backend that knows a
+// timeout is retryable, the chaos injector). Everything else —
+// including plain errors from an engine that has never heard of this
+// package — classifies permanent, so a retry loop can never spin on a
+// deterministic failure like an unknown column.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ScanError classifies one backend failure. Transient failures
+// (connection blips, injected chaos, overload shedding) are worth
+// retrying; permanent failures (bad fragment, missing table, engine
+// bug) never succeed on retry and instead trigger failover.
+type ScanError struct {
+	Err       error
+	Transient bool
+}
+
+// Error implements error.
+func (e *ScanError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("%s: %v", kind, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ScanError) Unwrap() error { return e.Err }
+
+// Transient wraps err as a retryable failure.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ScanError{Err: err, Transient: true}
+}
+
+// Permanent wraps err as a non-retryable failure.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ScanError{Err: err, Transient: false}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its
+// chain. Unclassified errors are permanent: retrying a failure nobody
+// vouched for wastes the retry budget on deterministic errors.
+func IsTransient(err error) bool {
+	var se *ScanError
+	if errors.As(err, &se) {
+		return se.Transient
+	}
+	return false
+}
+
+// Policy is a capped exponential-backoff retry schedule: attempt n
+// (0-based) sleeps Base<<n, capped at Cap, before retrying; at most
+// MaxRetries retries follow the initial attempt.
+type Policy struct {
+	MaxRetries int
+	Base       time.Duration
+	Cap        time.Duration
+}
+
+// DefaultPolicy is the executor's standard schedule: three retries at
+// 1ms/2ms/4ms. Short enough that a permanently-down backend fails over
+// quickly, long enough to ride out scheduling blips.
+func DefaultPolicy() Policy {
+	return Policy{MaxRetries: 3, Base: time.Millisecond, Cap: 20 * time.Millisecond}
+}
+
+// Backoff returns the delay before retry attempt n (0-based).
+func (p Policy) Backoff(attempt int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.Cap > 0 && d >= p.Cap {
+			return p.Cap
+		}
+	}
+	if p.Cap > 0 && d > p.Cap {
+		return p.Cap
+	}
+	return d
+}
+
+// Clock abstracts the sleeps the retry loop takes between attempts, so
+// tests inject a recording fake and never block on real time.
+type Clock interface {
+	Sleep(d time.Duration)
+}
+
+// realClock sleeps on the wall clock.
+type realClock struct{}
+
+// Sleep implements Clock.
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock returns the wall-clock implementation.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock records requested sleeps and returns immediately — the
+// clock every test injects so seeded fault runs finish in microseconds
+// regardless of how much backoff they schedule.
+type FakeClock struct {
+	mu    sync.Mutex
+	slept []time.Duration // guarded by mu
+}
+
+// NewFakeClock returns an empty recording clock.
+func NewFakeClock() *FakeClock { return &FakeClock{} }
+
+// Sleep implements Clock: it records d and returns immediately.
+func (f *FakeClock) Sleep(d time.Duration) {
+	f.mu.Lock()
+	f.slept = append(f.slept, d)
+	f.mu.Unlock()
+}
+
+// Sleeps returns a copy of every recorded sleep, in call order.
+func (f *FakeClock) Sleeps() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.slept...)
+}
+
+// Total returns the summed virtual time slept.
+func (f *FakeClock) Total() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t time.Duration
+	for _, d := range f.slept {
+		t += d
+	}
+	return t
+}
+
+// Hash64 mixes a seed and a string into a uniform 64-bit value
+// (FNV-1a folded through a splitmix64 finalizer). It is the primitive
+// behind seeded chaos schedules: the same (seed, identity) always maps
+// to the same faults, on any machine, at any worker count.
+func Hash64(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// splitmix64 finalizer: avalanche the FNV state so nearby
+	// identities decorrelate.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

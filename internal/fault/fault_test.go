@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTaxonomy(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Error("unclassified error reported transient; must default permanent")
+	}
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient() not recognized")
+	}
+	if IsTransient(Permanent(base)) {
+		t.Error("Permanent() reported transient")
+	}
+	// Classification survives wrapping and exposes the cause.
+	wrapped := errors.Join(errors.New("ctx"), Transient(base))
+	if !IsTransient(wrapped) {
+		t.Error("transient classification lost through wrapping")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Unwrap broken: errors.Is cannot reach the cause")
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("wrapping nil must stay nil")
+	}
+	if got := Transient(base).Error(); got != "transient: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{MaxRetries: 5, Base: time.Millisecond, Cap: 5 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		5 * time.Millisecond, // capped
+		5 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := (Policy{}).Backoff(3); got != 0 {
+		t.Errorf("zero-policy backoff = %v, want 0", got)
+	}
+}
+
+func TestFakeClockRecords(t *testing.T) {
+	c := NewFakeClock()
+	c.Sleep(time.Second)
+	c.Sleep(2 * time.Second)
+	if got := c.Sleeps(); len(got) != 2 || got[0] != time.Second || got[1] != 2*time.Second {
+		t.Errorf("Sleeps() = %v", got)
+	}
+	if c.Total() != 3*time.Second {
+		t.Errorf("Total() = %v, want 3s", c.Total())
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, "sales") != Hash64(1, "sales") {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64(1, "sales") == Hash64(2, "sales") {
+		t.Error("seed not mixed in")
+	}
+	if Hash64(1, "sales") == Hash64(1, "sales2") {
+		t.Error("identity not mixed in")
+	}
+	// Cheap uniformity sanity: low bit should flip across identities.
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if Hash64(7, string(rune('a'+i)))&1 == 1 {
+			ones++
+		}
+	}
+	if ones < 16 || ones > 48 {
+		t.Errorf("low-bit balance %d/64 looks degenerate", ones)
+	}
+}

@@ -1,6 +1,8 @@
 package federate
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -11,11 +13,19 @@ import (
 )
 
 // FragmentRun pairs a planned fragment with its actual execution
-// counts for the estimated-vs-actual EXPLAIN report.
+// counts for the estimated-vs-actual EXPLAIN report, plus the
+// resilience events the scan went through. Under seeded fault
+// injection the event counts are as deterministic as the faults
+// themselves; fault-free runs record all zeros and EXPLAIN omits the
+// resilience line entirely.
 type FragmentRun struct {
 	Fragment
 	ActScanned int // base-table rows the backend actually read
 	ActOut     int // rows that actually crossed the boundary
+
+	Retries     int    // transient-failure retries taken (all backends tried)
+	FailedOver  string // backend that actually served after failover ("" = planned backend)
+	BreakerSkip bool   // planned backend skipped because its breaker was open
 }
 
 // Run records one federated execution: the physical plan, per-fragment
@@ -26,6 +36,7 @@ type Run struct {
 	Plan      *PhysicalPlan
 	Fragments []FragmentRun
 	RowsOut   int // rows in the final result table
+	Replans   int // stale-registry re-plans before this execution succeeded
 }
 
 // Execute compiles the bound plan to the shared logical IR, runs the
@@ -100,35 +111,70 @@ func (pr *Prepared) Execute() (*table.Table, *Run, error) {
 // comparisons, residual filters, aggregation, sort, limit and
 // projection in exactly the order the unfederated path does.
 func (e *Executor) executeKeyed(opt *logical.Optimized, key string) (*table.Table, *Run, error) {
+	// A backend can vanish between planning and execution (Unregister
+	// racing the query). Routing already validated the plan's backends,
+	// so that is a stale plan, not a missing backend: re-plan against
+	// the current registry — the generation bump guarantees a cache
+	// miss — instead of failing. Bounded so a registry churning faster
+	// than queries replan still terminates.
+	const maxReplans = 3
+	for replans := 0; ; replans++ {
+		out, run, err := e.executeOnce(opt, key, replans)
+		if err != nil && errors.Is(err, errStaleRegistry) && replans < maxReplans {
+			e.opts.Counters.Inc("plan.replan")
+			continue
+		}
+		return out, run, err
+	}
+}
+
+// executeOnce runs one planning + scan + residual pass. Fragment scans
+// share a context: the first scan failure cancels in-flight siblings
+// (no work wasted finishing scans whose query already failed), and the
+// executor's Timeout, when set, bounds the whole pass.
+func (e *Executor) executeOnce(opt *logical.Optimized, key string, replans int) (*table.Table, *Run, error) {
+	if replans == 0 {
+		// One cooldown-clock tick per query (not per replan): open
+		// breakers count sat-out queries toward their half-open probe.
+		e.health.tick(e.opts.Breaker)
+	}
 	pp, _, err := e.plan(opt, key)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	frags := pp.Frags
-	results := make([]Result, len(frags))
-	errs := make([]error, len(frags))
-	par.ForEach(len(frags), e.opts.Workers, func(i int) {
-		b := e.backend(frags[i].Backend)
-		if b == nil {
-			errs[i] = fmt.Errorf("%w: %s", ErrNoBackend, frags[i].Table)
-			return
-		}
-		results[i], errs[i] = b.Scan(frags[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if e.opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+	} else if len(frags) > 1 {
+		// Only multi-fragment plans have siblings to cancel; the
+		// single-fragment hot path skips the context allocation.
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	if cancel != nil {
+		defer cancel()
 	}
 
-	run := &Run{Plan: pp, Fragments: make([]FragmentRun, len(frags))}
-	for i, f := range frags {
-		run.Fragments[i] = FragmentRun{
-			Fragment:   f,
-			ActScanned: results[i].Scanned,
-			ActOut:     results[i].Table.Len(),
+	results := make([]Result, len(frags))
+	errs := make([]error, len(frags))
+	runs := make([]FragmentRun, len(frags))
+	par.ForEach(len(frags), e.opts.Workers, func(i int) {
+		runs[i].Fragment = frags[i]
+		results[i], errs[i] = e.scanFragment(ctx, frags[i], &runs[i])
+		if errs[i] != nil && cancel != nil {
+			cancel() // first failure cancels in-flight siblings
 		}
+	})
+	if err := firstScanError(errs); err != nil {
+		return nil, nil, err
+	}
+
+	run := &Run{Plan: pp, Fragments: runs, Replans: replans}
+	for i := range runs {
+		runs[i].ActScanned = results[i].Scanned
+		runs[i].ActOut = results[i].Table.Len()
 	}
 
 	leaf := func(leaf *logical.Node) (*table.Table, error) {

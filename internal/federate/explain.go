@@ -51,6 +51,10 @@ func Explain(run *Run) string {
 	if len(pp.Rollups) > 0 {
 		fmt.Fprintf(&b, "rollup:   %s\n", strings.Join(pp.Rollups, "; "))
 	}
+	if line := resilienceLine(run); line != "" {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
 	exec := "row"
 	if run.Plan.VecResidual {
 		exec = "vectorized"
@@ -101,6 +105,44 @@ func prunedLine(run *Run) string {
 			b.WriteString("; ")
 		}
 		fmt.Fprintf(&b, "scan[%d] %d/%d fragments", i, fr.ZonePruned, fr.ZoneTotal)
+	}
+	return b.String()
+}
+
+// resilienceLine renders the run's resilience events — per-scan
+// retries, breaker skips and failover targets, plus stale-registry
+// re-plans — and returns "" for the fault-free run, so every EXPLAIN
+// golden recorded before fault injection existed stays byte-identical.
+// Under seeded fault injection the counts are a pure function of the
+// fault schedule, making the line golden-stable like every other.
+func resilienceLine(run *Run) string {
+	var b strings.Builder
+	item := func() {
+		if b.Len() == 0 {
+			b.WriteString("resilience: ")
+		} else {
+			b.WriteString("; ")
+		}
+	}
+	for i, fr := range run.Fragments {
+		if fr.Retries == 0 && fr.FailedOver == "" && !fr.BreakerSkip {
+			continue
+		}
+		item()
+		fmt.Fprintf(&b, "scan[%d]", i)
+		if fr.Retries > 0 {
+			fmt.Fprintf(&b, " retries %d", fr.Retries)
+		}
+		if fr.BreakerSkip {
+			b.WriteString(" breaker-skip")
+		}
+		if fr.FailedOver != "" {
+			fmt.Fprintf(&b, " failover %s->%s", fr.Backend, fr.FailedOver)
+		}
+	}
+	if run.Replans > 0 {
+		item()
+		fmt.Fprintf(&b, "replans %d", run.Replans)
 	}
 	return b.String()
 }

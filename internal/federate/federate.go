@@ -106,6 +106,14 @@ type Fragment struct {
 	// "pruned:" line: ZonePruned of ZoneTotal fragments were refuted.
 	// ZoneTotal is 0 when the serving backend exposes no zone maps.
 	ZonePruned, ZoneTotal int
+
+	// SliceStart/SliceEnd record the scan's explicit row window (the
+	// SQL dialect's ROWS clause) when one exists; SliceEnd 0 means no
+	// slice. Unlike Ranges — which are derived from the serving
+	// backend's zone maps and are advisory — the slice is semantic, so
+	// failover re-routing must re-derive it on the new backend rather
+	// than drop it.
+	SliceStart, SliceEnd int
 }
 
 // AggPushable is the optional Backend extension for per-aggregate

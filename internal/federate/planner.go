@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/logical"
+	"repro/internal/metrics"
 	"repro/internal/table"
 )
 
@@ -16,6 +19,24 @@ type Options struct {
 	Workers int
 	// PlanCacheSize caps the physical-plan cache (default 256).
 	PlanCacheSize int
+	// Timeout bounds each query execution; fragment scans observe the
+	// deadline through their context. 0 means no deadline.
+	Timeout time.Duration
+	// Retry schedules per-fragment retries of transient scan failures.
+	// The zero value selects fault.DefaultPolicy(); MaxRetries -1
+	// disables retrying.
+	Retry fault.Policy
+	// Breaker tunes per-backend circuit breaking. Zero-value fields
+	// select the defaults (threshold 3, cooldown 8); FailThreshold -1
+	// disables breaking.
+	Breaker BreakerConfig
+	// Clock drives retry-backoff sleeps; nil selects the wall clock.
+	// Tests inject fault.NewFakeClock so they never sleep for real.
+	Clock fault.Clock
+	// Counters receives resilience instrumentation (scan.retry,
+	// scan.failover, breaker.open, plan.replan, ...). Nil disables
+	// instrumentation; *metrics.CounterSet methods are nil-safe.
+	Counters *metrics.CounterSet
 }
 
 // Executor is the federation engine: it owns the backend registry, the
@@ -29,7 +50,8 @@ type Executor struct {
 	backends []Backend // guarded by mu; sorted by name; ties in cost resolve by order
 	regGen   uint64    // guarded by mu; bumped by Register; versions routing decisions
 
-	plans *planCache
+	plans  *planCache
+	health *healthTracker
 
 	bindMu    sync.Mutex
 	bindEpoch uint64         // guarded by bindMu
@@ -48,7 +70,22 @@ func New(epochFn func() uint64, opts Options, backends ...Backend) *Executor {
 	if opts.PlanCacheSize <= 0 {
 		opts.PlanCacheSize = 256
 	}
-	e := &Executor{opts: opts, epochFn: epochFn, plans: newPlanCache(opts.PlanCacheSize)}
+	if opts.Retry == (fault.Policy{}) {
+		opts.Retry = fault.DefaultPolicy()
+	}
+	if opts.Retry.MaxRetries < 0 {
+		opts.Retry.MaxRetries = 0
+	}
+	if opts.Breaker.FailThreshold == 0 {
+		opts.Breaker.FailThreshold = 3
+	}
+	if opts.Breaker.Cooldown <= 0 {
+		opts.Breaker.Cooldown = 8
+	}
+	if opts.Clock == nil {
+		opts.Clock = fault.RealClock()
+	}
+	e := &Executor{opts: opts, epochFn: epochFn, plans: newPlanCache(opts.PlanCacheSize), health: newHealthTracker()}
 	for _, b := range backends {
 		e.Register(b)
 	}
@@ -76,6 +113,37 @@ func (e *Executor) Register(b Backend) {
 	e.bindMu.Lock()
 	e.binding = nil
 	e.bindMu.Unlock()
+}
+
+// Unregister removes the named backend (simulating a store taken out
+// of service) and flushes plan and binding caches exactly as Register
+// does. Reports whether the backend was present. In-flight queries
+// planned against the old registry observe the generation bump and
+// re-plan rather than failing with a stale-routing error.
+func (e *Executor) Unregister(name string) bool {
+	e.mu.Lock()
+	kept := e.backends[:0]
+	found := false
+	for _, x := range e.backends {
+		if x.Name() == name {
+			found = true
+			continue
+		}
+		kept = append(kept, x)
+	}
+	e.backends = kept
+	if !found {
+		e.mu.Unlock()
+		return false
+	}
+	e.regGen++
+	e.mu.Unlock()
+
+	e.plans.flush()
+	e.bindMu.Lock()
+	e.binding = nil
+	e.bindMu.Unlock()
+	return true
 }
 
 // generation returns the registry version; plans and binding catalogs
@@ -186,6 +254,7 @@ type PhysicalPlan struct {
 
 	Epoch uint64
 	gen   uint64 // registry generation the routing was decided at
+	hver  uint64 // breaker-state version the routing was decided at
 	key   string
 }
 
@@ -227,6 +296,13 @@ func (e *Executor) route(tbl string, preds []table.Pred) (Fragment, []table.Pred
 		// Residual predicates cost the federation layer one evaluation
 		// per returned row; fold that into the comparable cost.
 		cost := est.Cost + float64(est.Out)*0.25*float64(len(rest))
+		// An open breaker deprioritizes the backend without excluding
+		// it: health is a planning input, exactly like cost. The plan
+		// cache keys on the breaker-state version, so a transition
+		// re-routes on the next plan rather than serving a stale choice.
+		if e.health.isOpen(b.Name()) {
+			cost += breakerPenalty
+		}
 		if best == nil || cost < bestEst.Cost {
 			best, bestPush, bestRest, bestEst = b, push, rest, est
 			bestEst.Cost = cost
@@ -266,13 +342,17 @@ func (e *Executor) plan(opt *logical.Optimized, key string) (*PhysicalPlan, bool
 	epoch := e.epochFn()
 	// Snapshot the registry generation before routing: if a Register
 	// lands mid-plan, the generation mismatch keeps the stale plan out
-	// of the cache (put drops it) and out of future lookups.
+	// of the cache (put drops it) and out of future lookups. Breaker
+	// states are versioned the same way: route() reads them, so a plan
+	// is valid only for the breaker-state version it was decided at.
 	gen := e.generation()
-	if pp := e.plans.get(key, epoch, gen); pp != nil {
+	e.health.sync(gen)
+	hver := e.health.version()
+	if pp := e.plans.get(key, epoch, gen, hver); pp != nil {
 		return pp, true, nil
 	}
 
-	pp := &PhysicalPlan{Root: opt.Root, Trace: opt.Trace, Rollups: opt.Rollups, Epoch: epoch, gen: gen, key: key}
+	pp := &PhysicalPlan{Root: opt.Root, Trace: opt.Trace, Rollups: opt.Rollups, Epoch: epoch, gen: gen, hver: hver, key: key}
 	residual, err := e.lower(opt.Root, pp)
 	if err != nil {
 		return nil, false, err
@@ -280,7 +360,7 @@ func (e *Executor) plan(opt *logical.Optimized, key string) (*PhysicalPlan, bool
 	pp.Residual = residual
 	pp.VecResidual = logical.Vectorizable(residual) && maxEstOut(pp.Frags) >= vecResidualMinRows
 
-	e.plans.put(key, pp, e.generation())
+	e.plans.put(key, pp, e.generation(), e.health.version())
 	return pp, false, nil
 }
 
@@ -436,6 +516,9 @@ func (e *Executor) lowerScan(scan *logical.Node, offer []table.Pred, pp *Physica
 // range (the SQL dialect's ROWS clause) intersects it with the
 // survivors; such a scan requires a range-honoring backend.
 func (e *Executor) pruneFragment(frag *Fragment, scan *logical.Node) error {
+	if scan.RowEnd > 0 {
+		frag.SliceStart, frag.SliceEnd = scan.RowStart, scan.RowEnd
+	}
 	zb, _ := e.backend(frag.Backend).(ZoneMapped)
 	if zb == nil {
 		if scan.RowEnd > 0 {
@@ -525,11 +608,11 @@ func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, entries: make(map[string]*PhysicalPlan, capacity)}
 }
 
-func (c *planCache) get(key string, epoch, gen uint64) *PhysicalPlan {
+func (c *planCache) get(key string, epoch, gen, hver uint64) *PhysicalPlan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	pp := c.entries[key]
-	if pp == nil || pp.Epoch != epoch || pp.gen != gen {
+	if pp == nil || pp.Epoch != epoch || pp.gen != gen || pp.hver != hver {
 		c.misses++
 		return nil
 	}
@@ -537,12 +620,12 @@ func (c *planCache) get(key string, epoch, gen uint64) *PhysicalPlan {
 	return pp
 }
 
-// put caches the plan unless the registry generation moved while it
-// was being computed — a concurrent Register already flushed the
-// cache, and re-inserting a plan routed against the old registry would
-// undo that flush.
-func (c *planCache) put(key string, pp *PhysicalPlan, gen uint64) {
-	if pp.gen != gen {
+// put caches the plan unless the registry generation or the breaker
+// state moved while it was being computed — a concurrent Register
+// already flushed the cache, and re-inserting a plan routed against
+// the old registry (or old backend health) would undo that flush.
+func (c *planCache) put(key string, pp *PhysicalPlan, gen, hver uint64) {
+	if pp.gen != gen || pp.hver != hver {
 		return
 	}
 	c.mu.Lock()

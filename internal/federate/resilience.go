@@ -1,0 +1,501 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/logical"
+	"repro/internal/table"
+)
+
+// errStaleRegistry signals that a fragment's planned backend vanished
+// between planning and execution (an Unregister raced the query).
+// executeKeyed catches it and re-plans against the current registry
+// instead of surfacing ErrNoBackend for a plan routing already
+// validated.
+var errStaleRegistry = errors.New("federate: registry changed since plan")
+
+// ContextScanner is the optional Backend extension for cancellable
+// scans: a backend that can observe ctx mid-scan (to abandon work when
+// a sibling fragment failed or the query deadline passed) implements
+// it. Backends without it stay source-compatible — the executor checks
+// the context before delegating to their plain Scan, which then runs
+// to completion.
+type ContextScanner interface {
+	ScanContext(ctx context.Context, f Fragment) (Result, error)
+}
+
+// scanWithContext scans f on b, honoring cancellation: the context is
+// checked up front, and backends implementing ContextScanner also see
+// it in flight.
+func scanWithContext(ctx context.Context, b Backend, f Fragment) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if cs, ok := b.(ContextScanner); ok {
+		return cs.ScanContext(ctx, f)
+	}
+	return b.Scan(f)
+}
+
+// isCancellation reports whether err is context cancellation or
+// deadline expiry — outcomes of the query's own lifecycle, never
+// evidence against a backend's health, and never worth a retry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// breakerPenalty is the routing-cost surcharge for a backend whose
+// breaker is open: large enough to lose to any healthy backend, but a
+// penalty rather than exclusion — when the open backend is the only
+// provider, the fragment still routes there (and the scan becomes a
+// probe).
+const breakerPenalty = 1e12
+
+// BreakerConfig tunes the per-backend circuit breaker. The breaker is
+// deliberately clock-free: cooldown is counted in executed queries
+// rather than elapsed time, so its state transitions are a
+// deterministic function of the query/outcome sequence and tests need
+// no fake timers.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive-failure count that opens the
+	// breaker (default 3). -1 disables circuit breaking.
+	FailThreshold int
+	// Cooldown is how many queries an open breaker sits out before
+	// transitioning to half-open, where the next scan routed at the
+	// backend is the recovery probe (default 8).
+	Cooldown int
+}
+
+// Breaker states. closed = healthy, open = shedding, halfOpen = one
+// probe decides.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerState is one backend's health record inside healthTracker.
+// All fields are guarded by the tracker's mutex.
+type breakerState struct {
+	state    int    // guarded by healthTracker.mu
+	failures int    // guarded by healthTracker.mu; consecutive scan failures
+	openedAt uint64 // guarded by healthTracker.mu; query count when the breaker last opened
+}
+
+// healthTracker is the executor's per-backend circuit-breaker table.
+// Its generation mirrors the backend registry generation: when the
+// registry changes, accumulated health is forgiven (a re-registered
+// backend is a new instance). The transitions counter versions routing
+// decisions the same way regGen does — route() consults breaker state,
+// so any state change must invalidate cached physical plans, and the
+// plan cache folds version() into its validity check. The cooldown
+// clock is the executed-query count, ticked once per execution, so an
+// open breaker half-opens after Cooldown queries even when routing has
+// stopped consulting the backend entirely.
+type healthTracker struct {
+	mu          sync.Mutex
+	gen         uint64                   // guarded by mu; registry generation the states belong to
+	transitions uint64                   // guarded by mu; bumped on every breaker state change
+	queries     uint64                   // guarded by mu; executions seen — the cooldown clock
+	nonClosed   int                      // guarded by mu; breakers currently open or half-open
+	m           map[string]*breakerState // guarded by mu
+	names       []string                 // guarded by mu; sorted keys of m, for deterministic sweeps
+}
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{m: make(map[string]*breakerState)}
+}
+
+// sync aligns the tracker with the registry generation, resetting all
+// health state when the registry changed. Resetting a non-closed
+// breaker is a state change, so it bumps transitions.
+func (h *healthTracker) sync(gen uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if gen == h.gen {
+		return
+	}
+	h.gen = gen
+	if len(h.m) > 0 {
+		if h.nonClosed > 0 {
+			h.transitions++
+		}
+		h.m = make(map[string]*breakerState)
+		h.names = nil
+		h.nonClosed = 0
+	}
+}
+
+// tick advances the cooldown clock by one executed query and
+// transitions any open breaker whose cooldown expired to half-open —
+// its next routed scan becomes the recovery probe. The sweep walks
+// backends in sorted name order; transitions are per-entry independent
+// either way, but a deterministic order keeps the invariant auditable.
+func (h *healthTracker) tick(cfg BreakerConfig) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.queries++
+	if h.nonClosed == 0 {
+		return
+	}
+	for _, name := range h.names {
+		s := h.m[name]
+		if s.state == breakerOpen && h.queries-s.openedAt >= uint64(cfg.Cooldown) {
+			s.state = breakerHalfOpen
+			h.transitions++
+		}
+	}
+}
+
+// version returns the breaker-state version routing decisions were
+// made against.
+func (h *healthTracker) version() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.transitions
+}
+
+// stateLocked returns the named backend's record, creating a closed
+// one on first sight. Caller holds h.mu.
+func (h *healthTracker) stateLocked(name string) *breakerState {
+	s := h.m[name]
+	if s == nil {
+		s = &breakerState{}
+		h.m[name] = s
+		i := sort.SearchStrings(h.names, name)
+		h.names = append(h.names, "")
+		copy(h.names[i+1:], h.names[i:])
+		h.names[i] = name
+	}
+	return s
+}
+
+// isOpen reports whether the named backend's breaker is open — the
+// condition under which route() deprioritizes it and scanFragment
+// skips it when an alternative exists. Half-open reads as not open:
+// the next scan is the probe.
+func (h *healthTracker) isOpen(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.m[name]
+	return s != nil && s.state == breakerOpen
+}
+
+// reportSuccess records a successful scan: consecutive failures reset
+// and a non-closed breaker closes. Returns true when the breaker
+// closed (for the breaker.close counter).
+func (h *healthTracker) reportSuccess(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.stateLocked(name)
+	s.failures = 0
+	if s.state == breakerClosed {
+		return false
+	}
+	s.state = breakerClosed
+	h.nonClosed--
+	h.transitions++
+	return true
+}
+
+// reportFailure records a scan that ultimately failed (permanent
+// error, or transient retries exhausted). A half-open probe failure
+// re-opens immediately; a closed breaker opens at the consecutive-
+// failure threshold; an already-open breaker (a forced probe on a sole
+// provider) restarts its cooldown. Returns true when the breaker
+// opened (for the breaker.open counter). threshold < 0 disables
+// breaking.
+func (h *healthTracker) reportFailure(name string, threshold int) bool {
+	if threshold < 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.stateLocked(name)
+	s.failures++
+	switch s.state {
+	case breakerHalfOpen:
+		s.state = breakerOpen
+		s.openedAt = h.queries
+		h.transitions++
+		return true
+	case breakerClosed:
+		if s.failures >= threshold {
+			s.state = breakerOpen
+			s.openedAt = h.queries
+			h.nonClosed++
+			h.transitions++
+			return true
+		}
+	case breakerOpen:
+		s.openedAt = h.queries
+	}
+	return false
+}
+
+// reportScanSuccess/reportScanFailure wire breaker transitions into
+// the metrics counters.
+func (e *Executor) reportScanSuccess(name string) {
+	if e.health.reportSuccess(name) {
+		e.opts.Counters.Inc("breaker.close")
+	}
+}
+
+func (e *Executor) reportScanFailure(name string) {
+	if e.health.reportFailure(name, e.opts.Breaker.FailThreshold) {
+		e.opts.Counters.Inc("breaker.open")
+	}
+}
+
+// scanFragment executes one planned fragment with the full resilience
+// ladder: breaker gate, retry with backoff on the planned backend,
+// then cost-ordered failover across every other backend serving the
+// table. Observability lands on fr (retries, breaker skips, the
+// failover target); health outcomes land on the tracker.
+func (e *Executor) scanFragment(ctx context.Context, f Fragment, fr *FragmentRun) (Result, error) {
+	b := e.backend(f.Backend)
+	if b == nil {
+		return Result{}, fmt.Errorf("%w: backend %s for table %s", errStaleRegistry, f.Backend, f.Table)
+	}
+
+	var primaryErr error
+	var cands []Backend
+	skipPrimary := false
+	if e.health.isOpen(f.Backend) {
+		// Breaker open: skip straight to failover when an alternative
+		// exists. With no alternative the scan proceeds anyway — a
+		// forced probe beats failing a query the backend might serve.
+		cands = e.failoverCandidates(f)
+		if len(cands) > 0 {
+			skipPrimary = true
+			fr.BreakerSkip = true
+			e.opts.Counters.Inc("scan.breaker_skip")
+		}
+	}
+
+	if !skipPrimary {
+		res, err := e.scanRetrying(ctx, b, f, fr)
+		if err == nil {
+			return res, nil
+		}
+		if isCancellation(err) {
+			return Result{}, err
+		}
+		primaryErr = err
+		cands = e.failoverCandidates(f)
+	}
+
+	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if e.health.isOpen(c.Name()) {
+			continue
+		}
+		nf, rest, ok := e.refragment(c, f)
+		if !ok {
+			continue
+		}
+		res, err := e.scanRetrying(ctx, c, nf, fr)
+		if err != nil {
+			if isCancellation(err) {
+				return Result{}, err
+			}
+			if primaryErr == nil {
+				primaryErr = err
+			}
+			continue
+		}
+		res, err = compensate(res, f, nf, rest)
+		if err != nil {
+			return Result{}, err
+		}
+		fr.FailedOver = c.Name()
+		e.opts.Counters.Inc("scan.failover")
+		return res, nil
+	}
+	if primaryErr == nil {
+		primaryErr = fmt.Errorf("federate: breaker open for %s and no failover candidate serves %s", f.Backend, f.Table)
+	}
+	return Result{}, primaryErr
+}
+
+// scanRetrying runs the fragment on one backend under the retry
+// policy: transient failures back off (through the injectable clock)
+// and retry up to the budget; permanent failures and cancellations
+// return immediately. The scan outcome — success, or the final
+// failure — is reported to the health tracker exactly once.
+func (e *Executor) scanRetrying(ctx context.Context, b Backend, f Fragment, fr *FragmentRun) (Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := scanWithContext(ctx, b, f)
+		if err == nil {
+			e.reportScanSuccess(b.Name())
+			return res, nil
+		}
+		if isCancellation(err) {
+			// The query is over, not the backend: no health verdict.
+			return Result{}, err
+		}
+		if !fault.IsTransient(err) || attempt >= e.opts.Retry.MaxRetries {
+			e.reportScanFailure(b.Name())
+			return Result{}, err
+		}
+		fr.Retries++
+		e.opts.Counters.Inc("scan.retry")
+		e.opts.Clock.Sleep(e.opts.Retry.Backoff(attempt))
+	}
+}
+
+// failoverCandidates lists every other backend serving f.Table,
+// cheapest first (by the same cost model route uses, with open
+// breakers pushed to the back), name-ordered on ties so the failover
+// sequence is deterministic.
+func (e *Executor) failoverCandidates(f Fragment) []Backend {
+	e.mu.RLock()
+	backends := append([]Backend(nil), e.backends...)
+	e.mu.RUnlock()
+
+	type cand struct {
+		b    Backend
+		cost float64
+	}
+	var cands []cand
+	for _, b := range backends {
+		if b.Name() == f.Backend {
+			continue
+		}
+		push, rest := splitPush(b, f.Table, f.Preds)
+		est, ok := b.Estimate(f.Table, push)
+		if !ok {
+			continue
+		}
+		cost := est.Cost + float64(est.Out)*0.25*float64(len(rest))
+		if e.health.isOpen(b.Name()) {
+			cost += breakerPenalty
+		}
+		cands = append(cands, cand{b, cost})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].b.Name() < cands[j].b.Name()
+	})
+	out := make([]Backend, len(cands))
+	for i, c := range cands {
+		out[i] = c.b
+	}
+	return out
+}
+
+// refragment re-plans fragment f for failover candidate c: the pushed
+// predicate set is re-split against c's capabilities, zone pruning and
+// any explicit row slice are re-derived from c's own zone maps, and
+// aggregation/projection ride along only when c absorbs them with zero
+// predicate residue. Whatever c cannot absorb, compensate applies
+// federation-side, so the fragment's output is bit-identical to the
+// planned backend's. ok is false when c cannot serve the fragment at
+// all (a row-sliced scan on a backend without range support).
+func (e *Executor) refragment(c Backend, f Fragment) (nf Fragment, rest []table.Pred, ok bool) {
+	var push []table.Pred
+	push, rest = splitPush(c, f.Table, f.Preds)
+	nf = Fragment{Backend: c.Name(), Table: f.Table, Preds: push}
+	scan := &logical.Node{Op: logical.OpScan, Table: f.Table, RowStart: f.SliceStart, RowEnd: f.SliceEnd}
+	if err := e.pruneFragment(&nf, scan); err != nil {
+		return Fragment{}, nil, false
+	}
+	if len(f.Aggs) > 0 {
+		if len(rest) == 0 && c.Caps().Has(CapAggregate) && aggsPushable(c, f.Aggs) {
+			nf.GroupBy = append([]string(nil), f.GroupBy...)
+			nf.Aggs = append([]table.Agg(nil), f.Aggs...)
+		}
+	} else if len(f.Columns) > 0 && c.Caps().Has(CapProject) {
+		nf.Columns = append([]string(nil), f.Columns...)
+	}
+	return nf, rest, true
+}
+
+// compensate applies federation-side whatever the failover backend
+// could not absorb, in the same operator order every backend's Scan
+// uses — filter, then aggregate, then project — so the compensated
+// output is bit-identical to the planned fragment's.
+func compensate(res Result, f, nf Fragment, rest []table.Pred) (Result, error) {
+	cur := res.Table
+	if len(rest) > 0 {
+		out := table.New(cur.Name, cur.Schema)
+		for _, row := range cur.Rows {
+			keep := true
+			for _, p := range rest {
+				ok, err := p.Eval(cur.Schema, row)
+				if err != nil {
+					return Result{}, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		cur = out
+	}
+	if len(f.Aggs) > 0 && len(nf.Aggs) == 0 {
+		var err error
+		cur, err = table.Aggregate(cur, f.GroupBy, f.Aggs)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if len(f.Columns) > 0 && len(nf.Columns) == 0 {
+		var err error
+		cur, err = table.Project(cur, f.Columns...)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if cur != res.Table {
+		// The cached columnar fragments covered the backend's raw
+		// output, not the compensated table.
+		res.Frags = nil
+	}
+	res.Table = cur
+	return res, nil
+}
+
+// firstScanError picks the deterministic query error from per-fragment
+// scan errors: the lowest-index real failure wins; deadline expiry
+// outranks sibling cancellation (which fragment got cancelled is
+// scheduling noise, the deadline is the cause); cancellation only
+// surfaces when nothing else explains the abort.
+func firstScanError(errs []error) error {
+	var deadlineErr, cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			if deadlineErr == nil {
+				deadlineErr = err
+			}
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return err
+	}
+	if deadlineErr != nil {
+		return deadlineErr
+	}
+	return cancelErr
+}

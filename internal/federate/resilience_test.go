@@ -1,0 +1,569 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/semop"
+	"repro/internal/table"
+)
+
+// resilienceTestPlans are the five physical-plan shapes the compilers
+// emit, reused across the chaos tests.
+func resilienceTestPlans() map[string]*semop.Plan {
+	return map[string]*semop.Plan{
+		"filtered aggregate": {
+			Table: "sales", MetricCol: "units",
+			Filters: []table.Pred{{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}},
+			Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+		},
+		"group by": {
+			Table: "sales", MetricCol: "units",
+			GroupBy: []string{"product"},
+			Aggs:    []table.Agg{{Func: table.AggAvg, Col: "units", As: "result"}},
+		},
+		"join": {
+			Table: "sales", MetricCol: "units",
+			Filters:   []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q2")}},
+			Aggs:      []table.Agg{{Func: table.AggAvg, Col: "units", As: "result"}},
+			JoinTable: "metric_changes", JoinLeftCol: "product", JoinRightCol: "product",
+			JoinFilters: []table.Pred{{Col: "change_pct", Op: table.OpGt, Val: table.F(15)}},
+		},
+		"compare": {
+			Table: "sales", MetricCol: "units",
+			Comparison: []string{"Alpha", "Beta"}, CompareCol: "product",
+			GroupBy: []string{"product"},
+			Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+		},
+		"list": {
+			Table: "sales", MetricCol: "units",
+			Filters:   []table.Pred{{Col: "quarter", Op: table.OpEq, Val: table.S("Q3")}},
+			LimitRows: 50,
+		},
+	}
+}
+
+// TestTransientFaultsRetryToParity injects seeded transient failures
+// on both backends and asserts every plan still returns results
+// bit-identical to the fault-free single-store execution — through
+// retries, without a single real sleep.
+func TestTransientFaultsRetryToParity(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		c := testCatalog()
+		clock := fault.NewFakeClock()
+		counters := metrics.NewCounterSet()
+		e := New(c.Epoch, Options{Workers: workers, Clock: clock, Counters: counters},
+			NewChaos(NewMemory(c), ChaosOptions{Seed: 42, MaxTransient: 3, Latency: time.Millisecond, Clock: clock}),
+			NewChaos(NewSQL(c), ChaosOptions{Seed: 43, MaxTransient: 3, Latency: time.Millisecond, Clock: clock}),
+		)
+		for name, p := range resilienceTestPlans() {
+			got, run, err := e.Execute(p)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, name, err)
+			}
+			want, err := semop.Exec(p, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if render(got) != render(want) {
+				t.Errorf("workers=%d %s: chaos result diverges:\n%s\nvs\n%s",
+					workers, name, render(got), render(want))
+			}
+			if run.RowsOut != want.Len() {
+				t.Errorf("workers=%d %s: RowsOut = %d, want %d", workers, name, run.RowsOut, want.Len())
+			}
+		}
+		if counters.Get("scan.retry") == 0 {
+			t.Errorf("workers=%d: no retries recorded under seeded transient faults", workers)
+		}
+		if clock.Total() == 0 {
+			t.Errorf("workers=%d: no backoff or latency recorded on the fake clock", workers)
+		}
+	}
+}
+
+// TestDownBackendFailsOver downs the memory backend entirely: every
+// fragment planned onto it must fail over to the SQL backend with
+// bit-identical results, and once the breaker opens the planner must
+// route around the dead backend up front.
+func TestDownBackendFailsOver(t *testing.T) {
+	c := testCatalog()
+	counters := metrics.NewCounterSet()
+	e := New(c.Epoch, Options{Workers: 1, Counters: counters},
+		NewChaos(NewMemory(c), ChaosOptions{Down: true}),
+		NewSQL(c),
+	)
+	p := resilienceTestPlans()["filtered aggregate"]
+	want, err := semop.Exec(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawFailover, sawRerouted := false, false
+	for q := 0; q < 6; q++ {
+		got, run, err := e.Execute(p)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		if render(got) != render(want) {
+			t.Fatalf("query %d: failover result diverges:\n%s\nvs\n%s", q, render(got), render(want))
+		}
+		fr := run.Fragments[0]
+		switch {
+		case fr.Backend == "memory" && fr.FailedOver == "sql":
+			sawFailover = true
+			if !strings.Contains(Explain(run), "resilience: scan[0] failover memory->sql") {
+				t.Errorf("query %d: explain missing failover line:\n%s", q, Explain(run))
+			}
+		case fr.Backend == "sql" && fr.FailedOver == "":
+			sawRerouted = true
+		default:
+			t.Errorf("query %d: unexpected routing backend=%s failedOver=%q", q, fr.Backend, fr.FailedOver)
+		}
+	}
+	if !sawFailover {
+		t.Error("no query served through scan-time failover")
+	}
+	if !sawRerouted {
+		t.Error("breaker never re-routed planning away from the dead backend")
+	}
+	if counters.Get("scan.failover") == 0 || counters.Get("breaker.open") == 0 {
+		t.Errorf("counters missing failover/breaker events: %s", counters)
+	}
+}
+
+// TestFailoverCompensation forces failover of a fragment whose pushed
+// predicate and aggregate the fallback backend cannot absorb: the
+// federation layer must re-apply them (filter, then aggregate) so the
+// result is still bit-identical.
+func TestFailoverCompensation(t *testing.T) {
+	c := testCatalog()
+	e := New(c.Epoch, Options{Workers: 1},
+		NewChaos(NewMemory(c), ChaosOptions{Down: true}),
+		NewSQL(c),
+	)
+	// 1e6 renders as "1e+06", which the SQL dialect cannot lex: the
+	// predicate pushes to memory but not to SQL.
+	p := &semop.Plan{
+		Table: "sales", MetricCol: "units",
+		Filters: []table.Pred{{Col: "units", Op: table.OpLt, Val: table.F(1e6)}},
+		Aggs:    []table.Agg{{Func: table.AggSum, Col: "units", As: "result"}},
+	}
+	got, run, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := semop.Exec(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Errorf("compensated failover diverges:\n%s\nvs\n%s", render(got), render(want))
+	}
+	fr := run.Fragments[0]
+	if fr.FailedOver != "sql" {
+		t.Fatalf("fragment not failed over to sql: %+v", fr)
+	}
+	if len(fr.Aggs) == 0 {
+		t.Error("planned fragment should carry the pushed aggregate")
+	}
+}
+
+// flakyBackend fails permanently while failing is set, to exercise
+// breaker open/half-open/close transitions.
+type flakyBackend struct {
+	Backend
+	name    string
+	cost    float64
+	failing atomic.Bool
+}
+
+func (f *flakyBackend) Name() string { return f.name }
+func (f *flakyBackend) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
+	est, ok := f.Backend.Estimate(tbl, preds)
+	est.Cost = f.cost
+	return est, ok
+}
+func (f *flakyBackend) Scan(fr Fragment) (Result, error) {
+	if f.failing.Load() {
+		return Result{}, fault.Permanent(errors.New("flaky: store offline"))
+	}
+	return f.Backend.Scan(fr)
+}
+
+// TestBreakerOpensAndRecovers walks the full breaker state machine:
+// consecutive failures open it, routing shifts to the healthy backend,
+// the cooldown (counted in queries) half-opens it, and a successful
+// probe closes it and restores the cheap routing.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	c := testCatalog()
+	counters := metrics.NewCounterSet()
+	flaky := &flakyBackend{Backend: NewMemory(c), name: "aflaky", cost: 1}
+	flaky.failing.Store(true)
+	e := New(c.Epoch, Options{
+		Workers:  1,
+		Breaker:  BreakerConfig{FailThreshold: 2, Cooldown: 3},
+		Counters: counters,
+	},
+		flaky,
+		costBackend{Backend: NewSQL(c), name: "healthy", cost: 1000},
+	)
+	p := resilienceTestPlans()["list"]
+	exec := func(q int) FragmentRun {
+		t.Helper()
+		_, run, err := e.Execute(p)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		return run.Fragments[0]
+	}
+
+	// Queries 1-2: routed to the cheap flaky backend, served by
+	// failover; the second failure crosses FailThreshold.
+	for q := 1; q <= 2; q++ {
+		fr := exec(q)
+		if fr.Backend != "aflaky" || fr.FailedOver != "healthy" {
+			t.Fatalf("query %d: backend=%s failedOver=%q, want aflaky->healthy", q, fr.Backend, fr.FailedOver)
+		}
+	}
+	if counters.Get("breaker.open") != 1 {
+		t.Fatalf("breaker.open = %d after threshold failures, want 1", counters.Get("breaker.open"))
+	}
+
+	// Queries 3-4: breaker open — planning routes straight to healthy.
+	flaky.failing.Store(false) // backend recovers, breaker still open
+	for q := 3; q <= 4; q++ {
+		if fr := exec(q); fr.Backend != "healthy" || fr.FailedOver != "" {
+			t.Fatalf("query %d: backend=%s failedOver=%q, want direct healthy routing", q, fr.Backend, fr.FailedOver)
+		}
+	}
+
+	// Query 5: cooldown (3 queries since opening) expired — half-open;
+	// the probe succeeds and closes the breaker, restoring the cheap
+	// route.
+	if fr := exec(5); fr.Backend != "aflaky" || fr.FailedOver != "" {
+		t.Fatalf("query 5: backend=%s failedOver=%q, want recovered aflaky", fr.Backend, fr.FailedOver)
+	}
+	if counters.Get("breaker.close") != 1 {
+		t.Errorf("breaker.close = %d, want 1", counters.Get("breaker.close"))
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens pins the half-open → open
+// edge: a failed probe re-opens the breaker for a fresh cooldown.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	h := newHealthTracker()
+	cfg := BreakerConfig{FailThreshold: 1, Cooldown: 2}
+	if h.reportFailure("b", cfg.FailThreshold) != true {
+		t.Fatal("first failure at threshold 1 must open")
+	}
+	if !h.isOpen("b") {
+		t.Fatal("breaker not open")
+	}
+	v := h.version()
+	h.tick(cfg)
+	h.tick(cfg) // cooldown expires: half-open
+	if h.isOpen("b") {
+		t.Fatal("breaker still open after cooldown, want half-open")
+	}
+	if h.version() == v {
+		t.Error("half-open transition must bump the routing version")
+	}
+	if h.reportFailure("b", cfg.FailThreshold) != true {
+		t.Error("failed half-open probe must re-open")
+	}
+	if !h.isOpen("b") {
+		t.Error("breaker not re-opened after failed probe")
+	}
+	if h.reportSuccess("b") != true {
+		t.Error("success on a non-closed breaker must close it")
+	}
+	if h.isOpen("b") {
+		t.Error("breaker open after success")
+	}
+}
+
+// TestBreakerSkipWithFailover pins scan-time breaker avoidance: a
+// fragment planned onto a backend whose breaker opened mid-query skips
+// it and fails over without ever touching the sick backend.
+func TestBreakerSkipWithFailover(t *testing.T) {
+	c := testCatalog()
+	counters := metrics.NewCounterSet()
+	e := New(c.Epoch, Options{Workers: 1, Counters: counters}, NewMemory(c), NewSQL(c))
+	// Open memory's breaker directly, simulating a transition after the
+	// fragment was planned. Sync to the live registry generation first,
+	// or the tracker forgives the manual state on its next sync.
+	e.health.sync(e.generation())
+	e.health.reportFailure("memory", 1)
+	var fr FragmentRun
+	fr.Fragment = Fragment{Backend: "memory", Table: "sales"}
+	res, err := e.scanFragment(context.Background(), fr.Fragment, &fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.BreakerSkip || fr.FailedOver != "sql" {
+		t.Errorf("breakerSkip=%v failedOver=%q, want skip to sql", fr.BreakerSkip, fr.FailedOver)
+	}
+	if res.Table.Len() != 48 {
+		t.Errorf("failover scan returned %d rows, want 48", res.Table.Len())
+	}
+	if counters.Get("scan.breaker_skip") != 1 {
+		t.Errorf("scan.breaker_skip = %d, want 1", counters.Get("scan.breaker_skip"))
+	}
+}
+
+// TestOpenBreakerSoleProviderForcesProbe: when the open-breaker
+// backend is the only one serving the table, the scan proceeds as a
+// forced probe instead of failing the query.
+func TestOpenBreakerSoleProviderForcesProbe(t *testing.T) {
+	c := testCatalog()
+	counters := metrics.NewCounterSet()
+	e := New(c.Epoch, Options{Workers: 1, Counters: counters}, NewMemory(c))
+	e.health.sync(e.generation())
+	e.health.reportFailure("memory", 1)
+	got, run, err := e.Execute(resilienceTestPlans()["list"])
+	if err != nil {
+		t.Fatalf("sole-provider query failed with open breaker: %v", err)
+	}
+	if got.Len() == 0 {
+		t.Error("probe returned no rows")
+	}
+	if run.Fragments[0].BreakerSkip {
+		t.Error("sole provider must not be skipped")
+	}
+	if counters.Get("breaker.close") != 1 {
+		t.Errorf("successful forced probe should close the breaker: %s", counters)
+	}
+}
+
+// TestQueryDeadlineCancelsHangingScan: a hung backend scan is bounded
+// by the executor timeout and surfaces DeadlineExceeded.
+func TestQueryDeadlineCancelsHangingScan(t *testing.T) {
+	c := testCatalog()
+	e := New(c.Epoch, Options{Workers: 1, Timeout: 30 * time.Millisecond},
+		NewChaos(NewMemory(c), ChaosOptions{Hang: true}),
+	)
+	start := time.Now()
+	_, _, err := e.Execute(resilienceTestPlans()["list"])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestSiblingCancellationOnPermanentError: in a join, a fragment whose
+// table is down on every backend fails permanently and must cancel the
+// sibling fragment hung on another backend — the query returns the
+// real error, deterministically, instead of deadlocking.
+func TestSiblingCancellationOnPermanentError(t *testing.T) {
+	c := testCatalog()
+	e := New(c.Epoch, Options{Workers: 2},
+		NewChaos(
+			NewChaos(NewMemory(c), ChaosOptions{Hang: true, Tables: []string{"sales"}}),
+			ChaosOptions{Down: true, Tables: []string{"metric_changes"}},
+		),
+		NewChaos(NewSQL(c), ChaosOptions{Down: true, Tables: []string{"metric_changes"}}),
+	)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.Execute(resilienceTestPlans()["join"])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("query succeeded with a table down on every backend")
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("surfaced the schedule-dependent cancellation, want the real error: %v", err)
+		}
+		if !strings.Contains(err.Error(), "metric_changes") {
+			t.Errorf("err = %v, want the metric_changes failure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sibling cancellation never fired: hung scan leaked")
+	}
+}
+
+// TestDeterministicErrorSelection: when several fragments fail, the
+// lowest-index real error wins at any worker count.
+func TestDeterministicErrorSelection(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		c := testCatalog()
+		e := New(c.Epoch, Options{Workers: workers},
+			NewChaos(NewMemory(c), ChaosOptions{Down: true}),
+			NewChaos(NewSQL(c), ChaosOptions{Down: true}),
+		)
+		_, _, err := e.Execute(resilienceTestPlans()["join"])
+		if err == nil {
+			t.Fatalf("workers=%d: query succeeded with every backend down", workers)
+		}
+		if !strings.Contains(err.Error(), "(scan sales)") {
+			t.Errorf("workers=%d: err = %v, want the driving fragment's (index 0) sales error", workers, err)
+		}
+	}
+}
+
+// unregisterOnEstimate unregisters itself from the executor on the
+// first Estimate call, simulating a backend vanishing between routing
+// and execution.
+type unregisterOnEstimate struct {
+	Backend
+	name string
+	e    *Executor
+	once atomic.Bool
+}
+
+func (u *unregisterOnEstimate) Name() string { return u.name }
+func (u *unregisterOnEstimate) Estimate(tbl string, preds []table.Pred) (Estimate, bool) {
+	est, ok := u.Backend.Estimate(tbl, preds)
+	est.Cost = 0.5 // cheapest: routing will pick it
+	if u.once.CompareAndSwap(false, true) {
+		u.e.Unregister(u.name)
+	}
+	return est, ok
+}
+
+// TestStaleRegistryReplans: a plan routed to a backend that vanished
+// before execution re-plans against the live registry instead of
+// failing, and the run records the replan.
+func TestStaleRegistryReplans(t *testing.T) {
+	c := testCatalog()
+	counters := metrics.NewCounterSet()
+	e := New(c.Epoch, Options{Workers: 1, Counters: counters}, NewMemory(c))
+	u := &unregisterOnEstimate{Backend: NewMemory(c), name: "vanishing", e: e}
+	e.Register(u)
+
+	p := resilienceTestPlans()["list"]
+	got, run, err := e.Execute(p)
+	if err != nil {
+		t.Fatalf("stale-registry execute: %v", err)
+	}
+	want, err := semop.Exec(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Errorf("replanned result diverges:\n%s\nvs\n%s", render(got), render(want))
+	}
+	if run.Replans != 1 {
+		t.Errorf("run.Replans = %d, want 1", run.Replans)
+	}
+	if run.Fragments[0].Backend != "memory" {
+		t.Errorf("replanned fragment backend = %s, want memory", run.Fragments[0].Backend)
+	}
+	if counters.Get("plan.replan") != 1 {
+		t.Errorf("plan.replan = %d, want 1", counters.Get("plan.replan"))
+	}
+	if !strings.Contains(Explain(run), "resilience: replans 1") {
+		t.Errorf("explain missing replans line:\n%s", Explain(run))
+	}
+}
+
+// TestUnregisterRemovesBackend pins the registry-removal surface.
+func TestUnregisterRemovesBackend(t *testing.T) {
+	c := testCatalog()
+	e := newTestExecutor(c, 1)
+	if !e.Unregister("sql") {
+		t.Fatal("Unregister(sql) = false, want true")
+	}
+	if e.Unregister("sql") {
+		t.Error("second Unregister(sql) = true, want false")
+	}
+	if got := e.Backends(); len(got) != 1 || got[0] != "memory" {
+		t.Errorf("Backends() = %v, want [memory]", got)
+	}
+	// Queries keep working against the remaining backend.
+	if _, _, err := e.Execute(resilienceTestPlans()["list"]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowSlicedFailoverRequiresRangeBackend: an explicit ROWS slice is
+// semantic, so failover re-derives it on the fallback backend's zone
+// maps rather than dropping it.
+func TestRowSlicedFailoverPreservesSlice(t *testing.T) {
+	c := testCatalog()
+	tbl, _ := c.Get("sales")
+	want := render(mustSlice(t, tbl, 4, 9))
+
+	e := New(c.Epoch, Options{Workers: 1},
+		NewChaos(NewMemory(c), ChaosOptions{Down: true}),
+		NewSQL(c),
+	)
+	var fr FragmentRun
+	f := Fragment{Backend: "memory", Table: "sales", SliceStart: 4, SliceEnd: 9,
+		Ranges: []table.RowRange{{Start: 4, End: 9}}}
+	fr.Fragment = f
+	res, err := e.scanFragment(context.Background(), f, &fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.FailedOver != "sql" {
+		t.Fatalf("failedOver = %q, want sql", fr.FailedOver)
+	}
+	if render(res.Table) != want {
+		t.Errorf("sliced failover rows diverge:\n%s\nvs\n%s", render(res.Table), want)
+	}
+}
+
+func mustSlice(t *testing.T, tbl *table.Table, start, end int) *table.Table {
+	t.Helper()
+	out := table.New(tbl.Name, tbl.Schema)
+	out.Rows = append(out.Rows, tbl.Rows[start:end]...)
+	return out
+}
+
+// TestChaosScheduleDeterministic: the injected fault schedule is a
+// pure function of (seed, identity) — two wrappers with the same seed
+// inject identical faults, a different seed diverges somewhere.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	budgets := func(seed uint64) []int {
+		c := testCatalog()
+		ch := NewChaos(NewMemory(c), ChaosOptions{Seed: seed, MaxTransient: 5})
+		var out []int
+		for _, f := range []Fragment{
+			{Table: "sales"},
+			{Table: "sales", Preds: []table.Pred{{Col: "product", Op: table.OpEq, Val: table.S("Alpha")}}},
+			{Table: "metric_changes", Columns: []string{"product"}},
+		} {
+			n := 0
+			for {
+				_, err := ch.Scan(f)
+				if err == nil {
+					break
+				}
+				if !fault.IsTransient(err) {
+					t.Fatalf("injected error not transient: %v", err)
+				}
+				n++
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	a, b := budgets(7), budgets(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	c1, c2 := budgets(7), budgets(8)
+	same := true
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("seeds 7 and 8 injected identical schedules %v — seed not mixed in", c1)
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CounterSet is a named collection of monotonically increasing
+// counters — the resilience layer's observability surface (retries
+// taken, failovers routed, breakers opened). Counters are created on
+// first Add and are safe for concurrent use; Snapshot renders them in
+// sorted name order so any report built from one is deterministic.
+type CounterSet struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64 // guarded by mu (values are atomic; the map itself needs the lock)
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]*atomic.Int64)}
+}
+
+// counter returns the named counter, creating it if needed.
+func (c *CounterSet) counter(name string) *atomic.Int64 {
+	c.mu.RLock()
+	v := c.m[name]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v = c.m[name]; v == nil {
+		v = new(atomic.Int64)
+		c.m[name] = v
+	}
+	return v
+}
+
+// Add increments the named counter by delta. A nil CounterSet is a
+// valid no-op sink, so callers never need to guard instrumentation.
+func (c *CounterSet) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.counter(name).Add(delta)
+}
+
+// Inc increments the named counter by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's value (0 when absent or nil set).
+func (c *CounterSet) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	v := c.m[name]
+	c.mu.RUnlock()
+	if v == nil {
+		return 0
+	}
+	return v.Load()
+}
+
+// Snapshot returns every counter as "name=value" lines in sorted name
+// order — map iteration never leaks into output.
+func (c *CounterSet) Snapshot() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	names := make([]string, 0, len(c.m))
+	for name := range c.m {
+		names = append(names, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = fmt.Sprintf("%s=%d", name, c.Get(name))
+	}
+	return out
+}
+
+// String renders the snapshot on one line.
+func (c *CounterSet) String() string {
+	return strings.Join(c.Snapshot(), " ")
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc("scan.retry")
+	c.Add("scan.retry", 2)
+	c.Inc("breaker.open")
+	if got := c.Get("scan.retry"); got != 3 {
+		t.Errorf("scan.retry = %d, want 3", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+	want := "breaker.open=1 scan.retry=3"
+	if got := c.String(); got != want {
+		t.Errorf("String() = %q, want %q (sorted)", got, want)
+	}
+}
+
+func TestCounterSetNilSafe(t *testing.T) {
+	var c *CounterSet
+	c.Inc("x") // must not panic
+	if c.Get("x") != 0 || c.Snapshot() != nil {
+		t.Error("nil CounterSet must read as empty")
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+}

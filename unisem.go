@@ -104,6 +104,14 @@ type Options struct {
 	// keyed by normalized question and invalidated on Ingest. 0
 	// disables caching.
 	AnswerCache int
+	// QueryTimeout bounds each federated query execution: fragment
+	// scans past the deadline are cancelled and the query fails. 0
+	// means no deadline.
+	QueryTimeout time.Duration
+	// ScanRetries caps transient-failure retries per fragment scan,
+	// with capped exponential backoff between attempts. 0 uses the
+	// default budget; -1 disables retries.
+	ScanRetries int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -247,6 +255,8 @@ func (s *System) Build() error {
 	opts.Seed = s.opts.Seed
 	opts.Workers = s.opts.Workers
 	opts.CacheSize = s.opts.AnswerCache
+	opts.QueryTimeout = s.opts.QueryTimeout
+	opts.ScanRetries = s.opts.ScanRetries
 	h, err := core.NewHybrid(multi, s.ner, opts)
 	if err != nil {
 		return fmt.Errorf("unisem: build: %w", err)
@@ -272,6 +282,17 @@ func (s *System) RegisterBackend(b federate.Backend) {
 		return
 	}
 	s.hybrid.RegisterBackend(b)
+}
+
+// Metrics returns the federated resilience counters as "name=value"
+// lines in sorted name order — scan retries taken, failovers routed,
+// circuit-breaker transitions, stale-registry replans. Empty until a
+// resilience event occurs; nil before Build.
+func (s *System) Metrics() []string {
+	if !s.built {
+		return nil
+	}
+	return s.hybrid.Metrics()
 }
 
 // Backends lists the federated execution backends, sorted by name;
